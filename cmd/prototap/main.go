@@ -1,0 +1,125 @@
+// Command prototap is the reproduction's protocol tracing tool, named after
+// the pcap-based tracer the paper built for its §6 analysis. It replays a
+// workload over a chosen remote display protocol and prints the capture
+// accounting: per-channel bytes and messages, packetization, VIP savings,
+// per-message-kind breakdown, and an optional Mbps time series.
+//
+// Usage:
+//
+//	prototap -workload office -proto rdp
+//	prototap -workload webpage -proto rdp -series
+//	prototap -workload animation -frames 70 -proto x
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"thinbench/internal/display"
+	"thinbench/internal/proto"
+	"thinbench/internal/proto/lbx"
+	"thinbench/internal/proto/rdp"
+	"thinbench/internal/proto/slim"
+	"thinbench/internal/proto/vnc"
+	"thinbench/internal/proto/xwire"
+	"thinbench/internal/simclock"
+	"thinbench/internal/trace"
+	"thinbench/internal/workload"
+)
+
+func main() {
+	var (
+		wl     = flag.String("workload", "office", "workload: office, webpage, animation")
+		prot   = flag.String("proto", "rdp", "protocol: rdp, x, lbx, vnc, slim")
+		frames = flag.Int("frames", 10, "animation frame count (animation workload)")
+		fps    = flag.Float64("fps", 20, "animation frame rate")
+		span   = flag.Int("span", 30, "workload span in seconds (webpage/animation)")
+		series = flag.Bool("series", false, "print the Mbps time series")
+		kinds  = flag.Bool("kinds", false, "print the per-message-kind breakdown")
+	)
+	flag.Parse()
+
+	tr, err := buildWorkload(*wl, *frames, *fps, *span)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "error:", err)
+		os.Exit(1)
+	}
+	srv, cli, opts, err := buildProtocol(*prot)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "error:", err)
+		os.Exit(1)
+	}
+	rec := trace.NewRecorder(simclock.Second)
+	if err := workload.Replay(tr, srv, cli, rec, opts); err != nil {
+		fmt.Fprintln(os.Stderr, "replay error:", err)
+		os.Exit(1)
+	}
+	fmt.Print(rec.Summary(fmt.Sprintf("%s over %s", *wl, srv.Name())))
+
+	if *kinds {
+		ks := rec.KindStats()
+		names := make([]string, 0, len(ks))
+		for k := range ks {
+			names = append(names, k)
+		}
+		sort.Slice(names, func(i, j int) bool { return ks[names[i]].Bytes > ks[names[j]].Bytes })
+		fmt.Println("  by kind:")
+		for _, k := range names {
+			fmt.Printf("    %-20s %10d bytes %8d messages\n", k, ks[k].Bytes, ks[k].Messages)
+		}
+	}
+	if *series {
+		fmt.Println("  Mbps by second:")
+		for i, v := range rec.Series().Mbps() {
+			fmt.Printf("    %4d  %.4f\n", i, v)
+		}
+	}
+}
+
+func buildWorkload(name string, frames int, fps float64, spanSec int) (workload.Trace, error) {
+	span := simclock.Duration(spanSec) * simclock.Second
+	switch name {
+	case "office":
+		return workload.OfficeTrace(workload.DefaultOfficeConfig()), nil
+	case "webpage":
+		cfg := workload.DefaultWebPageConfig()
+		cfg.Span = span
+		return workload.WebPageTrace(cfg), nil
+	case "animation":
+		return workload.AnimationTrace(workload.AnimationConfig{
+			Seed: 7, Frames: frames, FPS: fps,
+			W: workload.Figure7FrameW, H: workload.Figure7FrameH,
+			X: 100, Y: 100, Span: span, Photo: true,
+		}), nil
+	default:
+		return workload.Trace{}, fmt.Errorf("unknown workload %q", name)
+	}
+}
+
+func buildProtocol(name string) (proto.Server, proto.Client, workload.ReplayOpts, error) {
+	switch name {
+	case "rdp":
+		cfg := rdp.DefaultConfig()
+		cfg.MotionSample = 8
+		return rdp.NewServer(cfg), rdp.NewClient(cfg), workload.ReplayOpts{
+			InputCoalesce:   500 * simclock.Millisecond,
+			DisplayCoalesce: simclock.Second,
+		}, nil
+	case "x":
+		return xwire.NewServer(), xwire.NewClient(display.TypicalScreenW, display.TypicalScreenH), workload.ReplayOpts{}, nil
+	case "lbx":
+		return lbx.NewServer(lbx.DefaultConfig()), lbx.NewClient(lbx.DefaultConfig()), workload.ReplayOpts{
+			InputCoalesce: 75 * simclock.Millisecond,
+		}, nil
+	case "vnc":
+		return vnc.NewServer(vnc.DefaultConfig()), vnc.NewClient(vnc.DefaultConfig()), workload.ReplayOpts{
+			DisplayCoalesce: 100 * simclock.Millisecond,
+		}, nil
+	case "slim":
+		return slim.NewServer(slim.DefaultConfig()), slim.NewClient(slim.DefaultConfig()), workload.ReplayOpts{}, nil
+	default:
+		return nil, nil, workload.ReplayOpts{}, fmt.Errorf("unknown protocol %q", name)
+	}
+}

@@ -1,0 +1,60 @@
+// Command thinbench runs the reproduction's experiments: every table and
+// figure of Wong & Seltzer's USENIX 2000 thin-client study, plus the
+// ablations this reproduction adds.
+//
+// Usage:
+//
+//	thinbench -list                 list experiments
+//	thinbench -run fig3             run one experiment
+//	thinbench -run all              run everything
+//	thinbench -run fig7 -quick      shortened measurement windows
+//	thinbench -run fig8 -seed 42    alternate random seed
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"thinbench"
+)
+
+func main() {
+	var (
+		runID = flag.String("run", "", "experiment ID to run (fig1..fig9, tab1..tab6, abl1..abl4, or 'all')")
+		list  = flag.Bool("list", false, "list registered experiments")
+		quick = flag.Bool("quick", false, "shorten measurement windows (same shapes, more noise)")
+		seed  = flag.Uint64("seed", 1999, "random seed; identical seeds reproduce identical results")
+	)
+	flag.Parse()
+
+	if *list || *runID == "" {
+		fmt.Println("experiments:")
+		for _, e := range thinbench.Experiments() {
+			fmt.Printf("  %-5s %s\n        paper: %s\n", e.ID, e.Title, e.Paper)
+		}
+		if *runID == "" && !*list {
+			fmt.Println("\nrun one with: thinbench -run <id>   (or -run all)")
+		}
+		return
+	}
+
+	cfg := thinbench.Config{Seed: *seed, Quick: *quick}
+	if *runID == "all" {
+		results, err := thinbench.RunAll(cfg)
+		for _, r := range results {
+			fmt.Println(r.Render())
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "error:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	r, err := thinbench.Run(*runID, cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "error:", err)
+		os.Exit(1)
+	}
+	fmt.Println(r.Render())
+}

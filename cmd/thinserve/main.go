@@ -1,0 +1,210 @@
+// Command thinserve demonstrates the remote display protocols over a real
+// TCP connection: a server process encodes a workload's display stream and
+// ships it through the proto framing layer; a client process connects,
+// decodes into its framebuffer, sends input back, and verifies the session.
+//
+// Server:  thinserve -listen :9000 -proto rdp -workload webpage -span 10
+// Client:  thinserve -connect localhost:9000 -proto rdp
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net"
+	"os"
+
+	"thinbench/internal/display"
+	"thinbench/internal/proto"
+	"thinbench/internal/proto/lbx"
+	"thinbench/internal/proto/rdp"
+	"thinbench/internal/proto/slim"
+	"thinbench/internal/proto/vnc"
+	"thinbench/internal/proto/xwire"
+	"thinbench/internal/simclock"
+	"thinbench/internal/workload"
+)
+
+func main() {
+	var (
+		listen  = flag.String("listen", "", "serve on this address (server mode)")
+		connect = flag.String("connect", "", "connect to this address (client mode)")
+		prot    = flag.String("proto", "rdp", "protocol: rdp, x, lbx, vnc, slim")
+		wl      = flag.String("workload", "webpage", "workload: office, webpage, animation")
+		span    = flag.Int("span", 10, "workload span in seconds")
+	)
+	flag.Parse()
+
+	switch {
+	case *listen != "":
+		if err := serve(*listen, *prot, *wl, *span); err != nil {
+			fmt.Fprintln(os.Stderr, "serve:", err)
+			os.Exit(1)
+		}
+	case *connect != "":
+		if err := view(*connect, *prot); err != nil {
+			fmt.Fprintln(os.Stderr, "view:", err)
+			os.Exit(1)
+		}
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+func newServer(prot string) (proto.Server, error) {
+	switch prot {
+	case "rdp":
+		return rdp.NewServer(rdp.DefaultConfig()), nil
+	case "x":
+		return xwire.NewServer(), nil
+	case "lbx":
+		return lbx.NewServer(lbx.DefaultConfig()), nil
+	case "vnc":
+		return vnc.NewServer(vnc.DefaultConfig()), nil
+	case "slim":
+		return slim.NewServer(slim.DefaultConfig()), nil
+	}
+	return nil, fmt.Errorf("unknown protocol %q", prot)
+}
+
+func newClient(prot string) (proto.Client, error) {
+	switch prot {
+	case "rdp":
+		return rdp.NewClient(rdp.DefaultConfig()), nil
+	case "x":
+		return xwire.NewClient(display.TypicalScreenW, display.TypicalScreenH), nil
+	case "lbx":
+		return lbx.NewClient(lbx.DefaultConfig()), nil
+	case "vnc":
+		return vnc.NewClient(vnc.DefaultConfig()), nil
+	case "slim":
+		return slim.NewClient(slim.DefaultConfig()), nil
+	}
+	return nil, fmt.Errorf("unknown protocol %q", prot)
+}
+
+func buildTrace(wl string, spanSec int) (workload.Trace, error) {
+	span := simclock.Duration(spanSec) * simclock.Second
+	switch wl {
+	case "office":
+		cfg := workload.DefaultOfficeConfig()
+		cfg.TypingChars = 200
+		cfg.PaintStrokes = 10
+		cfg.PanelActions = 4
+		cfg.ReviewScrolls = 20
+		return workload.OfficeTrace(cfg), nil
+	case "webpage":
+		cfg := workload.DefaultWebPageConfig()
+		cfg.Span = span
+		return workload.WebPageTrace(cfg), nil
+	case "animation":
+		return workload.AnimationTrace(workload.AnimationConfig{
+			Seed: 7, Frames: 10, FPS: 20, W: 150, H: 115, X: 100, Y: 100,
+			Span: span, Photo: true,
+		}), nil
+	}
+	return workload.Trace{}, fmt.Errorf("unknown workload %q", wl)
+}
+
+// serve accepts one client, streams the workload's display channel to it,
+// and echoes decoded input event counts.
+func serve(addr, prot, wl string, span int) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	defer ln.Close()
+	return serveListener(ln, prot, wl, span)
+}
+
+// serveListener runs one session on an existing listener.
+func serveListener(ln net.Listener, prot, wl string, span int) error {
+	srv, err := newServer(prot)
+	if err != nil {
+		return err
+	}
+	tr, err := buildTrace(wl, span)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("thinserve: %s workload over %s on %s\n", wl, srv.Name(), ln.Addr())
+	conn, err := ln.Accept()
+	if err != nil {
+		return err
+	}
+	defer conn.Close()
+
+	sent, bytes := 0, 0
+	for _, batch := range tr.Display {
+		for _, m := range srv.Update(batch.Ops) {
+			if err := proto.WriteMessage(conn, m); err != nil {
+				return fmt.Errorf("write: %w", err)
+			}
+			sent++
+			bytes += m.Size()
+		}
+	}
+	// End-of-stream marker.
+	if err := proto.WriteMessage(conn, proto.Message{Channel: proto.Display, Kind: "EOF"}); err != nil {
+		return err
+	}
+	fmt.Printf("thinserve: sent %d messages, %d bytes\n", sent, bytes)
+
+	// Read the client's input report.
+	m, err := proto.ReadMessage(conn)
+	if err != nil {
+		return fmt.Errorf("final input read: %w", err)
+	}
+	events, err := srv.DecodeInput(m)
+	if err != nil {
+		return fmt.Errorf("input decode: %w", err)
+	}
+	fmt.Printf("thinserve: decoded %d input events from client\n", len(events))
+	return nil
+}
+
+// view connects, applies the display stream, and sends a burst of input.
+func view(addr, prot string) error {
+	cli, err := newClient(prot)
+	if err != nil {
+		return err
+	}
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return err
+	}
+	defer conn.Close()
+
+	applied := 0
+	for {
+		m, err := proto.ReadMessage(conn)
+		if err != nil {
+			return fmt.Errorf("read: %w", err)
+		}
+		if m.Kind == "EOF" {
+			break
+		}
+		if err := cli.Apply(m); err != nil {
+			return fmt.Errorf("apply: %w", err)
+		}
+		applied++
+	}
+	fb := cli.Framebuffer()
+	fmt.Printf("thinview: applied %d messages; screen %dx%d, %d ops rendered, hash %x\n",
+		applied, fb.W, fb.H, fb.Ops(), fb.Hash())
+
+	// Send a keystroke + click so the server exercises input decoding.
+	events := []display.InputEvent{
+		display.KeyEvent{Down: true, Code: 28},
+		display.KeyEvent{Down: false, Code: 28},
+		display.MouseMove{X: 400, Y: 300},
+		display.MouseButton{Down: true, Button: 1},
+		display.MouseButton{Down: false, Button: 1},
+	}
+	for _, m := range cli.EncodeInput(events) {
+		if err := proto.WriteMessage(conn, m); err != nil {
+			return fmt.Errorf("input write: %w", err)
+		}
+	}
+	return nil
+}

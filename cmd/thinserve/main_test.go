@@ -1,0 +1,42 @@
+package main
+
+import (
+	"net"
+	"testing"
+)
+
+// TestEndToEndOverLoopback runs a full session — server streaming a
+// workload's display channel, client applying it and answering with input —
+// over a real TCP connection, for each protocol.
+func TestEndToEndOverLoopback(t *testing.T) {
+	for _, prot := range []string{"rdp", "x", "lbx", "vnc", "slim"} {
+		prot := prot
+		t.Run(prot, func(t *testing.T) {
+			ln, err := net.Listen("tcp", "127.0.0.1:0")
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer ln.Close()
+			errc := make(chan error, 1)
+			go func() { errc <- serveListener(ln, prot, "animation", 3) }()
+			if err := view(ln.Addr().String(), prot); err != nil {
+				t.Fatalf("client: %v", err)
+			}
+			if err := <-errc; err != nil {
+				t.Fatalf("server: %v", err)
+			}
+		})
+	}
+}
+
+func TestUnknownProtocolRejected(t *testing.T) {
+	if _, err := newServer("spice"); err == nil {
+		t.Fatal("unknown protocol accepted")
+	}
+	if _, err := newClient("spice"); err == nil {
+		t.Fatal("unknown protocol accepted")
+	}
+	if _, err := buildTrace("quake", 1); err == nil {
+		t.Fatal("unknown workload accepted")
+	}
+}

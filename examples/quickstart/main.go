@@ -1,0 +1,46 @@
+// Quickstart: run the reproduction's headline experiments through the
+// public API and print their results next to what the paper reports.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"thinbench"
+)
+
+func main() {
+	cfg := thinbench.QuickConfig()
+
+	fmt.Println("thinbench quickstart — three headline results from the paper")
+	fmt.Println()
+
+	// 1. The scheduler result: interactive stalls under CPU load (Fig. 3).
+	//    TSE collapses near 10 competing processes; Linux degrades linearly.
+	r, err := thinbench.Run("fig3", cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(r.Render())
+
+	// 2. The memory result: paging latency after a streaming job evicts an
+	//    idle editor (§5.2 table).
+	r, err = thinbench.Run("tab3", cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(r.Render())
+
+	// 3. The network result: protocol efficiency on the office workload
+	//    (§6.1.2 table). RDP ships a fraction of X's bytes.
+	r, err = thinbench.Run("tab5", cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(r.Render())
+
+	fmt.Printf("human perception threshold used throughout: %v\n", thinbench.PerceptionThreshold)
+	fmt.Println("run every table and figure with: go run ./cmd/thinbench -run all")
+}

@@ -1,0 +1,44 @@
+package core
+
+import (
+	"fmt"
+
+	"thinbench/internal/metrics"
+	"thinbench/internal/simclock"
+	"thinbench/internal/sizing"
+)
+
+func init() {
+	register(Experiment{
+		ID:    "cap1",
+		Title: "Server capacity by behavior profile (the paper's sizing question)",
+		Paper: "§1/§3: operators 'need to know the maximum number of concurrent users their servers can support... and what impact on users yields this maximum value'; §6.1.3: ~5 animated-page users saturate 10 Mbps Ethernet.",
+		Run:   runCap1,
+	})
+}
+
+func runCap1(cfg Config) (*Result, error) {
+	res := &Result{ID: "cap1", Title: "Capacity by behavior profile"}
+	span := 20 * simclock.Second
+	if cfg.Quick {
+		span = 8 * simclock.Second
+	}
+	srv := sizing.DefaultServer()
+	table := metrics.NewTable("Profile", "capacity", "binding resource", "stall at cap", "link util")
+	for _, p := range []sizing.Profile{sizing.LightAdmin(), sizing.Developer(), sizing.WebBrowser()} {
+		n, est, limit := sizing.Capacity(srv, p, 120, span, cfg.Seed)
+		table.AddRow(p.Name, fmt.Sprintf("%d users", n), string(limit),
+			fmt.Sprintf("%.1fms", est.MeanStallMs), fmt.Sprintf("%.0f%%", est.LinkUtilization*100))
+	}
+	res.Tables = append(res.Tables, table)
+
+	// The scheduler lever: the same developers on the Evans et al. policy.
+	big := srv
+	big.PhysicalKB = 512 * 1024
+	rrN, _, _ := sizing.Capacity(big, sizing.Developer(), 120, span, cfg.Seed)
+	big.Scheduler = "svr4ia"
+	iaN, _, _ := sizing.Capacity(big, sizing.Developer(), 120, span, cfg.Seed)
+	res.Notef("with ample memory, developer capacity is CPU-bound at %d users under round-robin and %d under the SVR4 interactive class", rrN, iaN)
+	res.Notef("web browsers hit the network wall at ~5 users, the paper's §6.1.3 arithmetic")
+	return res, nil
+}

@@ -1,0 +1,136 @@
+// Package core implements the paper's contribution: a structured approach
+// for evaluating thin-client server operating systems on user-perceived
+// latency. The framework follows the paper's two-step decomposition —
+// user behavior generates resource load, and operating system design
+// translates load into latency — applied per resource (processor, memory,
+// network).
+//
+// The package also hosts the experiment registry: one runnable experiment
+// per table and figure in the paper's evaluation, each wired to the
+// simulated substrates (sched, vm, netsim, proto, bitmapcache) and
+// producing the same rows or series the paper reports.
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"thinbench/internal/metrics"
+)
+
+// System identifies an evaluated operating system configuration.
+type System string
+
+// The paper's three systems.
+const (
+	SystemLinuxX        System = "Linux/X"
+	SystemNTWorkstation System = "NT Workstation"
+	SystemTSE           System = "NT TSE"
+)
+
+// Series is one labeled data series of a figure.
+type Series struct {
+	Label string
+	// XLabel and YLabel name the axes (shared across a figure's series).
+	XLabel, YLabel string
+	X, Y           []float64
+}
+
+// Result is an experiment's output: tables and/or series plus notes
+// recording what the paper reports for comparison.
+type Result struct {
+	ID     string
+	Title  string
+	Tables []*metrics.Table
+	Series []Series
+	Notes  []string
+}
+
+// Notef appends a formatted note.
+func (r *Result) Notef(format string, args ...any) {
+	r.Notes = append(r.Notes, fmt.Sprintf(format, args...))
+}
+
+// Render formats the result for terminal output.
+func (r *Result) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s: %s ==\n", r.ID, r.Title)
+	for _, t := range r.Tables {
+		b.WriteString(t.String())
+		b.WriteByte('\n')
+	}
+	for _, s := range r.Series {
+		fmt.Fprintf(&b, "series %q (%s vs %s):\n", s.Label, s.YLabel, s.XLabel)
+		for i := range s.X {
+			fmt.Fprintf(&b, "  %12.3f  %12.4f\n", s.X[i], s.Y[i])
+		}
+	}
+	for _, n := range r.Notes {
+		fmt.Fprintf(&b, "note: %s\n", n)
+	}
+	return b.String()
+}
+
+// Config controls experiment execution.
+type Config struct {
+	// Seed drives all randomness; identical seeds reproduce identical
+	// results.
+	Seed uint64
+	// Quick shortens measurement windows (for smoke tests and benchmarks
+	// that iterate). Experiments preserve shape under Quick, with more
+	// noise.
+	Quick bool
+}
+
+// DefaultConfig runs experiments at the paper's measurement durations.
+func DefaultConfig() Config { return Config{Seed: 1999} }
+
+// Experiment is one reproducible table or figure.
+type Experiment struct {
+	// ID is the registry key: fig1..fig9, tab1..tab6, abl1..abl4.
+	ID string
+	// Title describes the artifact.
+	Title string
+	// Paper summarizes what the paper reports, for side-by-side reading.
+	Paper string
+	// Run executes the experiment.
+	Run func(cfg Config) (*Result, error)
+}
+
+var registry []Experiment
+
+func register(e Experiment) {
+	registry = append(registry, e)
+}
+
+// Experiments lists all registered experiments sorted by ID.
+func Experiments() []Experiment {
+	out := make([]Experiment, len(registry))
+	copy(out, registry)
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// Lookup finds an experiment by ID.
+func Lookup(id string) (Experiment, bool) {
+	for _, e := range registry {
+		if e.ID == id {
+			return e, true
+		}
+	}
+	return Experiment{}, false
+}
+
+// RunAll executes every experiment, returning results in ID order.
+func RunAll(cfg Config) ([]*Result, error) {
+	var out []*Result
+	for _, e := range Experiments() {
+		r, err := e.Run(cfg)
+		if err != nil {
+			return out, fmt.Errorf("experiment %s: %w", e.ID, err)
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}

@@ -1,0 +1,319 @@
+package core
+
+import (
+	"fmt"
+
+	"thinbench/internal/display"
+	"thinbench/internal/metrics"
+	"thinbench/internal/netsim"
+	"thinbench/internal/proto"
+	"thinbench/internal/proto/lbx"
+	"thinbench/internal/proto/rdp"
+	"thinbench/internal/proto/xwire"
+	"thinbench/internal/simclock"
+	"thinbench/internal/trace"
+	"thinbench/internal/workload"
+)
+
+func init() {
+	register(Experiment{
+		ID:    "tab4",
+		Title: "Session setup cost (bytes exchanged)",
+		Paper: "45,328 bytes TSE vs 16,312 bytes Linux/X; idle connections exchange nothing.",
+		Run:   runTab4,
+	})
+	register(Experiment{
+		ID:    "tab5",
+		Title: "Protocol comparison on the office workload (bytes/messages per channel)",
+		Paper: "RDP 888,239 B / 1,841 msgs; X 6,250,888 / 26,923; LBX 3,197,185 / 36,615. Avg sizes 482 / 232 / 87.",
+		Run:   runTab5,
+	})
+	register(Experiment{
+		ID:    "tab6",
+		Title: "VIP header-elision savings on the office workload",
+		Paper: "Omitting the 20-byte IP header saves 4.65% (RDP), 9.15% (X), 22.90% (LBX).",
+		Run:   runTab6,
+	})
+	register(Experiment{
+		ID:    "fig4",
+		Title: "Web page network load: marquee+banner vs each alone (RDP)",
+		Paper: "Combined 1.60 Mbps sustained (plateaus 1.89); marquee alone 0.07; banner alone 0.01 — wildly non-linear.",
+		Run:   runFig4,
+	})
+	register(Experiment{
+		ID:    "fig5",
+		Title: "10-frame 20 Hz animated GIF over X, LBX, RDP",
+		Paper: "X transfers the full bitmap every frame; RDP's cache absorbs the loop after one pass.",
+		Run:   runFig5,
+	})
+	register(Experiment{
+		ID:    "fig8",
+		Title: "Ping RTT vs offered load on a 10 Mbps segment",
+		Paper: "RTT flat and small until saturation; ~55 ms at 9.6 Mbps.",
+		Run:   runFig8,
+	})
+	register(Experiment{
+		ID:    "fig9",
+		Title: "RTT variance (jitter) vs offered load",
+		Paper: "Variance near zero until saturation, then explodes.",
+		Run:   runFig9,
+	})
+}
+
+func runTab4(cfg Config) (*Result, error) {
+	res := &Result{ID: "tab4", Title: "Session setup cost"}
+	table := metrics.NewTable("Protocol", "Setup bytes")
+	table.AddRow("RDP (TSE)", metrics.FormatBytes(int64(rdp.NewServer(rdp.DefaultConfig()).SetupBytes())))
+	table.AddRow("X (Linux)", metrics.FormatBytes(int64(xwire.NewServer().SetupBytes())))
+	table.AddRow("LBX", metrics.FormatBytes(int64(lbx.NewServer(lbx.DefaultConfig()).SetupBytes())))
+	res.Tables = append(res.Tables, table)
+	res.Notef("idle-state network load is zero on all three protocols: no traffic without user activity")
+	return res, nil
+}
+
+// protocolRun holds one protocol's capture of the office workload.
+type protocolRun struct {
+	name string
+	rec  *trace.Recorder
+}
+
+// captureOffice replays the office workload over all three protocols.
+func captureOffice(cfg Config) ([]protocolRun, error) {
+	ocfg := workload.DefaultOfficeConfig()
+	ocfg.Seed = cfg.Seed
+	if cfg.Quick {
+		ocfg.TypingChars /= 8
+		ocfg.PaintStrokes /= 8
+		ocfg.PanelActions /= 8
+	}
+	tr := workload.OfficeTrace(ocfg)
+	// The TSE client samples the pointer instead of forwarding every motion
+	// report and flushes input lazily (the paper's own table implies one
+	// input PDU per ~0.5 s of activity: 736 messages carrying ~17 events
+	// each); the display driver aggregates damage before shipping order
+	// PDUs. X writes requests and events at their natural granularity;
+	// LBX proxies X with modest stream batching.
+	rdpCfg := rdp.DefaultConfig()
+	rdpCfg.MotionSample = 8
+	runs := []struct {
+		name string
+		srv  proto.Server
+		cli  proto.Client
+		opts workload.ReplayOpts
+	}{
+		{"RDP", rdp.NewServer(rdpCfg), rdp.NewClient(rdpCfg), workload.ReplayOpts{
+			InputCoalesce:   500 * simclock.Millisecond,
+			DisplayCoalesce: simclock.Second,
+		}},
+		{"X", xwire.NewServer(), xwire.NewClient(display.TypicalScreenW, display.TypicalScreenH), workload.ReplayOpts{}},
+		{"LBX", lbx.NewServer(lbx.DefaultConfig()), lbx.NewClient(lbx.DefaultConfig()), workload.ReplayOpts{
+			InputCoalesce: 75 * simclock.Millisecond,
+		}},
+	}
+	out := make([]protocolRun, 0, len(runs))
+	for _, r := range runs {
+		rec := trace.NewRecorder(simclock.Second)
+		if err := workload.Replay(tr, r.srv, r.cli, rec, r.opts); err != nil {
+			return nil, fmt.Errorf("%s: %w", r.name, err)
+		}
+		out = append(out, protocolRun{name: r.name, rec: rec})
+	}
+	return out, nil
+}
+
+func runTab5(cfg Config) (*Result, error) {
+	res := &Result{ID: "tab5", Title: "Protocol comparison: office workload"}
+	runs, err := captureOffice(cfg)
+	if err != nil {
+		return nil, err
+	}
+	table := metrics.NewTable("", "RDP", "X", "LBX")
+	row := func(label string, f func(r *trace.Recorder) string) {
+		cells := []string{label}
+		for _, r := range runs {
+			cells = append(cells, f(r.rec))
+		}
+		table.AddRow(cells...)
+	}
+	row("input bytes", func(r *trace.Recorder) string { return metrics.FormatBytes(r.Input().Bytes) })
+	row("display bytes", func(r *trace.Recorder) string { return metrics.FormatBytes(r.Display().Bytes) })
+	row("total bytes", func(r *trace.Recorder) string { return metrics.FormatBytes(r.Total().Bytes) })
+	row("input messages", func(r *trace.Recorder) string { return metrics.FormatBytes(r.Input().Messages) })
+	row("display messages", func(r *trace.Recorder) string { return metrics.FormatBytes(r.Display().Messages) })
+	row("total messages", func(r *trace.Recorder) string { return metrics.FormatBytes(r.Total().Messages) })
+	row("avg message size", func(r *trace.Recorder) string { return fmt.Sprintf("%.2f", r.Total().AvgMessageSize()) })
+	res.Tables = append(res.Tables, table)
+
+	rdpB := runs[0].rec.Total().Bytes
+	xB := runs[1].rec.Total().Bytes
+	lbxB := runs[2].rec.Total().Bytes
+	res.Notef("byte ratios: X/RDP = %.2f (paper 7.0), LBX/RDP = %.2f (paper 3.6), LBX/X = %.2f (paper 0.51)",
+		float64(xB)/float64(rdpB), float64(lbxB)/float64(rdpB), float64(lbxB)/float64(xB))
+	res.Notef("messages are protocol messages here; the paper counted TCP segments, so absolute counts differ while orderings hold")
+	return res, nil
+}
+
+func runTab6(cfg Config) (*Result, error) {
+	res := &Result{ID: "tab6", Title: "VIP header-elision savings"}
+	runs, err := captureOffice(cfg)
+	if err != nil {
+		return nil, err
+	}
+	table := metrics.NewTable("", "RDP", "X", "LBX")
+	normal := []string{"normal bytes"}
+	vip := []string{"bytes w/ VIP"}
+	savings := []string{"savings"}
+	for _, r := range runs {
+		total := r.rec.Total().Bytes
+		saved, frac := r.rec.VIPSavings()
+		normal = append(normal, metrics.FormatBytes(total))
+		vip = append(vip, metrics.FormatBytes(total-saved))
+		savings = append(savings, fmt.Sprintf("%.2f%%", frac*100))
+	}
+	table.AddRow(normal...)
+	table.AddRow(vip...)
+	table.AddRow(savings...)
+	res.Tables = append(res.Tables, table)
+	res.Notef("paper savings: RDP 4.65%%, X 9.15%%, LBX 22.90%% — smallest average message benefits most")
+	return res, nil
+}
+
+// replayRDPWeb captures a web-page trace over RDP and reports the load.
+func replayRDPWeb(wcfg workload.WebPageConfig, label string, res *Result) error {
+	tr := workload.WebPageTrace(wcfg)
+	srv := rdp.NewServer(rdp.DefaultConfig())
+	cli := rdp.NewClient(rdp.DefaultConfig())
+	rec := trace.NewRecorder(simclock.Second)
+	if err := workload.Replay(tr, srv, cli, rec, workload.ReplayOpts{InputCoalesce: 100 * simclock.Millisecond}); err != nil {
+		return err
+	}
+	mbps := rec.Series().Mbps()
+	x := make([]float64, len(mbps))
+	for i := range mbps {
+		x[i] = float64(i)
+	}
+	res.Series = append(res.Series, Series{
+		Label: label, XLabel: "time (sec)", YLabel: "network load (Mbps)",
+		X: x, Y: mbps,
+	})
+	// Steady-state average, skipping the first loop's cold misses.
+	skip := len(mbps) / 4
+	res.Notef("%s: steady-state average %.3f Mbps", label, rec.Series().MeanOver(skip, len(mbps))*8/1e6)
+	return nil
+}
+
+func runFig4(cfg Config) (*Result, error) {
+	res := &Result{ID: "fig4", Title: "Synthetic web page load over RDP"}
+	base := workload.DefaultWebPageConfig()
+	if cfg.Quick {
+		base.Span = 40 * simclock.Second
+	}
+	combined := base
+	marqueeOnly := base
+	marqueeOnly.Banner = false
+	bannerOnly := base
+	bannerOnly.Marquee = false
+	for _, v := range []struct {
+		label string
+		cfg   workload.WebPageConfig
+	}{
+		{"marquee and banner", combined},
+		{"marquee only", marqueeOnly},
+		{"banner only", bannerOnly},
+	} {
+		if err := replayRDPWeb(v.cfg, v.label, res); err != nil {
+			return nil, err
+		}
+	}
+	res.Notef("paper: combined 1.60 Mbps sustained / 1.89 plateaus; marquee 0.07; banner 0.01")
+	res.Notef("five users on such a page saturate 10 Mbps Ethernet; the non-linearity is the bitmap cache overflowing")
+	return res, nil
+}
+
+func runFig5(cfg Config) (*Result, error) {
+	res := &Result{ID: "fig5", Title: "10-frame 20 Hz animation over X, LBX, RDP"}
+	span := 90 * simclock.Second
+	if cfg.Quick {
+		span = 15 * simclock.Second
+	}
+	// A 50 ms delay GIF with 10 frames, sized like a large ad graphic.
+	// GIF art is partially compressible (dithered flat regions), which is
+	// what separates LBX from X in the paper's figure.
+	anim := workload.AnimationConfig{
+		Seed: cfg.Seed, Frames: 10, FPS: 20, W: 150, H: 115, X: 200, Y: 150,
+		Span: span, Block: 2,
+	}
+	tr := workload.AnimationTrace(anim)
+	runs := []struct {
+		name string
+		srv  proto.Server
+		cli  proto.Client
+	}{
+		{"X", xwire.NewServer(), xwire.NewClient(display.TypicalScreenW, display.TypicalScreenH)},
+		{"LBX", lbx.NewServer(lbx.DefaultConfig()), lbx.NewClient(lbx.DefaultConfig())},
+		{"RDP", rdp.NewServer(rdp.DefaultConfig()), rdp.NewClient(rdp.DefaultConfig())},
+	}
+	for _, r := range runs {
+		rec := trace.NewRecorder(simclock.Second)
+		if err := workload.Replay(tr, r.srv, r.cli, rec, workload.ReplayOpts{}); err != nil {
+			return nil, err
+		}
+		mbps := rec.Series().Mbps()
+		x := make([]float64, len(mbps))
+		for i := range mbps {
+			x[i] = float64(i)
+		}
+		res.Series = append(res.Series, Series{
+			Label: r.name, XLabel: "time (sec)", YLabel: "network load (Mbps)",
+			X: x, Y: mbps,
+		})
+		skip := len(mbps) / 4
+		res.Notef("%s: steady-state %.3f Mbps", r.name, rec.Series().MeanOver(skip, len(mbps))*8/1e6)
+	}
+	res.Notef("paper: X retransfers every frame (~2.5-3 Mbps); LBX compresses but cannot cache; RDP swaps from cache")
+	return res, nil
+}
+
+func fig89Loads() []float64 {
+	return []float64{0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 9.6}
+}
+
+func runFig8(cfg Config) (*Result, error) {
+	res := &Result{ID: "fig8", Title: "RTT vs offered load"}
+	span := 60 * simclock.Second
+	if cfg.Quick {
+		span = 10 * simclock.Second
+	}
+	points := netsim.SweepLoadLatency(fig89Loads(), 200*simclock.Millisecond, span, cfg.Seed)
+	var x, y []float64
+	for _, p := range points {
+		x = append(x, p.OfferedMbps)
+		y = append(y, p.MeanRTTms)
+	}
+	res.Series = append(res.Series, Series{
+		Label: "64 byte packets", XLabel: "offered load (Mbps)", YLabel: "round-trip time (msec)",
+		X: x, Y: y,
+	})
+	res.Notef("RTT at 9.6 Mbps: %.1f ms (paper ~55 ms)", y[len(y)-1])
+	return res, nil
+}
+
+func runFig9(cfg Config) (*Result, error) {
+	res := &Result{ID: "fig9", Title: "RTT variance vs offered load"}
+	span := 60 * simclock.Second
+	if cfg.Quick {
+		span = 10 * simclock.Second
+	}
+	points := netsim.SweepLoadLatency(fig89Loads(), 200*simclock.Millisecond, span, cfg.Seed+1)
+	var x, y []float64
+	for _, p := range points {
+		x = append(x, p.OfferedMbps)
+		y = append(y, p.VarianceMs)
+	}
+	res.Series = append(res.Series, Series{
+		Label: "64 byte packets", XLabel: "offered load (Mbps)", YLabel: "RTT variance (msec^2)",
+		X: x, Y: y,
+	})
+	res.Notef("jitter stays near zero until saturation, then explodes: variance %.2f at %.1f Mbps", y[len(y)-1], x[len(x)-1])
+	return res, nil
+}

@@ -1,0 +1,276 @@
+// Package display models the graphical substrate shared by every remote
+// display protocol in the reproduction: bitmaps, drawing operations, a
+// software framebuffer that actually renders them, and deterministic
+// synthetic content generators (animation frames, banner ads, ticker
+// strips) for the paper's workloads.
+//
+// Both the server and the client render into framebuffers, so integration
+// tests can assert that a protocol round-trip reproduces the server's
+// pixels exactly.
+package display
+
+import (
+	"fmt"
+	"hash/fnv"
+)
+
+// Bitmap is an 8-bit-per-pixel image (the paper's testbed era color depth).
+type Bitmap struct {
+	W, H int
+	Pix  []byte // len W*H, row-major
+}
+
+// NewBitmap allocates a zeroed bitmap.
+func NewBitmap(w, h int) *Bitmap {
+	if w <= 0 || h <= 0 {
+		panic(fmt.Sprintf("display: invalid bitmap size %dx%d", w, h))
+	}
+	return &Bitmap{W: w, H: h, Pix: make([]byte, w*h)}
+}
+
+// Bytes reports the raw pixel payload size.
+func (b *Bitmap) Bytes() int { return len(b.Pix) }
+
+// Hash returns a content digest used as the bitmap-cache key.
+func (b *Bitmap) Hash() uint64 {
+	h := fnv.New64a()
+	var dims [8]byte
+	dims[0], dims[1] = byte(b.W), byte(b.W>>8)
+	dims[2], dims[3] = byte(b.H), byte(b.H>>8)
+	h.Write(dims[:4])
+	h.Write(b.Pix)
+	return h.Sum64()
+}
+
+// At reads pixel (x, y); out-of-range reads return 0.
+func (b *Bitmap) At(x, y int) byte {
+	if x < 0 || y < 0 || x >= b.W || y >= b.H {
+		return 0
+	}
+	return b.Pix[y*b.W+x]
+}
+
+// Set writes pixel (x, y); out-of-range writes are ignored.
+func (b *Bitmap) Set(x, y int, v byte) {
+	if x < 0 || y < 0 || x >= b.W || y >= b.H {
+		return
+	}
+	b.Pix[y*b.W+x] = v
+}
+
+// Equal reports whether two bitmaps have identical dimensions and pixels.
+func (b *Bitmap) Equal(o *Bitmap) bool {
+	if b.W != o.W || b.H != o.H {
+		return false
+	}
+	for i := range b.Pix {
+		if b.Pix[i] != o.Pix[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Clone deep-copies the bitmap.
+func (b *Bitmap) Clone() *Bitmap {
+	n := NewBitmap(b.W, b.H)
+	copy(n.Pix, b.Pix)
+	return n
+}
+
+// Rect is an axis-aligned rectangle.
+type Rect struct {
+	X, Y, W, H int
+}
+
+// Empty reports whether the rectangle covers no pixels.
+func (r Rect) Empty() bool { return r.W <= 0 || r.H <= 0 }
+
+// Union returns the bounding rectangle of r and o.
+func (r Rect) Union(o Rect) Rect {
+	if r.Empty() {
+		return o
+	}
+	if o.Empty() {
+		return r
+	}
+	x0, y0 := min(r.X, o.X), min(r.Y, o.Y)
+	x1 := max(r.X+r.W, o.X+o.W)
+	y1 := max(r.Y+r.H, o.Y+o.H)
+	return Rect{x0, y0, x1 - x0, y1 - y0}
+}
+
+// Op is a display-channel drawing operation, the shared vocabulary that
+// each protocol (RDP-like, X-like, LBX) encodes in its own wire format.
+type Op interface {
+	// Bounds reports the damaged region.
+	Bounds() Rect
+	opName() string
+}
+
+// FillRect paints a solid rectangle.
+type FillRect struct {
+	Rect  Rect
+	Color byte
+}
+
+// Bounds implements Op.
+func (o FillRect) Bounds() Rect   { return o.Rect }
+func (o FillRect) opName() string { return "FillRect" }
+
+// CopyArea copies a rectangle within the framebuffer (scrolling).
+type CopyArea struct {
+	Src  Rect
+	DstX int
+	DstY int
+}
+
+// Bounds implements Op.
+func (o CopyArea) Bounds() Rect   { return Rect{o.DstX, o.DstY, o.Src.W, o.Src.H} }
+func (o CopyArea) opName() string { return "CopyArea" }
+
+// PutBitmap blits pixel data (the expensive operation every protocol must
+// either ship raw, compress, or cache).
+type PutBitmap struct {
+	X, Y int
+	Img  *Bitmap
+}
+
+// Bounds implements Op.
+func (o PutBitmap) Bounds() Rect   { return Rect{o.X, o.Y, o.Img.W, o.Img.H} }
+func (o PutBitmap) opName() string { return "PutBitmap" }
+
+// DrawText renders a string with the built-in cell font.
+type DrawText struct {
+	X, Y  int
+	Text  string
+	Color byte
+}
+
+// Bounds implements Op.
+func (o DrawText) Bounds() Rect {
+	return Rect{o.X, o.Y, len(o.Text) * GlyphW, GlyphH}
+}
+func (o DrawText) opName() string { return "DrawText" }
+
+// Glyph cell dimensions for the synthetic fixed-width font.
+const (
+	GlyphW = 8
+	GlyphH = 13
+)
+
+// GlyphMask deterministically synthesizes the 1-bit coverage mask for a
+// rune: a fixed-width cell whose on-pixels (value 1) derive from the code
+// point, standing in for a real font rasterizer. Identical runes always
+// produce identical masks, which is what glyph caches exploit; text color
+// is applied at draw time, independent of the mask.
+func GlyphMask(r rune) *Bitmap {
+	b := NewBitmap(GlyphW, GlyphH)
+	seed := uint64(r)*0x9e3779b97f4a7c15 + 0x243f6a8885a308d3
+	for y := 0; y < GlyphH; y++ {
+		rowBits := seed >> (uint(y%8) * 7)
+		for x := 0; x < GlyphW; x++ {
+			if rowBits>>(uint(x))&1 == 1 {
+				b.Set(x, y, 1)
+			}
+		}
+	}
+	return b
+}
+
+// Framebuffer is a renderable screen.
+type Framebuffer struct {
+	*Bitmap
+	damage Rect
+	ops    int64
+}
+
+// NewFramebuffer allocates a screen of the given size.
+func NewFramebuffer(w, h int) *Framebuffer {
+	return &Framebuffer{Bitmap: NewBitmap(w, h)}
+}
+
+// Ops reports how many operations have been applied.
+func (fb *Framebuffer) Ops() int64 { return fb.ops }
+
+// Damage reports the accumulated damaged region since the last ResetDamage.
+func (fb *Framebuffer) Damage() Rect { return fb.damage }
+
+// ResetDamage clears damage tracking.
+func (fb *Framebuffer) ResetDamage() { fb.damage = Rect{} }
+
+// Apply renders an operation into the framebuffer.
+func (fb *Framebuffer) Apply(op Op) {
+	fb.ops++
+	fb.damage = fb.damage.Union(op.Bounds())
+	switch o := op.(type) {
+	case FillRect:
+		for y := o.Rect.Y; y < o.Rect.Y+o.Rect.H; y++ {
+			for x := o.Rect.X; x < o.Rect.X+o.Rect.W; x++ {
+				fb.Set(x, y, o.Color)
+			}
+		}
+	case CopyArea:
+		// Copy through a staging buffer so overlapping regions behave.
+		tmp := make([]byte, o.Src.W*o.Src.H)
+		for y := 0; y < o.Src.H; y++ {
+			for x := 0; x < o.Src.W; x++ {
+				tmp[y*o.Src.W+x] = fb.At(o.Src.X+x, o.Src.Y+y)
+			}
+		}
+		for y := 0; y < o.Src.H; y++ {
+			for x := 0; x < o.Src.W; x++ {
+				fb.Set(o.DstX+x, o.DstY+y, tmp[y*o.Src.W+x])
+			}
+		}
+	case PutBitmap:
+		for y := 0; y < o.Img.H; y++ {
+			for x := 0; x < o.Img.W; x++ {
+				fb.Set(o.X+x, o.Y+y, o.Img.At(x, y))
+			}
+		}
+	case DrawText:
+		cx := o.X
+		for _, r := range o.Text {
+			g := GlyphMask(r)
+			for y := 0; y < g.H; y++ {
+				for x := 0; x < g.W; x++ {
+					if g.At(x, y) != 0 {
+						fb.Set(cx+x, o.Y+y, o.Color)
+					}
+				}
+			}
+			cx += GlyphW
+		}
+	default:
+		panic(fmt.Sprintf("display: unknown op %T", op))
+	}
+}
+
+// InputEvent is an input-channel event.
+type InputEvent interface {
+	inputName() string
+}
+
+// KeyEvent is a key press or release.
+type KeyEvent struct {
+	Down bool
+	Code uint16
+}
+
+func (KeyEvent) inputName() string { return "Key" }
+
+// MouseMove reports pointer motion.
+type MouseMove struct {
+	X, Y int
+}
+
+func (MouseMove) inputName() string { return "MouseMove" }
+
+// MouseButton is a button press or release.
+type MouseButton struct {
+	Down   bool
+	Button uint8
+}
+
+func (MouseButton) inputName() string { return "MouseButton" }

@@ -1,0 +1,144 @@
+// Package latency implements the paper's measurement methodology:
+// user-perceived latency via Endo et al.'s "measuring lost time" technique,
+// cumulative latency curves (Figure 2), interactive-stall extraction from
+// display-message inter-arrival times (Figure 3), and jitter statistics.
+package latency
+
+import (
+	"thinbench/internal/metrics"
+	"thinbench/internal/simclock"
+)
+
+// PerceptionThreshold is the human perception limit the paper uses: users
+// are "generally irritated by latencies 100ms or greater".
+const PerceptionThreshold = 100 * simclock.Millisecond
+
+// EventLog accumulates CPU busy events (handler executions) in the style of
+// the Pentium-counter/idle-loop instrumentation of Endo et al.: each event
+// has a duration, and the distribution of durations characterizes the
+// system's compulsory load.
+type EventLog struct {
+	hist  *metrics.Histogram
+	total simclock.Duration
+	count int64
+}
+
+// NewEventLog builds a log with the given histogram resolution, e.g.
+// 10 ms buckets out to 600 ms for Figure 2.
+func NewEventLog(bucket simclock.Duration, buckets int) *EventLog {
+	return &EventLog{hist: metrics.NewHistogram(bucket.Milliseconds(), buckets)}
+}
+
+// Add records one busy event.
+func (l *EventLog) Add(d simclock.Duration) {
+	l.hist.Add(d.Milliseconds())
+	l.total += d
+	l.count++
+}
+
+// Count reports the number of events.
+func (l *EventLog) Count() int64 { return l.count }
+
+// Total reports the aggregate busy time.
+func (l *EventLog) Total() simclock.Duration { return l.total }
+
+// CurvePoint is one point of a cumulative latency curve.
+type CurvePoint struct {
+	// LatencyMs is the event-duration threshold (x axis).
+	LatencyMs float64
+	// CumulativeSec is the total busy time contributed by events of at
+	// most LatencyMs (y axis).
+	CumulativeSec float64
+}
+
+// CumulativeCurve produces the Figure 2 transform: for each event-length
+// threshold, the total time consumed by events no longer than it.
+func (l *EventLog) CumulativeCurve() []CurvePoint {
+	weighted := l.hist.CumulativeWeighted()
+	out := make([]CurvePoint, len(weighted))
+	for i, w := range weighted {
+		out[i] = CurvePoint{
+			LatencyMs:     l.hist.BucketLow(i + 1), // bucket upper edge
+			CumulativeSec: w / 1000,
+		}
+	}
+	return out
+}
+
+// StallTracker extracts interactive stalls from a stream of display-message
+// arrival times, per the paper's Figure 3 methodology: with character
+// repeat at 20 Hz the server should emit an update every 50 ms; a stall is
+// the amount by which an inter-arrival gap exceeds that period.
+type StallTracker struct {
+	period simclock.Duration
+	last   simclock.Time
+	primed bool
+
+	stalls      metrics.Summary
+	intervals   metrics.Summary
+	perceptible int64
+}
+
+// NewStallTracker builds a tracker for the given expected message period.
+func NewStallTracker(period simclock.Duration) *StallTracker {
+	return &StallTracker{period: period}
+}
+
+// Observe records one display-message arrival.
+func (s *StallTracker) Observe(t simclock.Time) {
+	if !s.primed {
+		s.primed = true
+		s.last = t
+		return
+	}
+	gap := t.Sub(s.last)
+	s.last = t
+	s.intervals.Add(gap.Milliseconds())
+	stall := gap - s.period
+	if stall < 0 {
+		stall = 0
+	}
+	s.stalls.Add(stall.Milliseconds())
+	if stall >= PerceptionThreshold {
+		s.perceptible++
+	}
+}
+
+// N reports the number of inter-arrival gaps observed.
+func (s *StallTracker) N() int64 { return s.stalls.N() }
+
+// MeanStallMs reports the paper's Figure 3 metric: average stall length.
+func (s *StallTracker) MeanStallMs() float64 { return s.stalls.Mean() }
+
+// MaxStallMs reports the worst stall.
+func (s *StallTracker) MaxStallMs() float64 { return s.stalls.Max() }
+
+// JitterMs reports the standard deviation of inter-arrival times, the
+// paper's consistency metric.
+func (s *StallTracker) JitterMs() float64 { return s.intervals.Stddev() }
+
+// Perceptible reports how many stalls crossed the perception threshold.
+func (s *StallTracker) Perceptible() int64 { return s.perceptible }
+
+// Report is a bundle of user-perceived latency statistics for one
+// experiment condition.
+type Report struct {
+	Condition   string
+	MeanStallMs float64
+	MaxStallMs  float64
+	JitterMs    float64
+	Perceptible int64
+	Samples     int64
+}
+
+// ReportFrom summarizes a tracker.
+func ReportFrom(condition string, s *StallTracker) Report {
+	return Report{
+		Condition:   condition,
+		MeanStallMs: s.MeanStallMs(),
+		MaxStallMs:  s.MaxStallMs(),
+		JitterMs:    s.JitterMs(),
+		Perceptible: s.Perceptible(),
+		Samples:     s.N(),
+	}
+}

@@ -1,0 +1,128 @@
+package latency
+
+import (
+	"math"
+	"testing"
+
+	"thinbench/internal/simclock"
+)
+
+func TestEventLogTotals(t *testing.T) {
+	l := NewEventLog(10*simclock.Millisecond, 60)
+	l.Add(5 * simclock.Millisecond)
+	l.Add(250 * simclock.Millisecond)
+	l.Add(250 * simclock.Millisecond)
+	if l.Count() != 3 {
+		t.Fatalf("Count = %d", l.Count())
+	}
+	if l.Total() != 505*simclock.Millisecond {
+		t.Fatalf("Total = %v", l.Total())
+	}
+}
+
+func TestCumulativeCurveShape(t *testing.T) {
+	l := NewEventLog(10*simclock.Millisecond, 60)
+	// 100 events of 5ms and two of 255ms.
+	for i := 0; i < 100; i++ {
+		l.Add(5 * simclock.Millisecond)
+	}
+	l.Add(255 * simclock.Millisecond)
+	l.Add(255 * simclock.Millisecond)
+	curve := l.CumulativeCurve()
+	if len(curve) != 60 {
+		t.Fatalf("curve has %d points", len(curve))
+	}
+	// Monotone nondecreasing.
+	for i := 1; i < len(curve); i++ {
+		if curve[i].CumulativeSec < curve[i-1].CumulativeSec {
+			t.Fatal("cumulative curve not monotone")
+		}
+	}
+	// The first bucket holds 100 * 5ms = 0.5s; the midpoint estimate is
+	// 100 * 5ms = 0.5s exactly (bucket midpoint is 5ms).
+	if math.Abs(curve[0].CumulativeSec-0.5) > 1e-9 {
+		t.Fatalf("first bucket cumulative = %v, want 0.5", curve[0].CumulativeSec)
+	}
+	if curve[0].LatencyMs != 10 {
+		t.Fatalf("first threshold = %v, want 10", curve[0].LatencyMs)
+	}
+	// The long events appear only past 250ms.
+	at240 := curve[23].CumulativeSec
+	at260 := curve[25].CumulativeSec
+	if at260 <= at240 {
+		t.Fatal("255ms events missing from the curve tail")
+	}
+	// Final point includes everything: 0.5 + 2*0.255 ≈ 1.01 (midpoint 255).
+	last := curve[len(curve)-1].CumulativeSec
+	if math.Abs(last-1.01) > 0.01 {
+		t.Fatalf("final cumulative = %v, want ~1.01", last)
+	}
+}
+
+func TestStallTrackerNoStallsAtNominalRate(t *testing.T) {
+	s := NewStallTracker(50 * simclock.Millisecond)
+	for i := 0; i < 21; i++ {
+		s.Observe(simclock.Time(i) * simclock.Time(50*simclock.Millisecond))
+	}
+	if s.N() != 20 {
+		t.Fatalf("N = %d, want 20", s.N())
+	}
+	if s.MeanStallMs() != 0 {
+		t.Fatalf("mean stall = %v, want 0", s.MeanStallMs())
+	}
+	if s.JitterMs() != 0 {
+		t.Fatalf("jitter = %v, want 0", s.JitterMs())
+	}
+	if s.Perceptible() != 0 {
+		t.Fatal("perceptible stalls on a nominal stream")
+	}
+}
+
+func TestStallTrackerMeasuresGaps(t *testing.T) {
+	s := NewStallTracker(50 * simclock.Millisecond)
+	times := []int64{0, 50, 100, 300, 350} // one 200ms gap = 150ms stall
+	for _, ms := range times {
+		s.Observe(simclock.Time(ms) * simclock.Time(simclock.Millisecond))
+	}
+	if s.MaxStallMs() != 150 {
+		t.Fatalf("max stall = %v, want 150", s.MaxStallMs())
+	}
+	// Mean over 4 gaps: (0+0+150+0)/4 = 37.5.
+	if s.MeanStallMs() != 37.5 {
+		t.Fatalf("mean stall = %v, want 37.5", s.MeanStallMs())
+	}
+	if s.Perceptible() != 1 {
+		t.Fatalf("perceptible = %d, want 1", s.Perceptible())
+	}
+	if s.JitterMs() == 0 {
+		t.Fatal("jitter should be nonzero with a gap")
+	}
+}
+
+func TestStallTrackerEarlyArrivalsClampToZero(t *testing.T) {
+	s := NewStallTracker(50 * simclock.Millisecond)
+	s.Observe(0)
+	s.Observe(simclock.Time(20 * simclock.Millisecond)) // early: no negative stall
+	if s.MeanStallMs() != 0 {
+		t.Fatalf("early arrival produced stall %v", s.MeanStallMs())
+	}
+}
+
+func TestReportFrom(t *testing.T) {
+	s := NewStallTracker(50 * simclock.Millisecond)
+	s.Observe(0)
+	s.Observe(simclock.Time(250 * simclock.Millisecond))
+	r := ReportFrom("tse load=10", s)
+	if r.Condition != "tse load=10" || r.Samples != 1 {
+		t.Fatalf("report = %+v", r)
+	}
+	if r.MeanStallMs != 200 || r.Perceptible != 1 {
+		t.Fatalf("report stats = %+v", r)
+	}
+}
+
+func TestPerceptionThreshold(t *testing.T) {
+	if PerceptionThreshold != 100*simclock.Millisecond {
+		t.Fatal("perception threshold diverges from the paper's 100ms")
+	}
+}

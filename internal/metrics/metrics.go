@@ -1,0 +1,210 @@
+// Package metrics provides the measurement primitives used across the
+// reproduction: streaming summary statistics, fixed-bucket histograms,
+// time-bucketed series (for the paper's load-over-time figures), and plain
+// text table rendering for CLI and experiment output.
+package metrics
+
+import (
+	"math"
+	"sort"
+)
+
+// Summary accumulates streaming count/mean/variance/min/max statistics using
+// Welford's online algorithm.
+type Summary struct {
+	n        int64
+	mean     float64
+	m2       float64
+	min, max float64
+}
+
+// Add folds a sample into the summary.
+func (s *Summary) Add(v float64) {
+	s.n++
+	if s.n == 1 {
+		s.min, s.max = v, v
+	} else {
+		if v < s.min {
+			s.min = v
+		}
+		if v > s.max {
+			s.max = v
+		}
+	}
+	delta := v - s.mean
+	s.mean += delta / float64(s.n)
+	s.m2 += delta * (v - s.mean)
+}
+
+// N reports the number of samples.
+func (s *Summary) N() int64 { return s.n }
+
+// Mean reports the sample mean (0 with no samples).
+func (s *Summary) Mean() float64 { return s.mean }
+
+// Min reports the smallest sample (0 with no samples).
+func (s *Summary) Min() float64 { return s.min }
+
+// Max reports the largest sample (0 with no samples).
+func (s *Summary) Max() float64 { return s.max }
+
+// Variance reports the population variance.
+func (s *Summary) Variance() float64 {
+	if s.n < 1 {
+		return 0
+	}
+	return s.m2 / float64(s.n)
+}
+
+// Stddev reports the population standard deviation.
+func (s *Summary) Stddev() float64 { return math.Sqrt(s.Variance()) }
+
+// Sum reports mean*n, the total of all samples.
+func (s *Summary) Sum() float64 { return s.mean * float64(s.n) }
+
+// Merge folds another summary into s.
+func (s *Summary) Merge(o *Summary) {
+	if o.n == 0 {
+		return
+	}
+	if s.n == 0 {
+		*s = *o
+		return
+	}
+	n := s.n + o.n
+	delta := o.mean - s.mean
+	mean := s.mean + delta*float64(o.n)/float64(n)
+	m2 := s.m2 + o.m2 + delta*delta*float64(s.n)*float64(o.n)/float64(n)
+	if o.min < s.min {
+		s.min = o.min
+	}
+	if o.max > s.max {
+		s.max = o.max
+	}
+	s.n, s.mean, s.m2 = n, mean, m2
+}
+
+// Dist collects raw samples for exact percentile queries. Intended for
+// experiment-sized sample sets (thousands), not unbounded streams.
+type Dist struct {
+	samples []float64
+	sorted  bool
+}
+
+// Add appends a sample.
+func (d *Dist) Add(v float64) {
+	d.samples = append(d.samples, v)
+	d.sorted = false
+}
+
+// N reports the number of samples.
+func (d *Dist) N() int { return len(d.samples) }
+
+// Percentile returns the p-th percentile (0..100) using nearest-rank.
+// It returns 0 when empty.
+func (d *Dist) Percentile(p float64) float64 {
+	if len(d.samples) == 0 {
+		return 0
+	}
+	if !d.sorted {
+		sort.Float64s(d.samples)
+		d.sorted = true
+	}
+	if p <= 0 {
+		return d.samples[0]
+	}
+	if p >= 100 {
+		return d.samples[len(d.samples)-1]
+	}
+	rank := int(math.Ceil(p/100*float64(len(d.samples)))) - 1
+	if rank < 0 {
+		rank = 0
+	}
+	return d.samples[rank]
+}
+
+// Mean reports the arithmetic mean of collected samples.
+func (d *Dist) Mean() float64 {
+	if len(d.samples) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, v := range d.samples {
+		sum += v
+	}
+	return sum / float64(len(d.samples))
+}
+
+// Min returns the smallest sample (0 when empty).
+func (d *Dist) Min() float64 { return d.Percentile(0) }
+
+// Max returns the largest sample (0 when empty).
+func (d *Dist) Max() float64 { return d.Percentile(100) }
+
+// Histogram counts samples into fixed-width buckets over [0, width*len).
+// Samples beyond the last bucket are clamped into it.
+type Histogram struct {
+	width   float64
+	counts  []int64
+	sums    []float64
+	totalN  int64
+	totalV  float64
+	clamped int64
+}
+
+// NewHistogram creates a histogram of n buckets each width wide.
+func NewHistogram(width float64, n int) *Histogram {
+	if width <= 0 || n <= 0 {
+		panic("metrics: histogram needs positive width and bucket count")
+	}
+	return &Histogram{width: width, counts: make([]int64, n), sums: make([]float64, n)}
+}
+
+// Add records a sample value.
+func (h *Histogram) Add(v float64) {
+	if v < 0 {
+		v = 0
+	}
+	i := int(v / h.width)
+	if i >= len(h.counts) {
+		i = len(h.counts) - 1
+		h.clamped++
+	}
+	h.counts[i]++
+	h.sums[i] += v
+	h.totalN++
+	h.totalV += v
+}
+
+// Count reports the number of samples in bucket i.
+func (h *Histogram) Count(i int) int64 { return h.counts[i] }
+
+// Buckets reports the number of buckets.
+func (h *Histogram) Buckets() int { return len(h.counts) }
+
+// BucketLow reports the inclusive lower bound of bucket i.
+func (h *Histogram) BucketLow(i int) float64 { return float64(i) * h.width }
+
+// N reports the total number of samples.
+func (h *Histogram) N() int64 { return h.totalN }
+
+// Total reports the sum of all sample values.
+func (h *Histogram) Total() float64 { return h.totalV }
+
+// Clamped reports how many samples exceeded the histogram range.
+func (h *Histogram) Clamped() int64 { return h.clamped }
+
+// CumulativeWeighted returns, for each bucket upper edge, the exact sum of
+// sample values in all buckets at or below it. This is the "cumulative
+// latency vs event length" transform used in the paper's Figure 2: x is an
+// event-duration threshold, y is total time consumed by events no longer
+// than x.
+func (h *Histogram) CumulativeWeighted() []float64 {
+	out := make([]float64, len(h.sums))
+	var run float64
+	for i, s := range h.sums {
+		run += s
+		out[i] = run
+	}
+	return out
+}

@@ -1,0 +1,275 @@
+package metrics
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"thinbench/internal/simclock"
+)
+
+func TestSummaryBasics(t *testing.T) {
+	var s Summary
+	for _, v := range []float64{2, 4, 4, 4, 5, 5, 7, 9} {
+		s.Add(v)
+	}
+	if s.N() != 8 {
+		t.Fatalf("N = %d, want 8", s.N())
+	}
+	if s.Mean() != 5 {
+		t.Fatalf("Mean = %v, want 5", s.Mean())
+	}
+	if s.Stddev() != 2 {
+		t.Fatalf("Stddev = %v, want 2", s.Stddev())
+	}
+	if s.Min() != 2 || s.Max() != 9 {
+		t.Fatalf("Min/Max = %v/%v, want 2/9", s.Min(), s.Max())
+	}
+	if s.Sum() != 40 {
+		t.Fatalf("Sum = %v, want 40", s.Sum())
+	}
+}
+
+func TestSummaryEmpty(t *testing.T) {
+	var s Summary
+	if s.Mean() != 0 || s.Variance() != 0 || s.N() != 0 {
+		t.Fatal("empty summary should be all zeros")
+	}
+}
+
+func TestSummaryMergeEqualsSequential(t *testing.T) {
+	f := func(a, b []float64) bool {
+		// Bound the inputs to a physically plausible range; Welford merge is
+		// not immune to catastrophic cancellation at 1e308 scales.
+		ok := func(v float64) bool {
+			return !math.IsNaN(v) && !math.IsInf(v, 0) && math.Abs(v) < 1e12
+		}
+		var all, left, right Summary
+		for _, v := range a {
+			if !ok(v) {
+				return true
+			}
+			all.Add(v)
+			left.Add(v)
+		}
+		for _, v := range b {
+			if !ok(v) {
+				return true
+			}
+			all.Add(v)
+			right.Add(v)
+		}
+		left.Merge(&right)
+		if left.N() != all.N() {
+			return false
+		}
+		if all.N() == 0 {
+			return true
+		}
+		closeEnough := func(x, y float64) bool {
+			scale := math.Max(1, math.Max(math.Abs(x), math.Abs(y)))
+			return math.Abs(x-y) <= 1e-9*scale
+		}
+		return closeEnough(left.Mean(), all.Mean()) &&
+			closeEnough(left.Variance(), all.Variance()) &&
+			left.Min() == all.Min() && left.Max() == all.Max()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDistPercentiles(t *testing.T) {
+	var d Dist
+	for i := 1; i <= 100; i++ {
+		d.Add(float64(i))
+	}
+	if v := d.Percentile(50); v != 50 {
+		t.Fatalf("p50 = %v, want 50", v)
+	}
+	if v := d.Percentile(0); v != 1 {
+		t.Fatalf("p0 = %v, want 1", v)
+	}
+	if v := d.Percentile(100); v != 100 {
+		t.Fatalf("p100 = %v, want 100", v)
+	}
+	if v := d.Percentile(99); v != 99 {
+		t.Fatalf("p99 = %v, want 99", v)
+	}
+	if d.Min() != 1 || d.Max() != 100 {
+		t.Fatalf("Min/Max = %v/%v", d.Min(), d.Max())
+	}
+	if d.Mean() != 50.5 {
+		t.Fatalf("Mean = %v, want 50.5", d.Mean())
+	}
+}
+
+func TestDistEmpty(t *testing.T) {
+	var d Dist
+	if d.Percentile(50) != 0 || d.Mean() != 0 || d.N() != 0 {
+		t.Fatal("empty dist should return zeros")
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	h := NewHistogram(10, 5) // buckets [0,10) [10,20) ... [40,50)
+	h.Add(5)
+	h.Add(15)
+	h.Add(15)
+	h.Add(999) // clamped into last bucket
+	if h.Count(0) != 1 || h.Count(1) != 2 || h.Count(4) != 1 {
+		t.Fatalf("bucket counts wrong: %v %v %v", h.Count(0), h.Count(1), h.Count(4))
+	}
+	if h.Clamped() != 1 {
+		t.Fatalf("Clamped = %d, want 1", h.Clamped())
+	}
+	if h.N() != 4 {
+		t.Fatalf("N = %d, want 4", h.N())
+	}
+	if h.Total() != 5+15+15+999 {
+		t.Fatalf("Total = %v", h.Total())
+	}
+	if h.BucketLow(3) != 30 {
+		t.Fatalf("BucketLow(3) = %v, want 30", h.BucketLow(3))
+	}
+	if h.Buckets() != 5 {
+		t.Fatalf("Buckets = %d, want 5", h.Buckets())
+	}
+	// Negative samples clamp to bucket 0.
+	h.Add(-3)
+	if h.Count(0) != 2 {
+		t.Fatal("negative sample should land in bucket 0")
+	}
+}
+
+func TestHistogramCumulativeWeighted(t *testing.T) {
+	h := NewHistogram(10, 3)
+	h.Add(5)  // bucket 0, midpoint 5
+	h.Add(15) // bucket 1, midpoint 15
+	h.Add(15) // bucket 1
+	cum := h.CumulativeWeighted()
+	want := []float64{5, 35, 35}
+	for i := range want {
+		if cum[i] != want[i] {
+			t.Fatalf("cum = %v, want %v", cum, want)
+		}
+	}
+}
+
+func TestHistogramPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewHistogram(0,0) did not panic")
+		}
+	}()
+	NewHistogram(0, 0)
+}
+
+func TestSeriesAddAndUtilization(t *testing.T) {
+	s := NewSeries(simclock.Millisecond) // 1000us buckets
+	s.Add(simclock.Time(500), 250)
+	s.Add(simclock.Time(1500), 1000)
+	u := s.Utilization()
+	if u[0] != 0.25 || u[1] != 1.0 {
+		t.Fatalf("utilization = %v, want [0.25 1]", u)
+	}
+	if s.At(0) != 250 || s.At(5) != 0 || s.At(-1) != 0 {
+		t.Fatal("At() bounds behavior wrong")
+	}
+}
+
+func TestSeriesAddSpanSplitsAcrossBuckets(t *testing.T) {
+	s := NewSeries(simclock.Millisecond)
+	// Span from 0.5ms to 2.5ms: covers half of bucket0, all of bucket1, half of bucket2.
+	s.AddSpan(simclock.Time(500), 2*simclock.Millisecond, 2000)
+	if math.Abs(s.At(0)-500) > 1e-9 || math.Abs(s.At(1)-1000) > 1e-9 || math.Abs(s.At(2)-500) > 1e-9 {
+		t.Fatalf("span split = %v", s.Values()[:3])
+	}
+	// Total conserved.
+	var sum float64
+	for _, v := range s.Values() {
+		sum += v
+	}
+	if math.Abs(sum-2000) > 1e-9 {
+		t.Fatalf("span total = %v, want 2000", sum)
+	}
+}
+
+func TestSeriesAddSpanProperty(t *testing.T) {
+	f := func(start uint16, durMs uint8, amount uint16) bool {
+		s := NewSeries(simclock.Millisecond)
+		d := simclock.Duration(durMs) * simclock.Millisecond
+		s.AddSpan(simclock.Time(start), d, float64(amount))
+		var sum float64
+		for _, v := range s.Values() {
+			sum += v
+		}
+		return math.Abs(sum-float64(amount)) < 1e-6*math.Max(1, float64(amount))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSeriesMbps(t *testing.T) {
+	s := NewSeries(simclock.Second)
+	s.Add(0, 125000) // 125 KB in 1s = 1 Mbps
+	if got := s.Mbps()[0]; math.Abs(got-1.0) > 1e-9 {
+		t.Fatalf("Mbps = %v, want 1.0", got)
+	}
+}
+
+func TestSeriesMeanOver(t *testing.T) {
+	s := NewSeries(simclock.Second)
+	for i := 0; i < 10; i++ {
+		s.Add(simclock.Time(i)*simclock.Time(simclock.Second), float64(i))
+	}
+	if got := s.MeanOver(0, 10); got != 4.5 {
+		t.Fatalf("MeanOver = %v, want 4.5", got)
+	}
+	if got := s.MeanOver(5, 100); got != 7 {
+		t.Fatalf("MeanOver clamped = %v, want 7", got)
+	}
+	if got := s.MeanOver(8, 3); got != 0 {
+		t.Fatalf("MeanOver inverted = %v, want 0", got)
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tab := NewTable("Process", "Typical")
+	tab.AddRow("in.rshd", "204 KB")
+	tab.AddRow("xterm", "372 KB")
+	out := tab.String()
+	if !strings.Contains(out, "in.rshd") || !strings.Contains(out, "204 KB") {
+		t.Fatalf("table missing cells:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("table has %d lines, want 4:\n%s", len(lines), out)
+	}
+	// Short rows pad out; long rows truncate to header width.
+	tab2 := NewTable("A", "B")
+	tab2.AddRow("only")
+	tab2.AddRow("x", "y", "dropped")
+	out2 := tab2.String()
+	if strings.Contains(out2, "dropped") {
+		t.Fatal("extra cell should be dropped")
+	}
+}
+
+func TestFormatBytes(t *testing.T) {
+	cases := map[int64]string{
+		0:       "0",
+		999:     "999",
+		1000:    "1,000",
+		888239:  "888,239",
+		6250888: "6,250,888",
+		-5:      "-5",
+	}
+	for in, want := range cases {
+		if got := FormatBytes(in); got != want {
+			t.Errorf("FormatBytes(%d) = %q, want %q", in, got, want)
+		}
+	}
+}

@@ -1,0 +1,236 @@
+// Package netsim simulates the paper's network testbed: a shared 10 Mbps
+// Ethernet-class segment carrying thin-client traffic, background load, and
+// ICMP-style probes. It provides the load-to-latency mapping of Figures 8
+// and 9 (RTT and jitter versus offered load) and the TCP/IP versus VIP
+// framing-overhead accounting used in §6.1.2.
+package netsim
+
+import (
+	"thinbench/internal/metrics"
+	"thinbench/internal/simclock"
+)
+
+// Header sizes used by the framing model, matching the paper's discussion
+// of small-message overhead and the x-kernel virtual-IP (VIP) scheme that
+// elides the 20-byte IP header in non-routed deployments.
+const (
+	IPHeaderBytes    = 20
+	TCPHeaderBytes   = 20
+	TCPIPHeaderBytes = IPHeaderBytes + TCPHeaderBytes
+	// EthernetMTU is the payload capacity of the testbed's interface.
+	EthernetMTU = 1500
+)
+
+// LinkConfig describes a shared network segment.
+type LinkConfig struct {
+	// RateMbps is the raw link rate (10 for the paper's aging Ethernet).
+	RateMbps float64
+	// Propagation is the one-way propagation + interface latency.
+	Propagation simclock.Duration
+	// QueuePackets bounds the transmit queue; packets beyond it drop.
+	QueuePackets int
+}
+
+// DefaultLinkConfig is the paper's 10 Mbps shared segment.
+func DefaultLinkConfig() LinkConfig {
+	return LinkConfig{
+		RateMbps:     10,
+		Propagation:  100 * simclock.Microsecond,
+		QueuePackets: 120,
+	}
+}
+
+// Link is a single shared half-duplex medium: every sender (display
+// traffic, input traffic, background load, probes) contends for the same
+// transmission queue, as on the paper's non-switched Ethernet.
+type Link struct {
+	eng *simclock.Engine
+	cfg LinkConfig
+
+	busyUntil simclock.Time
+	inQueue   int
+
+	sentPackets int64
+	sentBytes   int64
+	drops       int64
+	loadSeries  *metrics.Series
+}
+
+// NewLink builds a link on the engine. loadBucket sets the resolution of
+// the byte-load series (1 s buckets for the paper's Mbps traces).
+func NewLink(eng *simclock.Engine, cfg LinkConfig, loadBucket simclock.Duration) *Link {
+	if cfg.RateMbps <= 0 {
+		panic("netsim: link rate must be positive")
+	}
+	if cfg.QueuePackets <= 0 {
+		cfg.QueuePackets = 1
+	}
+	return &Link{eng: eng, cfg: cfg, loadSeries: metrics.NewSeries(loadBucket)}
+}
+
+// Config reports the link configuration.
+func (l *Link) Config() LinkConfig { return l.cfg }
+
+// SentPackets reports delivered packet count.
+func (l *Link) SentPackets() int64 { return l.sentPackets }
+
+// SentBytes reports delivered byte count.
+func (l *Link) SentBytes() int64 { return l.sentBytes }
+
+// Drops reports packets rejected by the full queue.
+func (l *Link) Drops() int64 { return l.drops }
+
+// LoadSeries reports bytes delivered per time bucket; use Series.Mbps to
+// convert to megabits per second.
+func (l *Link) LoadSeries() *metrics.Series { return l.loadSeries }
+
+// TxTime reports the serialization delay for a packet of the given size.
+func (l *Link) TxTime(bytes int) simclock.Duration {
+	us := float64(bytes*8) / l.cfg.RateMbps // bits / (bits/us)
+	return simclock.Duration(us)
+}
+
+// Send queues a packet of the given size. onDelivered, if non-nil, fires
+// when the last bit arrives at the receiver. Send reports false when the
+// queue is full and the packet was dropped.
+func (l *Link) Send(bytes int, onDelivered func(now simclock.Time)) bool {
+	now := l.eng.Now()
+	if l.inQueue >= l.cfg.QueuePackets {
+		l.drops++
+		return false
+	}
+	start := l.busyUntil
+	if start < now {
+		start = now
+	}
+	done := start.Add(l.TxTime(bytes))
+	l.busyUntil = done
+	l.inQueue++
+	l.loadSeries.AddSpan(start, done.Sub(start), float64(bytes))
+	deliverAt := done.Add(l.cfg.Propagation)
+	l.eng.At(deliverAt, func(at simclock.Time) {
+		l.inQueue--
+		l.sentPackets++
+		l.sentBytes += int64(bytes)
+		if onDelivered != nil {
+			onDelivered(at)
+		}
+	})
+	return true
+}
+
+// QueueDepth reports packets currently queued or in flight.
+func (l *Link) QueueDepth() int { return l.inQueue }
+
+// BackgroundLoad drives Poisson traffic at the given offered load until
+// cancelled, modeling the synthetic load generator of §6.2. Packets are
+// MTU-sized with TCP/IP headers.
+func (l *Link) BackgroundLoad(offeredMbps float64, rng *simclock.Rand) (cancel func()) {
+	if offeredMbps <= 0 {
+		return func() {}
+	}
+	pktBytes := EthernetMTU + TCPIPHeaderBytes
+	meanGap := simclock.Duration(float64(pktBytes*8) / offeredMbps) // us between packets
+	stopped := false
+	var arrive func(now simclock.Time)
+	arrive = func(now simclock.Time) {
+		if stopped {
+			return
+		}
+		l.Send(pktBytes, nil)
+		l.eng.At(now.Add(rng.ExpDuration(meanGap)), arrive)
+	}
+	l.eng.At(l.eng.Now().Add(rng.ExpDuration(meanGap)), arrive)
+	return func() { stopped = true }
+}
+
+// Pinger measures round-trip times through the link: each probe is
+// transmitted, "echoed" by the far side, and transmitted back over the same
+// shared medium, exactly as ping behaves on a non-switched segment.
+type Pinger struct {
+	link  *Link
+	bytes int
+	rtts  *metrics.Summary
+	dist  *metrics.Dist
+	lost  int
+}
+
+// NewPinger builds a pinger with the given probe size (the paper uses
+// ping's 64-byte default, about the size of an input-channel message).
+func NewPinger(link *Link, probeBytes int) *Pinger {
+	return &Pinger{link: link, bytes: probeBytes, rtts: &metrics.Summary{}, dist: &metrics.Dist{}}
+}
+
+// Run sends probes every interval for the given span, collecting RTTs.
+func (p *Pinger) Run(interval, span simclock.Duration) {
+	eng := p.link.eng
+	deadline := eng.Now().Add(span)
+	var probe func(now simclock.Time)
+	probe = func(now simclock.Time) {
+		if now > deadline {
+			return
+		}
+		sent := now
+		ok := p.link.Send(p.bytes, func(simclock.Time) {
+			// Echo back over the same shared medium.
+			p.link.Send(p.bytes, func(back simclock.Time) {
+				rtt := back.Sub(sent).Milliseconds()
+				p.rtts.Add(rtt)
+				p.dist.Add(rtt)
+			})
+		})
+		if !ok {
+			p.lost++
+		}
+		eng.At(now.Add(interval), probe)
+	}
+	eng.At(eng.Now(), probe)
+	eng.RunUntil(deadline.Add(5 * simclock.Second)) // let trailing echoes land
+}
+
+// MeanRTT reports the average round-trip time in milliseconds.
+func (p *Pinger) MeanRTT() float64 { return p.rtts.Mean() }
+
+// RTTVariance reports the RTT variance in ms^2, the paper's Figure 9 metric.
+func (p *Pinger) RTTVariance() float64 { return p.rtts.Variance() }
+
+// MaxRTT reports the worst observed RTT in milliseconds.
+func (p *Pinger) MaxRTT() float64 { return p.rtts.Max() }
+
+// Lost reports probes dropped by the full queue.
+func (p *Pinger) Lost() int { return p.lost }
+
+// Samples reports how many RTTs were collected.
+func (p *Pinger) Samples() int64 { return p.rtts.N() }
+
+// LoadLatencyPoint is one x/y pair of the Figure 8/9 sweeps.
+type LoadLatencyPoint struct {
+	OfferedMbps float64
+	MeanRTTms   float64
+	VarianceMs  float64
+	MaxRTTms    float64
+	Drops       int64
+}
+
+// SweepLoadLatency reproduces Figures 8 and 9: for each offered load, run
+// pings for the span and record mean RTT and RTT variance.
+func SweepLoadLatency(loads []float64, interval, span simclock.Duration, seed uint64) []LoadLatencyPoint {
+	out := make([]LoadLatencyPoint, 0, len(loads))
+	for i, load := range loads {
+		eng := simclock.NewEngine()
+		link := NewLink(eng, DefaultLinkConfig(), simclock.Second)
+		rng := simclock.NewRand(seed + uint64(i)*7919)
+		stop := link.BackgroundLoad(load, rng)
+		pinger := NewPinger(link, 64)
+		pinger.Run(interval, span)
+		stop()
+		out = append(out, LoadLatencyPoint{
+			OfferedMbps: load,
+			MeanRTTms:   pinger.MeanRTT(),
+			VarianceMs:  pinger.RTTVariance(),
+			MaxRTTms:    pinger.MaxRTT(),
+			Drops:       link.Drops(),
+		})
+	}
+	return out
+}

@@ -1,0 +1,135 @@
+package lbx
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+
+	"thinbench/internal/display"
+	"thinbench/internal/proto"
+)
+
+func pair() (*Server, *Client) {
+	return NewServer(DefaultConfig()), NewClient(DefaultConfig())
+}
+
+func TestDeflateRoundTrip(t *testing.T) {
+	cases := [][]byte{
+		{},
+		{1, 2, 3},
+		bytes.Repeat([]byte{7}, 5000),
+		display.SyntheticPhoto(1, 0, 50, 50).Pix,
+		display.SyntheticFrame(1, 0, 50, 50).Pix,
+	}
+	for _, in := range cases {
+		enc := deflateBytes(in)
+		out, err := inflateBytes(enc, len(in))
+		if err != nil {
+			t.Fatalf("inflate(%d bytes): %v", len(in), err)
+		}
+		if !bytes.Equal(out, in) {
+			t.Fatal("deflate round trip corrupted data")
+		}
+	}
+}
+
+func TestInflateRejectsWrongLength(t *testing.T) {
+	enc := deflateBytes([]byte{1, 2, 3, 4})
+	if _, err := inflateBytes(enc, 3); err == nil {
+		t.Fatal("short expectation accepted")
+	}
+	if _, err := inflateBytes(enc, 5); err == nil {
+		t.Fatal("long expectation accepted")
+	}
+}
+
+func TestDeflateRoundTripProperty(t *testing.T) {
+	f := func(in []byte) bool {
+		out, err := inflateBytes(deflateBytes(in), len(in))
+		return err == nil && bytes.Equal(out, in)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestChunkReassembly(t *testing.T) {
+	srv, cli := pair()
+	img := display.SyntheticPhoto(5, 0, 120, 100) // 12 KB: many chunks
+	ops := []display.Op{display.PutBitmap{X: 7, Y: 9, Img: img}}
+	msgs := srv.Update(ops)
+	if len(msgs) < 10 {
+		t.Fatalf("12 KB image produced only %d chunks", len(msgs))
+	}
+	// Every chunk respects the framing bound.
+	for _, m := range msgs {
+		if m.Size() > DefaultConfig().ChunkBytes {
+			t.Fatalf("chunk of %d bytes exceeds %d", m.Size(), DefaultConfig().ChunkBytes)
+		}
+	}
+	for _, m := range msgs {
+		if err := cli.Apply(m); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want := display.NewFramebuffer(DefaultConfig().ScreenW, DefaultConfig().ScreenH)
+	want.Apply(ops[0])
+	if !cli.Framebuffer().Equal(want.Bitmap) {
+		t.Fatal("reassembled image diverged")
+	}
+}
+
+func TestCompressionEngagesOnCompressibleContent(t *testing.T) {
+	srv, _ := pair()
+	flat := display.SyntheticFrame(1, 0, 100, 100) // blocky: compresses well
+	photo := display.SyntheticPhoto(1, 0, 100, 100)
+	flatBytes, photoBytes := 0, 0
+	for _, m := range srv.Update([]display.Op{display.PutBitmap{X: 0, Y: 0, Img: flat}}) {
+		flatBytes += m.Size()
+	}
+	for _, m := range srv.Update([]display.Op{display.PutBitmap{X: 0, Y: 0, Img: photo}}) {
+		photoBytes += m.Size()
+	}
+	if flatBytes*3 > photoBytes {
+		t.Fatalf("flat content %dB not ≪ photo %dB; DEFLATE not engaging", flatBytes, photoBytes)
+	}
+}
+
+func TestMotionDeltaEscape(t *testing.T) {
+	srv, cli := pair()
+	events := []display.InputEvent{
+		display.MouseMove{X: 100, Y: 100},
+		display.MouseMove{X: 101, Y: 99},  // small delta: 3 bytes
+		display.MouseMove{X: 700, Y: 500}, // large delta: absolute escape
+	}
+	var got []display.InputEvent
+	for _, m := range cli.EncodeInput(events) {
+		evs, err := srv.DecodeInput(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got = append(got, evs...)
+	}
+	for i := range events {
+		if got[i] != events[i] {
+			t.Fatalf("event %d = %+v, want %+v", i, got[i], events[i])
+		}
+	}
+}
+
+func TestBadFrameMarkerRejected(t *testing.T) {
+	_, cli := pair()
+	if err := cli.Apply(proto.Message{Channel: proto.Display, Kind: "x", Payload: []byte{0x99, 1, 2}}); err == nil {
+		t.Fatal("unknown frame marker accepted")
+	}
+	if err := cli.Apply(proto.Message{Channel: proto.Display, Kind: "x", Payload: nil}); err == nil {
+		t.Fatal("empty payload accepted")
+	}
+}
+
+func TestSetupIncludesProxyNegotiation(t *testing.T) {
+	srv, _ := pair()
+	if srv.SetupBytes() != 16312+146 {
+		t.Fatalf("LBX setup = %d, want X's 16,312 plus 146 proxy bytes", srv.SetupBytes())
+	}
+}

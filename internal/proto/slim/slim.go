@@ -1,0 +1,280 @@
+// Package slim implements a SLIM-like remote display protocol, the second
+// related-work comparator of the paper's §7 (Schmidt, Lam & Northcutt,
+// "The interactive performance of SLIM: a stateless, thin-client
+// architecture", SOSP 1999 — the protocol inside Sun's SunRay).
+//
+// SLIM's design point is *statelessness*: a tiny fixed command set — SET
+// (raw pixels), BITMAP (two-color bitmap, ideal for text), FILL (solid
+// color), COPY (on-screen move) — with no client-side caching of any kind.
+// The paper's observation, which this implementation reproduces, is that
+// SLIM lands "roughly equivalent in performance to X": compact commands
+// help, but without a bitmap cache, repeated and animated content costs
+// full transfers every time.
+package slim
+
+import (
+	"fmt"
+
+	"thinbench/internal/display"
+	"thinbench/internal/proto"
+)
+
+// Command opcodes.
+const (
+	cmdSet    = 0x01 // raw pixel rectangle
+	cmdBitmap = 0x02 // 1-bpp bitmap with foreground/background colors
+	cmdFill   = 0x03 // solid rectangle
+	cmdCopy   = 0x04 // on-screen copy
+)
+
+// Input event opcodes.
+const (
+	inKey     = 0x11
+	inPointer = 0x12
+	inButton  = 0x13
+)
+
+// Config sizes the endpoints.
+type Config struct {
+	ScreenW, ScreenH int
+}
+
+// DefaultConfig matches the other protocols' screen.
+func DefaultConfig() Config {
+	return Config{ScreenW: display.TypicalScreenW, ScreenH: display.TypicalScreenH}
+}
+
+// Server encodes display updates as SLIM commands; the protocol is
+// stateless, so the server needs no session state at all beyond its name —
+// exactly the property Schmidt et al. designed for.
+type Server struct {
+	cfg Config
+}
+
+// NewServer builds the application-side endpoint.
+func NewServer(cfg Config) *Server {
+	if cfg.ScreenW <= 0 {
+		cfg = DefaultConfig()
+	}
+	return &Server{cfg: cfg}
+}
+
+// Name implements proto.Server.
+func (s *Server) Name() string { return "slim" }
+
+// SetupBytes implements proto.Server: SLIM's session setup is a minimal
+// authentication and display-geometry exchange through the authentication
+// manager.
+func (s *Server) SetupBytes() int { return 642 }
+
+// Update implements proto.Server: each operation becomes one command
+// message (SLIM has no batching layer; the wire unit is the command).
+func (s *Server) Update(ops []display.Op) []proto.Message {
+	msgs := make([]proto.Message, 0, len(ops))
+	for _, op := range ops {
+		msgs = append(msgs, encodeCommand(op))
+	}
+	return msgs
+}
+
+func cmdHeader(w *proto.Writer, op uint8, x, y, width, height int) {
+	w.U8(op)
+	w.I16(int16(x)).I16(int16(y))
+	w.U16(uint16(width)).U16(uint16(height))
+}
+
+func encodeCommand(op display.Op) proto.Message {
+	switch o := op.(type) {
+	case display.FillRect:
+		w := proto.NewWriter(10)
+		cmdHeader(w, cmdFill, o.Rect.X, o.Rect.Y, o.Rect.W, o.Rect.H)
+		w.U8(o.Color)
+		return proto.Message{Channel: proto.Display, Kind: "FILL", Payload: w.Bytes()}
+	case display.CopyArea:
+		w := proto.NewWriter(13)
+		cmdHeader(w, cmdCopy, o.Src.X, o.Src.Y, o.Src.W, o.Src.H)
+		w.I16(int16(o.DstX)).I16(int16(o.DstY))
+		return proto.Message{Channel: proto.Display, Kind: "COPY", Payload: w.Bytes()}
+	case display.PutBitmap:
+		w := proto.NewWriter(9 + o.Img.Bytes())
+		cmdHeader(w, cmdSet, o.X, o.Y, o.Img.W, o.Img.H)
+		w.Raw(o.Img.Pix)
+		return proto.Message{Channel: proto.Display, Kind: "SET", Payload: w.Bytes()}
+	case display.DrawText:
+		// Text renders as a two-color BITMAP: 1 bpp glyph coverage plus
+		// foreground color — SLIM's answer to fonts, far cheaper than SET.
+		runes := []rune(o.Text)
+		if len(runes) > 255 {
+			runes = runes[:255]
+		}
+		width := len(runes) * display.GlyphW
+		height := display.GlyphH
+		w := proto.NewWriter(12 + (width*height+7)/8)
+		cmdHeader(w, cmdBitmap, o.X, o.Y, width, height)
+		w.U8(o.Color)
+		w.U8(0) // transparent background flag
+		var cur byte
+		bit := 0
+		flush := func() {
+			w.U8(cur)
+			cur, bit = 0, 0
+		}
+		for y := 0; y < height; y++ {
+			for _, r := range runes {
+				g := display.GlyphMask(r)
+				for x := 0; x < display.GlyphW; x++ {
+					if g.At(x, y) != 0 {
+						cur |= 1 << uint(bit)
+					}
+					bit++
+					if bit == 8 {
+						flush()
+					}
+				}
+			}
+		}
+		if bit > 0 {
+			flush()
+		}
+		return proto.Message{Channel: proto.Display, Kind: "BITMAP", Payload: w.Bytes()}
+	default:
+		panic(fmt.Sprintf("slim: unsupported op %T", op))
+	}
+}
+
+// DecodeInput implements proto.Server.
+func (s *Server) DecodeInput(m proto.Message) ([]display.InputEvent, error) {
+	if m.Channel != proto.Input {
+		return nil, fmt.Errorf("%w: input decode of %v message", proto.ErrBadMessage, m.Channel)
+	}
+	r := proto.NewReader(m.Payload)
+	var events []display.InputEvent
+	for r.Remaining() > 0 {
+		switch typ := r.U8(); typ {
+		case inKey:
+			flags := r.U8()
+			code := r.U16()
+			events = append(events, display.KeyEvent{Down: flags&1 != 0, Code: code})
+		case inPointer:
+			x, y := r.I16(), r.I16()
+			events = append(events, display.MouseMove{X: int(x), Y: int(y)})
+		case inButton:
+			flags := r.U8()
+			events = append(events, display.MouseButton{Down: flags&1 != 0, Button: flags >> 1})
+		default:
+			return nil, fmt.Errorf("%w: unknown input type %d", proto.ErrBadMessage, typ)
+		}
+		if err := r.Err(); err != nil {
+			return nil, err
+		}
+	}
+	return events, nil
+}
+
+// Client applies SLIM commands to its framebuffer.
+type Client struct {
+	cfg Config
+	fb  *display.Framebuffer
+}
+
+// NewClient builds the terminal-side endpoint.
+func NewClient(cfg Config) *Client {
+	if cfg.ScreenW <= 0 {
+		cfg = DefaultConfig()
+	}
+	return &Client{cfg: cfg, fb: display.NewFramebuffer(cfg.ScreenW, cfg.ScreenH)}
+}
+
+// Name implements proto.Client.
+func (c *Client) Name() string { return "slim" }
+
+// Framebuffer implements proto.Client.
+func (c *Client) Framebuffer() *display.Framebuffer { return c.fb }
+
+// Apply implements proto.Client.
+func (c *Client) Apply(m proto.Message) error {
+	r := proto.NewReader(m.Payload)
+	op := r.U8()
+	x, y := int(r.I16()), int(r.I16())
+	w, h := int(r.U16()), int(r.U16())
+	if err := r.Err(); err != nil {
+		return err
+	}
+	switch op {
+	case cmdFill:
+		color := r.U8()
+		if err := r.Err(); err != nil {
+			return err
+		}
+		c.fb.Apply(display.FillRect{Rect: display.Rect{X: x, Y: y, W: w, H: h}, Color: color})
+	case cmdCopy:
+		dx, dy := int(r.I16()), int(r.I16())
+		if err := r.Err(); err != nil {
+			return err
+		}
+		c.fb.Apply(display.CopyArea{Src: display.Rect{X: x, Y: y, W: w, H: h}, DstX: dx, DstY: dy})
+	case cmdSet:
+		pix := r.Raw(w * h)
+		if err := r.Err(); err != nil {
+			return err
+		}
+		img := display.NewBitmap(w, h)
+		copy(img.Pix, pix)
+		c.fb.Apply(display.PutBitmap{X: x, Y: y, Img: img})
+	case cmdBitmap:
+		fg := r.U8()
+		r.U8() // background flag (transparent)
+		data := r.Raw((w*h + 7) / 8)
+		if err := r.Err(); err != nil {
+			return err
+		}
+		bit := 0
+		for yy := 0; yy < h; yy++ {
+			for xx := 0; xx < w; xx++ {
+				if data[bit/8]>>(uint(bit)%8)&1 == 1 {
+					c.fb.Set(x+xx, y+yy, fg)
+				}
+				bit++
+			}
+		}
+	default:
+		return fmt.Errorf("%w: unknown command %d", proto.ErrBadMessage, op)
+	}
+	return nil
+}
+
+// EncodeInput implements proto.Client: compact fixed events sharing one
+// flush write.
+func (c *Client) EncodeInput(events []display.InputEvent) []proto.Message {
+	if len(events) == 0 {
+		return nil
+	}
+	w := proto.NewWriter(len(events) * 5)
+	for _, ev := range events {
+		switch e := ev.(type) {
+		case display.KeyEvent:
+			flags := uint8(0)
+			if e.Down {
+				flags = 1
+			}
+			w.U8(inKey).U8(flags).U16(e.Code)
+		case display.MouseMove:
+			w.U8(inPointer).I16(int16(e.X)).I16(int16(e.Y))
+		case display.MouseButton:
+			flags := e.Button << 1
+			if e.Down {
+				flags |= 1
+			}
+			w.U8(inButton).U8(flags)
+		default:
+			panic(fmt.Sprintf("slim: unsupported input event %T", ev))
+		}
+	}
+	return []proto.Message{{Channel: proto.Input, Kind: "InputEvents", Payload: w.Bytes()}}
+}
+
+// Compile-time interface conformance.
+var (
+	_ proto.Server = (*Server)(nil)
+	_ proto.Client = (*Client)(nil)
+)

@@ -1,0 +1,87 @@
+package slim
+
+import (
+	"testing"
+
+	"thinbench/internal/display"
+)
+
+func pair() (*Server, *Client) {
+	return NewServer(DefaultConfig()), NewClient(DefaultConfig())
+}
+
+func TestTextAsTwoColorBitmap(t *testing.T) {
+	srv, cli := pair()
+	op := display.DrawText{X: 20, Y: 30, Text: "sunray", Color: 6}
+	msgs := srv.Update([]display.Op{op})
+	if len(msgs) != 1 || msgs[0].Kind != "BITMAP" {
+		t.Fatalf("text encoded as %v, want one BITMAP command", msgs)
+	}
+	// 1 bpp: payload ~ header + width*height/8, far below raw pixels.
+	raw := len(op.Text) * display.GlyphW * display.GlyphH
+	if msgs[0].Size() > raw/4 {
+		t.Fatalf("BITMAP size %d not ≪ raw %d", msgs[0].Size(), raw)
+	}
+	if err := cli.Apply(msgs[0]); err != nil {
+		t.Fatal(err)
+	}
+	want := display.NewFramebuffer(DefaultConfig().ScreenW, DefaultConfig().ScreenH)
+	want.Apply(op)
+	if !cli.Framebuffer().Equal(want.Bitmap) {
+		t.Fatal("BITMAP text rendering diverged from reference")
+	}
+}
+
+func TestSETIsRawAndStateless(t *testing.T) {
+	srv, _ := pair()
+	img := display.SyntheticPhoto(3, 0, 50, 40)
+	op := []display.Op{display.PutBitmap{X: 0, Y: 0, Img: img}}
+	a := srv.Update(op)[0].Size()
+	b := srv.Update(op)[0].Size()
+	if a != b {
+		t.Fatal("SLIM is stateless; repeat cost must equal first cost")
+	}
+	if a < img.Bytes() {
+		t.Fatalf("SET %d bytes < raw %d", a, img.Bytes())
+	}
+}
+
+func TestFillAndCopyCompact(t *testing.T) {
+	srv, _ := pair()
+	msgs := srv.Update([]display.Op{
+		display.FillRect{Rect: display.Rect{X: 1, Y: 2, W: 300, H: 200}, Color: 9},
+		display.CopyArea{Src: display.Rect{X: 0, Y: 0, W: 100, H: 100}, DstX: 50, DstY: 50},
+	})
+	if len(msgs) != 2 {
+		t.Fatalf("got %d messages, want one per command", len(msgs))
+	}
+	if msgs[0].Size() != 10 || msgs[1].Size() != 13 {
+		t.Fatalf("FILL/COPY sizes = %d/%d, want 10/13", msgs[0].Size(), msgs[1].Size())
+	}
+}
+
+func TestSetupTiny(t *testing.T) {
+	srv, _ := pair()
+	if n := srv.SetupBytes(); n > 2000 {
+		t.Fatalf("SLIM setup = %d bytes; the protocol's point is minimal session state", n)
+	}
+}
+
+func TestBitmapBitPackingWidthNotMultipleOf8(t *testing.T) {
+	// 3 glyphs = 24 px wide; 13 rows = 312 bits = 39 bytes exactly; also
+	// try 1 glyph (8 px * 13 = 104 bits = 13 bytes).
+	for _, text := range []string{"abc", "x", "hello"} {
+		srv, cli := pair()
+		op := display.DrawText{X: 3, Y: 7, Text: text, Color: 2}
+		for _, m := range srv.Update([]display.Op{op}) {
+			if err := cli.Apply(m); err != nil {
+				t.Fatalf("%q: %v", text, err)
+			}
+		}
+		want := display.NewFramebuffer(DefaultConfig().ScreenW, DefaultConfig().ScreenH)
+		want.Apply(op)
+		if !cli.Framebuffer().Equal(want.Bitmap) {
+			t.Fatalf("%q: bit packing corrupted glyphs", text)
+		}
+	}
+}

@@ -1,0 +1,417 @@
+// Package vnc implements a VNC-like remote display protocol, one of the
+// two related-work comparators the paper discusses in §7 (Richardson et
+// al., "Virtual Network Computing", IEEE Internet Computing 1998).
+//
+// Architecturally it differs from every drawing-order protocol in this
+// repository: the server renders into its own framebuffer and ships
+// *pixel rectangles* — the damaged region after each update — rather than
+// drawing commands. Rectangles are encoded Raw or RRE (rise-and-run-length,
+// an original RFB 3.3 encoding: a background color plus foreground
+// subrectangles), whichever is smaller. There is no client-side cache, the
+// property that puts VNC in the same camp as X and SLIM on animated
+// content.
+package vnc
+
+import (
+	"fmt"
+
+	"thinbench/internal/display"
+	"thinbench/internal/proto"
+)
+
+// Rectangle encodings, numbered as in RFB.
+const (
+	encRaw      = 0
+	encCopyRect = 1
+	encRRE      = 2
+)
+
+// Input message types, as in RFB.
+const (
+	msgKeyEvent     = 4
+	msgPointerEvent = 5
+)
+
+// Config parameterizes the endpoints.
+type Config struct {
+	// ScreenW, ScreenH size both framebuffers.
+	ScreenW, ScreenH int
+	// MaxRRESubrects bounds RRE analysis; damage with more distinct
+	// foreground subrectangles ships Raw (RRE would expand).
+	MaxRRESubrects int
+}
+
+// DefaultConfig sizes the session like the other protocols.
+func DefaultConfig() Config {
+	return Config{
+		ScreenW:        display.TypicalScreenW,
+		ScreenH:        display.TypicalScreenH,
+		MaxRRESubrects: 64,
+	}
+}
+
+// Server renders updates into a server-side framebuffer and encodes the
+// damaged rectangle each flush.
+type Server struct {
+	cfg Config
+	fb  *display.Framebuffer
+
+	lastX, lastY int // pointer state from decoded input
+}
+
+// NewServer builds the application-side endpoint.
+func NewServer(cfg Config) *Server {
+	if cfg.ScreenW <= 0 {
+		cfg = DefaultConfig()
+	}
+	return &Server{cfg: cfg, fb: display.NewFramebuffer(cfg.ScreenW, cfg.ScreenH)}
+}
+
+// Name implements proto.Server.
+func (s *Server) Name() string { return "vnc" }
+
+// Framebuffer exposes the server's rendering, for tests.
+func (s *Server) Framebuffer() *display.Framebuffer { return s.fb }
+
+// SetupBytes implements proto.Server: the RFB handshake is tiny —
+// ProtocolVersion exchange, security, ClientInit/ServerInit with the
+// desktop name and pixel format.
+func (s *Server) SetupBytes() int {
+	return 12 + 12 + // ProtocolVersion both ways
+		4 + 4 + // security negotiation
+		1 + // ClientInit
+		24 + len("thinbench-vnc") // ServerInit + name
+}
+
+// Update implements proto.Server: apply the ops to the server framebuffer,
+// then ship one FramebufferUpdate carrying a rectangle per damaged region.
+// On-screen copies (scrolling) become CopyRect rectangles — RFB's answer
+// to scroll traffic; other damage merges where it overlaps, as a real RFB
+// server's region tracking behaves.
+//
+// Ordering is load-bearing: a CopyRect reads the *client's* framebuffer,
+// so pixel damage preceding a copy must be encoded from the server
+// framebuffer as it stood before the copy executed. Pending damage is
+// therefore encoded ("flushed") the moment a copy op arrives.
+func (s *Server) Update(ops []display.Op) []proto.Message {
+	if len(ops) == 0 {
+		return nil
+	}
+	var encoded [][]byte
+	var pending []display.Rect
+	flushPending := func() {
+		for _, r := range pending {
+			encoded = append(encoded, s.encodeRect(r))
+		}
+		pending = nil
+	}
+	for _, op := range ops {
+		if c, ok := op.(display.CopyArea); ok {
+			// Encode prior damage from the pre-copy framebuffer state.
+			flushPending()
+			s.fb.Apply(op)
+			d := clipRect(c.Bounds(), s.cfg.ScreenW, s.cfg.ScreenH)
+			if !d.Empty() {
+				w := proto.NewWriter(16)
+				w.I16(int16(d.X)).I16(int16(d.Y))
+				w.U16(uint16(d.W)).U16(uint16(d.H))
+				w.U32(encCopyRect)
+				w.I16(int16(c.Src.X)).I16(int16(c.Src.Y))
+				encoded = append(encoded, w.Bytes())
+			}
+			continue
+		}
+		s.fb.Apply(op)
+		d := clipRect(op.Bounds(), s.cfg.ScreenW, s.cfg.ScreenH)
+		if !d.Empty() {
+			pending = mergeRect(pending, d)
+		}
+	}
+	flushPending()
+	if len(encoded) == 0 {
+		return nil
+	}
+	w := proto.NewWriter(64)
+	w.U8(0) // FramebufferUpdate
+	w.U8(0) // pad
+	w.U16(uint16(len(encoded)))
+	for _, rect := range encoded {
+		w.Raw(rect)
+	}
+	return []proto.Message{{Channel: proto.Display, Kind: "FramebufferUpdate", Payload: w.Bytes()}}
+}
+
+// mergeRect adds r to the damage list, unioning it with any rectangle it
+// intersects (repeatedly, since a union can create new intersections).
+func mergeRect(rects []display.Rect, r display.Rect) []display.Rect {
+	for {
+		merged := false
+		kept := rects[:0]
+		for _, o := range rects {
+			if intersects(r, o) {
+				r = r.Union(o)
+				merged = true
+				continue
+			}
+			kept = append(kept, o)
+		}
+		rects = kept
+		if !merged {
+			return append(rects, r)
+		}
+	}
+}
+
+func intersects(a, b display.Rect) bool {
+	return a.X < b.X+b.W && b.X < a.X+a.W && a.Y < b.Y+b.H && b.Y < a.Y+a.H
+}
+
+func clipRect(r display.Rect, w, h int) display.Rect {
+	if r.X < 0 {
+		r.W += r.X
+		r.X = 0
+	}
+	if r.Y < 0 {
+		r.H += r.Y
+		r.Y = 0
+	}
+	if r.X+r.W > w {
+		r.W = w - r.X
+	}
+	if r.Y+r.H > h {
+		r.H = h - r.Y
+	}
+	return r
+}
+
+// encodeRect encodes one damage rectangle from the current framebuffer
+// state: a 12-byte rectangle header plus Raw or RRE pixel data, whichever
+// is smaller.
+func (s *Server) encodeRect(d display.Rect) []byte {
+	w := proto.NewWriter(16 + d.W*d.H)
+	w.I16(int16(d.X)).I16(int16(d.Y))
+	w.U16(uint16(d.W)).U16(uint16(d.H))
+	if rre, ok := s.tryRRE(d); ok && len(rre) < d.W*d.H {
+		w.U32(encRRE)
+		w.U32(uint32(len(rre)))
+		w.Raw(rre)
+		return w.Bytes()
+	}
+	w.U32(encRaw)
+	for y := d.Y; y < d.Y+d.H; y++ {
+		row := s.fb.Pix[y*s.fb.W+d.X : y*s.fb.W+d.X+d.W]
+		w.Raw(row)
+	}
+	return w.Bytes()
+}
+
+// tryRRE analyzes the rectangle: most common color becomes the background;
+// runs of other colors become subrectangles (height-1 runs, the simple
+// variant). Fails when the subrect count exceeds the configured bound.
+func (s *Server) tryRRE(d display.Rect) ([]byte, bool) {
+	// Find the dominant color with a small histogram.
+	var hist [256]int
+	for y := d.Y; y < d.Y+d.H; y++ {
+		for x := d.X; x < d.X+d.W; x++ {
+			hist[s.fb.At(x, y)]++
+		}
+	}
+	bg, best := byte(0), -1
+	for c, n := range hist {
+		if n > best {
+			bg, best = byte(c), n
+		}
+	}
+	type sub struct {
+		x, y, w int
+		color   byte
+	}
+	var subs []sub
+	for y := d.Y; y < d.Y+d.H; y++ {
+		x := d.X
+		for x < d.X+d.W {
+			c := s.fb.At(x, y)
+			if c == bg {
+				x++
+				continue
+			}
+			run := 1
+			for x+run < d.X+d.W && s.fb.At(x+run, y) == c {
+				run++
+			}
+			subs = append(subs, sub{x - d.X, y - d.Y, run, c})
+			if len(subs) > s.cfg.MaxRRESubrects {
+				return nil, false
+			}
+			x += run
+		}
+	}
+	w := proto.NewWriter(5 + len(subs)*9)
+	w.U32(uint32(len(subs)))
+	w.U8(bg)
+	for _, r := range subs {
+		w.U8(r.color)
+		w.U16(uint16(r.x)).U16(uint16(r.y))
+		w.U16(uint16(r.w)).U16(1)
+	}
+	return w.Bytes(), true
+}
+
+// DecodeInput implements proto.Server: fixed-size RFB client messages, one
+// per event.
+func (s *Server) DecodeInput(m proto.Message) ([]display.InputEvent, error) {
+	if m.Channel != proto.Input {
+		return nil, fmt.Errorf("%w: input decode of %v message", proto.ErrBadMessage, m.Channel)
+	}
+	r := proto.NewReader(m.Payload)
+	var events []display.InputEvent
+	for r.Remaining() > 0 {
+		switch typ := r.U8(); typ {
+		case msgKeyEvent:
+			down := r.U8()
+			r.U16() // pad
+			key := r.U32()
+			events = append(events, display.KeyEvent{Down: down != 0, Code: uint16(key)})
+		case msgPointerEvent:
+			mask := r.U8()
+			x, y := r.I16(), r.I16()
+			// Distinguish motion from clicks the way an RFB server does:
+			// track pointer and button state.
+			if int(x) != s.lastX || int(y) != s.lastY {
+				events = append(events, display.MouseMove{X: int(x), Y: int(y)})
+				s.lastX, s.lastY = int(x), int(y)
+			}
+			if mask&0x80 != 0 {
+				events = append(events, display.MouseButton{Down: mask&1 != 0, Button: (mask >> 1) & 0x7})
+			}
+		default:
+			return nil, fmt.Errorf("%w: unknown client message %d", proto.ErrBadMessage, typ)
+		}
+		if err := r.Err(); err != nil {
+			return nil, err
+		}
+	}
+	return events, nil
+}
+
+// Client applies framebuffer updates and encodes RFB client messages.
+type Client struct {
+	cfg Config
+	fb  *display.Framebuffer
+
+	lastX, lastY int // pointer position carried on button events
+}
+
+// NewClient builds the terminal-side endpoint.
+func NewClient(cfg Config) *Client {
+	if cfg.ScreenW <= 0 {
+		cfg = DefaultConfig()
+	}
+	return &Client{cfg: cfg, fb: display.NewFramebuffer(cfg.ScreenW, cfg.ScreenH)}
+}
+
+// Name implements proto.Client.
+func (c *Client) Name() string { return "vnc" }
+
+// Framebuffer implements proto.Client.
+func (c *Client) Framebuffer() *display.Framebuffer { return c.fb }
+
+// Apply implements proto.Client.
+func (c *Client) Apply(m proto.Message) error {
+	r := proto.NewReader(m.Payload)
+	if r.U8() != 0 {
+		return fmt.Errorf("%w: not a FramebufferUpdate", proto.ErrBadMessage)
+	}
+	r.U8()
+	nRects := int(r.U16())
+	for i := 0; i < nRects; i++ {
+		x, y := int(r.I16()), int(r.I16())
+		w, h := int(r.U16()), int(r.U16())
+		switch enc := r.U32(); enc {
+		case encCopyRect:
+			sx, sy := int(r.I16()), int(r.I16())
+			if r.Err() != nil {
+				return r.Err()
+			}
+			c.fb.Apply(display.CopyArea{Src: display.Rect{X: sx, Y: sy, W: w, H: h}, DstX: x, DstY: y})
+		case encRaw:
+			for yy := 0; yy < h; yy++ {
+				row := r.Raw(w)
+				if r.Err() != nil {
+					return r.Err()
+				}
+				for xx := 0; xx < w; xx++ {
+					c.fb.Set(x+xx, y+yy, row[xx])
+				}
+			}
+		case encRRE:
+			n := int(r.U32())
+			body := proto.NewReader(r.Raw(n))
+			if r.Err() != nil {
+				return r.Err()
+			}
+			nSubs := int(body.U32())
+			bg := body.U8()
+			c.fb.Apply(display.FillRect{Rect: display.Rect{X: x, Y: y, W: w, H: h}, Color: bg})
+			for s := 0; s < nSubs; s++ {
+				color := body.U8()
+				sx, sy := int(body.U16()), int(body.U16())
+				sw, sh := int(body.U16()), int(body.U16())
+				c.fb.Apply(display.FillRect{Rect: display.Rect{X: x + sx, Y: y + sy, W: sw, H: sh}, Color: color})
+			}
+			if err := body.Err(); err != nil {
+				return err
+			}
+		default:
+			return fmt.Errorf("%w: unknown encoding %d", proto.ErrBadMessage, enc)
+		}
+	}
+	return r.Err()
+}
+
+// EncodeInput implements proto.Client: one fixed-size message per event,
+// all sharing a flush write (RFB clients write per event; the batch is one
+// socket write).
+func (c *Client) EncodeInput(events []display.InputEvent) []proto.Message {
+	if len(events) == 0 {
+		return nil
+	}
+	w := proto.NewWriter(len(events) * 8)
+	for _, ev := range events {
+		switch e := ev.(type) {
+		case display.KeyEvent:
+			w.U8(msgKeyEvent)
+			if e.Down {
+				w.U8(1)
+			} else {
+				w.U8(0)
+			}
+			w.U16(0)
+			w.U32(uint32(e.Code))
+		case display.MouseMove:
+			c.lastX, c.lastY = e.X, e.Y
+			w.U8(msgPointerEvent)
+			w.U8(0)
+			w.I16(int16(e.X)).I16(int16(e.Y))
+		case display.MouseButton:
+			w.U8(msgPointerEvent)
+			mask := uint8(0x80) | (e.Button&0x7)<<1
+			if e.Down {
+				mask |= 1
+			}
+			w.U8(mask)
+			// Button events carry the current pointer position, so the
+			// server sees no spurious motion.
+			w.I16(int16(c.lastX)).I16(int16(c.lastY))
+		default:
+			panic(fmt.Sprintf("vnc: unsupported input event %T", ev))
+		}
+	}
+	return []proto.Message{{Channel: proto.Input, Kind: "ClientEvents", Payload: w.Bytes()}}
+}
+
+// Compile-time interface conformance.
+var (
+	_ proto.Server = (*Server)(nil)
+	_ proto.Client = (*Client)(nil)
+)

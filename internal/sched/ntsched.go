@@ -1,0 +1,178 @@
+package sched
+
+import (
+	"thinbench/internal/simclock"
+)
+
+// NTConfig parameterizes the NT/TSE scheduler. Defaults follow the paper's
+// description of NT 4.0 Workstation and Terminal Server Edition: a 30 ms
+// quantum on Pentium-class hardware, administrator-selectable quantum
+// stretching of 1-3x for foreground threads, GUI wake boosts to priority 15
+// lasting two quanta, and the balance-set manager's anti-starvation scan.
+type NTConfig struct {
+	Quantum        simclock.Duration // base time slice (paper: 30 ms)
+	Stretch        int               // foreground quantum multiplier, 1..3
+	BoostPriority  int               // GUI wake boost target (paper: 15)
+	BoostQuanta    int               // boost lifetime in quanta (paper: 2)
+	StarvationWait simclock.Duration // ready-age triggering starvation boost
+	ScanPeriod     simclock.Duration // balance-set scan interval
+	ScanLimit      int               // max boosts per scan pass
+}
+
+// DefaultNTConfig is the TSE/Workstation configuration from the paper.
+func DefaultNTConfig() NTConfig {
+	return NTConfig{
+		Quantum:        30 * simclock.Millisecond,
+		Stretch:        1,
+		BoostPriority:  15,
+		BoostQuanta:    2,
+		StarvationWait: 4 * simclock.Second,
+		ScanPeriod:     simclock.Second,
+		ScanLimit:      10,
+	}
+}
+
+// NTSched implements the NT/TSE scheduling policy: 32 strict priority
+// levels with round-robin within a level, immediate preemption by
+// higher-priority wakes, GUI wake boosting, quantum stretching, and
+// balance-set starvation boosts.
+type NTSched struct {
+	cfg    NTConfig
+	queues [32][]*Thread
+	ready  int
+}
+
+// NewNTSched builds the policy. Install the balance-set scan with
+// InstallBalanceSet once a CPU engine exists.
+func NewNTSched(cfg NTConfig) *NTSched {
+	if cfg.Stretch < 1 {
+		cfg.Stretch = 1
+	}
+	if cfg.Stretch > 3 {
+		cfg.Stretch = 3
+	}
+	return &NTSched{cfg: cfg}
+}
+
+// Name implements Scheduler.
+func (s *NTSched) Name() string { return "nt" }
+
+// Config reports the active configuration.
+func (s *NTSched) Config() NTConfig { return s.cfg }
+
+// Enqueue implements Scheduler. GUI threads woken by input receive the
+// documented boost to priority 15 for two quanta; preempted threads rejoin
+// the head of their level so they resume first.
+func (s *NTSched) Enqueue(t *Thread, now simclock.Time, reason Reason) {
+	if reason == ReasonWake && t.GUIBoost {
+		t.boost(s.cfg.BoostPriority, s.cfg.BoostQuanta)
+	}
+	p := s.clampPri(t.cur)
+	if reason == ReasonPreempted {
+		s.queues[p] = append([]*Thread{t}, s.queues[p]...)
+	} else {
+		s.queues[p] = append(s.queues[p], t)
+	}
+	s.ready++
+}
+
+func (s *NTSched) clampPri(p int) int {
+	if p < 0 {
+		return 0
+	}
+	if p > 31 {
+		return 31
+	}
+	return p
+}
+
+// Dequeue implements Scheduler: highest non-empty priority level wins.
+func (s *NTSched) Dequeue(now simclock.Time) *Thread {
+	for p := 31; p >= 0; p-- {
+		if q := s.queues[p]; len(q) > 0 {
+			t := q[0]
+			copy(q, q[1:])
+			q[len(q)-1] = nil
+			s.queues[p] = q[:len(q)-1]
+			s.ready--
+			return t
+		}
+	}
+	return nil
+}
+
+// Remove implements Scheduler.
+func (s *NTSched) Remove(t *Thread) {
+	p := s.clampPri(t.cur)
+	for i, q := range s.queues[p] {
+		if q == t {
+			s.queues[p] = append(s.queues[p][:i], s.queues[p][i+1:]...)
+			s.ready--
+			return
+		}
+	}
+}
+
+// Quantum implements Scheduler: foreground threads get the stretched slice.
+func (s *NTSched) Quantum(t *Thread) simclock.Duration {
+	if t.Foreground {
+		return s.cfg.Quantum * simclock.Duration(s.cfg.Stretch)
+	}
+	return s.cfg.Quantum
+}
+
+// ShouldPreempt implements Scheduler: NT preempts immediately when a
+// strictly higher-priority thread becomes ready.
+func (s *NTSched) ShouldPreempt(running, woken *Thread) bool {
+	return woken.cur > running.cur
+}
+
+// OnQuantumExpire implements Scheduler: each consumed quantum burns one
+// quantum of any active boost, returning the thread to base priority when
+// the boost is exhausted — the mechanism behind the paper's 180 ms "grace
+// period" analysis.
+func (s *NTSched) OnQuantumExpire(t *Thread, now simclock.Time) {
+	t.consumeBoostQuantum()
+}
+
+// OnBlock implements Scheduler. Blocking ends the current quantum, so it
+// also burns a quantum of boost.
+func (s *NTSched) OnBlock(t *Thread, now simclock.Time) {
+	t.consumeBoostQuantum()
+}
+
+// ReadyCount implements Scheduler.
+func (s *NTSched) ReadyCount() int { return s.ready }
+
+// BalanceSetScan performs one pass of the balance-set manager's
+// anti-starvation policy: ready threads that have waited at least
+// StarvationWait are boosted to BoostPriority for a single quantum, at most
+// ScanLimit per pass. It returns how many threads were boosted.
+func (s *NTSched) BalanceSetScan(now simclock.Time) int {
+	boosted := 0
+	for p := 0; p < s.cfg.BoostPriority && boosted < s.cfg.ScanLimit; p++ {
+		q := s.queues[p]
+		for i := 0; i < len(q) && boosted < s.cfg.ScanLimit; {
+			t := q[i]
+			if now.Sub(t.readySince) >= s.cfg.StarvationWait {
+				// Move the thread to the boosted level.
+				q = append(q[:i], q[i+1:]...)
+				s.queues[p] = q
+				t.boost(s.cfg.BoostPriority, 1)
+				s.queues[s.clampPri(t.cur)] = append(s.queues[s.clampPri(t.cur)], t)
+				boosted++
+				continue
+			}
+			i++
+		}
+	}
+	return boosted
+}
+
+// InstallBalanceSet arranges the periodic balance-set scan on the engine.
+// It returns a cancel function.
+func (s *NTSched) InstallBalanceSet(eng *simclock.Engine) func() {
+	return eng.Every(eng.Now().Add(s.cfg.ScanPeriod), s.cfg.ScanPeriod, func(now simclock.Time) {
+		s.BalanceSetScan(now)
+	})
+}

@@ -1,0 +1,203 @@
+// Package sched simulates single-CPU thread scheduling with the three
+// policies the paper analyzes: the Windows NT/TSE scheduler (32 priority
+// levels, 30 ms quantum, quantum stretching, GUI wake boosts, balance-set
+// anti-starvation boosts), the Linux scheduler as the paper models it
+// (single round-robin queue with a 10 ms quantum and no interactive
+// protection), and the SVR4 interactive-class scheduler of Evans et al.,
+// which the paper cites as the fix for interactive starvation.
+//
+// Threads consume WorkItems submitted by workload generators; the CPU engine
+// dispatches threads under a pluggable Scheduler policy and reports
+// per-item completion latency, which the latency package turns into the
+// paper's user-perceived latency metrics.
+package sched
+
+import (
+	"fmt"
+
+	"thinbench/internal/simclock"
+)
+
+// State is a thread's lifecycle state.
+type State int
+
+// Thread states.
+const (
+	Blocked State = iota // no runnable work
+	Ready                // runnable, waiting for CPU
+	Running              // currently on CPU
+)
+
+func (s State) String() string {
+	switch s {
+	case Blocked:
+		return "blocked"
+	case Ready:
+		return "ready"
+	case Running:
+		return "running"
+	default:
+		return fmt.Sprintf("State(%d)", int(s))
+	}
+}
+
+// WorkItem is a unit of CPU demand submitted to a thread: an input event to
+// handle, a screen update to encode, a slice of background computation.
+type WorkItem struct {
+	// Tag labels the item for latency accounting ("keystroke", "encode").
+	Tag string
+	// CPU is the processing time the item needs.
+	CPU simclock.Duration
+	// ExtraCPU is added per absorbed item when Coalesce is set.
+	ExtraCPU simclock.Duration
+	// Coalesce lets a dispatched item absorb all queued items with the same
+	// tag, modeling batched screen updates: the X server or TSE display
+	// encoder processes every pending damage region in one pass and emits a
+	// single update message.
+	Coalesce bool
+	// OnDone, if set, runs when the item completes. n is 1 plus the number
+	// of absorbed items.
+	OnDone func(now simclock.Time, n int)
+
+	arrive simclock.Time
+}
+
+// Arrive reports when the item was submitted.
+func (w *WorkItem) Arrive() simclock.Time { return w.arrive }
+
+// Thread is a schedulable entity.
+type Thread struct {
+	ID   int
+	Name string
+
+	// Base is the scheduler-specific base priority. For the NT scheduler,
+	// larger is better (1..31). The round-robin scheduler ignores it.
+	Base int
+	// GUIBoost marks threads that receive the NT GUI wake boost (to
+	// priority 15 for BoostQuanta quanta) when woken by input.
+	GUIBoost bool
+	// Interactive marks threads protected by the SVR4 interactive class.
+	Interactive bool
+	// Foreground marks threads subject to NT quantum stretching.
+	Foreground bool
+
+	state      State
+	cur        int // current (possibly boosted) priority
+	boostLeft  int // quanta remaining at boosted priority
+	queue      []*WorkItem
+	item       *WorkItem         // item being serviced
+	remaining  simclock.Duration // CPU left for current item
+	quantumRem simclock.Duration // quantum left from last dispatch
+	absorbed   int               // items coalesced into current item
+	readySince simclock.Time
+	totalCPU   simclock.Duration
+}
+
+// State reports the thread's current state.
+func (t *Thread) State() State { return t.state }
+
+// Priority reports the thread's current effective priority.
+func (t *Thread) Priority() int { return t.cur }
+
+// Boosted reports whether the thread currently runs at a boosted priority.
+func (t *Thread) Boosted() bool { return t.boostLeft > 0 }
+
+// QueueLen reports the number of pending (unstarted) work items.
+func (t *Thread) QueueLen() int { return len(t.queue) }
+
+// TotalCPU reports the cumulative CPU time the thread has consumed.
+func (t *Thread) TotalCPU() simclock.Duration { return t.totalCPU }
+
+// ReadySince reports when the thread last became ready (meaningful only
+// while Ready).
+func (t *Thread) ReadySince() simclock.Time { return t.readySince }
+
+// boost raises the thread's priority for n quanta.
+func (t *Thread) boost(pri, n int) {
+	if pri > t.cur {
+		t.cur = pri
+	}
+	if n > t.boostLeft {
+		t.boostLeft = n
+	}
+}
+
+// consumeBoostQuantum burns one quantum of boost; at zero the priority
+// returns to base.
+func (t *Thread) consumeBoostQuantum() {
+	if t.boostLeft > 0 {
+		t.boostLeft--
+		if t.boostLeft == 0 {
+			t.cur = t.Base
+		}
+	}
+}
+
+// startNextItem pops the next queued item, absorbing same-tag items when the
+// item requests coalescing. It reports false when the queue is empty.
+func (t *Thread) startNextItem() bool {
+	if len(t.queue) == 0 {
+		return false
+	}
+	it := t.queue[0]
+	t.queue = t.queue[1:]
+	t.absorbed = 0
+	cpu := it.CPU
+	if it.Coalesce {
+		kept := t.queue[:0]
+		for _, q := range t.queue {
+			if q.Tag == it.Tag {
+				t.absorbed++
+				cpu += it.ExtraCPU
+			} else {
+				kept = append(kept, q)
+			}
+		}
+		// Zero the tail so absorbed items do not pin memory.
+		for i := len(kept); i < len(t.queue); i++ {
+			t.queue[i] = nil
+		}
+		t.queue = kept
+	}
+	t.item = it
+	t.remaining = cpu
+	return true
+}
+
+// Reason explains why a thread is being made ready.
+type Reason int
+
+// Enqueue reasons.
+const (
+	ReasonWake          Reason = iota // woken by new work
+	ReasonQuantumExpire               // used up its time slice
+	ReasonPreempted                   // displaced by a higher-priority wake
+)
+
+// Scheduler is a CPU scheduling policy. The CPU engine owns thread state
+// transitions; the policy owns queue ordering, quanta, boosts, and
+// preemption decisions.
+type Scheduler interface {
+	// Name identifies the policy ("nt", "rr", "svr4ia").
+	Name() string
+	// Enqueue makes t ready. The engine has already set t.state.
+	Enqueue(t *Thread, now simclock.Time, reason Reason)
+	// Dequeue removes and returns the next thread to run, or nil when no
+	// thread is ready.
+	Dequeue(now simclock.Time) *Thread
+	// Remove withdraws a ready thread (used when an experiment retires a
+	// thread mid-run).
+	Remove(t *Thread)
+	// Quantum reports the time slice to grant t on dispatch.
+	Quantum(t *Thread) simclock.Duration
+	// ShouldPreempt reports whether woken should immediately displace
+	// running.
+	ShouldPreempt(running, woken *Thread) bool
+	// OnQuantumExpire applies end-of-slice policy (boost decay).
+	OnQuantumExpire(t *Thread, now simclock.Time)
+	// OnBlock applies block-time policy.
+	OnBlock(t *Thread, now simclock.Time)
+	// ReadyCount reports how many threads are queued (the paper's
+	// "scheduler queue length" x-axis).
+	ReadyCount() int
+}

@@ -1,0 +1,80 @@
+package simclock
+
+import "math"
+
+// Rand is a small deterministic pseudo-random source (splitmix64 core) used
+// throughout the simulator. It exists so simulations never touch the global
+// math/rand state: every component owns a seeded stream and identical seeds
+// reproduce identical runs bit-for-bit.
+type Rand struct {
+	state uint64
+}
+
+// NewRand returns a generator seeded with seed. Distinct seeds give
+// independent-looking streams.
+func NewRand(seed uint64) *Rand {
+	return &Rand{state: seed + 0x9e3779b97f4a7c15}
+}
+
+// Uint64 returns the next 64 pseudo-random bits.
+func (r *Rand) Uint64() uint64 {
+	r.state += 0x9e3779b97f4a7c15
+	z := r.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Intn returns a uniform int in [0, n). It panics if n <= 0.
+func (r *Rand) Intn(n int) int {
+	if n <= 0 {
+		panic("simclock: Intn requires n > 0")
+	}
+	return int(r.Uint64() % uint64(n))
+}
+
+// Int63n returns a uniform int64 in [0, n). It panics if n <= 0.
+func (r *Rand) Int63n(n int64) int64 {
+	if n <= 0 {
+		panic("simclock: Int63n requires n > 0")
+	}
+	return int64(r.Uint64() % uint64(n))
+}
+
+// Float64 returns a uniform float64 in [0, 1).
+func (r *Rand) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// ExpDuration draws an exponentially distributed duration with the given
+// mean. Used for Poisson arrival processes in the network simulator.
+func (r *Rand) ExpDuration(mean Duration) Duration {
+	if mean <= 0 {
+		return 0
+	}
+	u := r.Float64()
+	for u == 0 {
+		u = r.Float64()
+	}
+	return Duration(-math.Log(u) * float64(mean))
+}
+
+// UniformDuration draws a uniform duration in [lo, hi].
+func (r *Rand) UniformDuration(lo, hi Duration) Duration {
+	if hi <= lo {
+		return lo
+	}
+	return lo + Duration(r.Int63n(int64(hi-lo)+1))
+}
+
+// Normal returns a normally distributed float64 with the given mean and
+// standard deviation (Box–Muller, one value per call).
+func (r *Rand) Normal(mean, stddev float64) float64 {
+	u1 := r.Float64()
+	for u1 == 0 {
+		u1 = r.Float64()
+	}
+	u2 := r.Float64()
+	z := math.Sqrt(-2*math.Log(u1)) * math.Cos(2*math.Pi*u2)
+	return mean + stddev*z
+}

@@ -1,0 +1,209 @@
+// Package simclock provides the virtual time base and discrete-event engine
+// on which every simulated subsystem (scheduler, virtual memory, network)
+// runs. Time is represented as integer microseconds so that event ordering is
+// exact and runs are deterministic for a given seed.
+package simclock
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// Time is a point in virtual time, in microseconds since simulation start.
+type Time int64
+
+// Duration is a span of virtual time in microseconds.
+type Duration int64
+
+// Convenient duration units.
+const (
+	Microsecond Duration = 1
+	Millisecond Duration = 1000 * Microsecond
+	Second      Duration = 1000 * Millisecond
+	Minute      Duration = 60 * Second
+)
+
+// Add returns the time d after t.
+func (t Time) Add(d Duration) Time { return t + Time(d) }
+
+// Sub returns the duration elapsed from u to t.
+func (t Time) Sub(u Time) Duration { return Duration(t - u) }
+
+// Seconds converts the time to floating-point seconds.
+func (t Time) Seconds() float64 { return float64(t) / 1e6 }
+
+// Milliseconds converts the time to floating-point milliseconds.
+func (t Time) Milliseconds() float64 { return float64(t) / 1e3 }
+
+func (t Time) String() string { return fmt.Sprintf("%.3fms", float64(t)/1e3) }
+
+// Seconds converts the duration to floating-point seconds.
+func (d Duration) Seconds() float64 { return float64(d) / 1e6 }
+
+// Milliseconds converts the duration to floating-point milliseconds.
+func (d Duration) Milliseconds() float64 { return float64(d) / 1e3 }
+
+func (d Duration) String() string { return fmt.Sprintf("%.3fms", float64(d)/1e3) }
+
+// Millis builds a Duration from a floating-point number of milliseconds.
+func Millis(ms float64) Duration { return Duration(ms * 1e3) }
+
+// Micros builds a Duration from an integer number of microseconds.
+func Micros(us int64) Duration { return Duration(us) }
+
+// Event is a scheduled callback. Events fire in timestamp order; ties are
+// broken by insertion order so that runs are fully deterministic.
+type Event struct {
+	when Time
+	seq  uint64
+	fn   func(now Time)
+	idx  int // heap index, -1 when not queued
+}
+
+// When reports the time at which the event is scheduled to fire.
+func (e *Event) When() Time { return e.when }
+
+// Scheduled reports whether the event is still pending in its engine.
+func (e *Event) Scheduled() bool { return e != nil && e.idx >= 0 }
+
+type eventHeap []*Event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].when != h[j].when {
+		return h[i].when < h[j].when
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].idx = i
+	h[j].idx = j
+}
+func (h *eventHeap) Push(x any) {
+	e := x.(*Event)
+	e.idx = len(*h)
+	*h = append(*h, e)
+}
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	e.idx = -1
+	*h = old[:n-1]
+	return e
+}
+
+// Engine is a discrete-event simulator: a virtual clock plus an ordered queue
+// of pending events. The zero value is not usable; use NewEngine.
+type Engine struct {
+	now    Time
+	seq    uint64
+	events eventHeap
+	fired  uint64
+}
+
+// NewEngine returns an engine with the clock at zero and no pending events.
+func NewEngine() *Engine {
+	return &Engine{}
+}
+
+// Now reports the current virtual time.
+func (e *Engine) Now() Time { return e.now }
+
+// Fired reports how many events have been dispatched so far.
+func (e *Engine) Fired() uint64 { return e.fired }
+
+// Pending reports the number of events still queued.
+func (e *Engine) Pending() int { return len(e.events) }
+
+// At schedules fn to run at the absolute virtual time when. Scheduling in the
+// past (before Now) panics: it always indicates a simulation bug.
+func (e *Engine) At(when Time, fn func(now Time)) *Event {
+	if when < e.now {
+		panic(fmt.Sprintf("simclock: scheduling event at %v before now %v", when, e.now))
+	}
+	ev := &Event{when: when, seq: e.seq, fn: fn}
+	e.seq++
+	heap.Push(&e.events, ev)
+	return ev
+}
+
+// After schedules fn to run d after the current time.
+func (e *Engine) After(d Duration, fn func(now Time)) *Event {
+	if d < 0 {
+		d = 0
+	}
+	return e.At(e.now.Add(d), fn)
+}
+
+// Every schedules fn to run every period, starting at start. It returns a
+// cancel function; fn keeps rescheduling itself until cancelled.
+func (e *Engine) Every(start Time, period Duration, fn func(now Time)) (cancel func()) {
+	if period <= 0 {
+		panic("simclock: Every requires a positive period")
+	}
+	stopped := false
+	var tick func(now Time)
+	tick = func(now Time) {
+		if stopped {
+			return
+		}
+		fn(now)
+		if !stopped {
+			e.At(now.Add(period), tick)
+		}
+	}
+	e.At(start, tick)
+	return func() { stopped = true }
+}
+
+// Cancel removes a pending event. Cancelling an already-fired or cancelled
+// event is a no-op and returns false.
+func (e *Engine) Cancel(ev *Event) bool {
+	if ev == nil || ev.idx < 0 {
+		return false
+	}
+	heap.Remove(&e.events, ev.idx)
+	ev.idx = -1
+	return true
+}
+
+// Step dispatches the single earliest pending event, advancing the clock to
+// its timestamp. It reports false when no events remain.
+func (e *Engine) Step() bool {
+	if len(e.events) == 0 {
+		return false
+	}
+	ev := heap.Pop(&e.events).(*Event)
+	e.now = ev.when
+	e.fired++
+	ev.fn(e.now)
+	return true
+}
+
+// RunUntil dispatches events until the clock would pass deadline or the queue
+// drains. The clock finishes exactly at deadline.
+func (e *Engine) RunUntil(deadline Time) {
+	for len(e.events) > 0 && e.events[0].when <= deadline {
+		e.Step()
+	}
+	if e.now < deadline {
+		e.now = deadline
+	}
+}
+
+// RunFor advances the simulation by d.
+func (e *Engine) RunFor(d Duration) { e.RunUntil(e.now.Add(d)) }
+
+// Drain runs until no events remain. The limit guards against runaway
+// self-rescheduling loops; Drain panics if more than limit events fire.
+func (e *Engine) Drain(limit uint64) {
+	start := e.fired
+	for e.Step() {
+		if e.fired-start > limit {
+			panic("simclock: Drain exceeded event limit; runaway reschedule loop?")
+		}
+	}
+}

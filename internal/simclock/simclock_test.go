@@ -1,0 +1,293 @@
+package simclock
+
+import (
+	"math"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestTimeArithmetic(t *testing.T) {
+	var t0 Time
+	t1 := t0.Add(5 * Millisecond)
+	if t1 != Time(5000) {
+		t.Fatalf("Add: got %d, want 5000", t1)
+	}
+	if d := t1.Sub(t0); d != 5*Millisecond {
+		t.Fatalf("Sub: got %v, want 5ms", d)
+	}
+	if s := Time(1500000).Seconds(); s != 1.5 {
+		t.Fatalf("Seconds: got %v, want 1.5", s)
+	}
+	if ms := Duration(2500).Milliseconds(); ms != 2.5 {
+		t.Fatalf("Milliseconds: got %v, want 2.5", ms)
+	}
+	if Millis(3.5) != Duration(3500) {
+		t.Fatalf("Millis(3.5) = %d, want 3500", Millis(3.5))
+	}
+	if Micros(42) != Duration(42) {
+		t.Fatalf("Micros(42) = %d", Micros(42))
+	}
+}
+
+func TestEngineOrdering(t *testing.T) {
+	e := NewEngine()
+	var order []int
+	e.At(30, func(Time) { order = append(order, 3) })
+	e.At(10, func(Time) { order = append(order, 1) })
+	e.At(20, func(Time) { order = append(order, 2) })
+	e.Drain(100)
+	want := []int{1, 2, 3}
+	for i, v := range want {
+		if order[i] != v {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+	if e.Now() != 30 {
+		t.Fatalf("Now = %v, want 30", e.Now())
+	}
+}
+
+func TestEngineTieBreakBySequence(t *testing.T) {
+	e := NewEngine()
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		e.At(100, func(Time) { order = append(order, i) })
+	}
+	e.Drain(100)
+	if !sort.IntsAreSorted(order) {
+		t.Fatalf("same-time events fired out of insertion order: %v", order)
+	}
+}
+
+func TestEngineAfterAndRunUntil(t *testing.T) {
+	e := NewEngine()
+	fired := 0
+	e.After(5*Millisecond, func(now Time) {
+		fired++
+		if now != Time(5*Millisecond) {
+			t.Errorf("fired at %v, want 5ms", now)
+		}
+	})
+	e.After(15*Millisecond, func(Time) { fired++ })
+	e.RunUntil(Time(10 * Millisecond))
+	if fired != 1 {
+		t.Fatalf("fired = %d, want 1 after RunUntil(10ms)", fired)
+	}
+	if e.Now() != Time(10*Millisecond) {
+		t.Fatalf("Now = %v, want exactly 10ms", e.Now())
+	}
+	e.RunFor(10 * Millisecond)
+	if fired != 2 {
+		t.Fatalf("fired = %d, want 2 after RunFor", fired)
+	}
+}
+
+func TestEnginePastSchedulingPanics(t *testing.T) {
+	e := NewEngine()
+	e.At(10, func(Time) {})
+	e.Drain(10)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("scheduling in the past did not panic")
+		}
+	}()
+	e.At(5, func(Time) {})
+}
+
+func TestEngineCancel(t *testing.T) {
+	e := NewEngine()
+	fired := false
+	ev := e.At(10, func(Time) { fired = true })
+	if !ev.Scheduled() {
+		t.Fatal("event should be scheduled")
+	}
+	if !e.Cancel(ev) {
+		t.Fatal("Cancel returned false for pending event")
+	}
+	if ev.Scheduled() {
+		t.Fatal("event still scheduled after cancel")
+	}
+	if e.Cancel(ev) {
+		t.Fatal("double-cancel returned true")
+	}
+	e.Drain(10)
+	if fired {
+		t.Fatal("cancelled event fired")
+	}
+	if e.Cancel(nil) {
+		t.Fatal("Cancel(nil) returned true")
+	}
+}
+
+func TestEngineEvery(t *testing.T) {
+	e := NewEngine()
+	var times []Time
+	cancel := e.Every(Time(10), 20, func(now Time) { times = append(times, now) })
+	e.RunUntil(Time(75))
+	cancel()
+	e.RunUntil(Time(200))
+	want := []Time{10, 30, 50, 70}
+	if len(times) != len(want) {
+		t.Fatalf("fired %d times (%v), want %v", len(times), times, want)
+	}
+	for i := range want {
+		if times[i] != want[i] {
+			t.Fatalf("times = %v, want %v", times, want)
+		}
+	}
+}
+
+func TestEngineEveryZeroPeriodPanics(t *testing.T) {
+	e := NewEngine()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Every(period=0) did not panic")
+		}
+	}()
+	e.Every(0, 0, func(Time) {})
+}
+
+func TestEngineDrainLimit(t *testing.T) {
+	e := NewEngine()
+	var loop func(now Time)
+	loop = func(now Time) { e.At(now+1, loop) }
+	e.At(0, loop)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Drain did not panic on runaway loop")
+		}
+	}()
+	e.Drain(1000)
+}
+
+func TestEngineEventAccounting(t *testing.T) {
+	e := NewEngine()
+	for i := 0; i < 5; i++ {
+		e.At(Time(i), func(Time) {})
+	}
+	if e.Pending() != 5 {
+		t.Fatalf("Pending = %d, want 5", e.Pending())
+	}
+	e.Drain(100)
+	if e.Fired() != 5 {
+		t.Fatalf("Fired = %d, want 5", e.Fired())
+	}
+	if e.Pending() != 0 {
+		t.Fatalf("Pending = %d, want 0", e.Pending())
+	}
+}
+
+// Property: events always fire in non-decreasing time order, no matter the
+// insertion order.
+func TestEventOrderProperty(t *testing.T) {
+	f := func(offsets []uint16) bool {
+		e := NewEngine()
+		var fired []Time
+		for _, off := range offsets {
+			e.At(Time(off), func(now Time) { fired = append(fired, now) })
+		}
+		e.Drain(uint64(len(offsets)) + 1)
+		for i := 1; i < len(fired); i++ {
+			if fired[i] < fired[i-1] {
+				return false
+			}
+		}
+		return len(fired) == len(offsets)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRandDeterminism(t *testing.T) {
+	a, b := NewRand(42), NewRand(42)
+	for i := 0; i < 100; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("same seed produced different streams")
+		}
+	}
+	c := NewRand(43)
+	same := 0
+	a = NewRand(42)
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == c.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("different seeds matched %d/100 draws", same)
+	}
+}
+
+func TestRandRanges(t *testing.T) {
+	r := NewRand(1)
+	for i := 0; i < 1000; i++ {
+		if v := r.Intn(7); v < 0 || v >= 7 {
+			t.Fatalf("Intn out of range: %d", v)
+		}
+		if v := r.Int63n(1000); v < 0 || v >= 1000 {
+			t.Fatalf("Int63n out of range: %d", v)
+		}
+		if f := r.Float64(); f < 0 || f >= 1 {
+			t.Fatalf("Float64 out of range: %v", f)
+		}
+		if d := r.UniformDuration(10, 20); d < 10 || d > 20 {
+			t.Fatalf("UniformDuration out of range: %v", d)
+		}
+	}
+	if r.UniformDuration(20, 10) != 20 {
+		t.Fatal("UniformDuration with hi<=lo should return lo")
+	}
+}
+
+func TestRandIntnPanics(t *testing.T) {
+	r := NewRand(1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Intn(0) did not panic")
+		}
+	}()
+	r.Intn(0)
+}
+
+func TestRandExpDurationMean(t *testing.T) {
+	r := NewRand(7)
+	const n = 20000
+	mean := Duration(1000)
+	var sum float64
+	for i := 0; i < n; i++ {
+		d := r.ExpDuration(mean)
+		if d < 0 {
+			t.Fatalf("negative exponential draw: %v", d)
+		}
+		sum += float64(d)
+	}
+	got := sum / n
+	if math.Abs(got-1000) > 50 {
+		t.Fatalf("exponential mean = %.1f, want ~1000", got)
+	}
+	if r.ExpDuration(0) != 0 {
+		t.Fatal("ExpDuration(0) should be 0")
+	}
+}
+
+func TestRandNormalMoments(t *testing.T) {
+	r := NewRand(9)
+	const n = 20000
+	var sum, sumsq float64
+	for i := 0; i < n; i++ {
+		v := r.Normal(10, 2)
+		sum += v
+		sumsq += v * v
+	}
+	mean := sum / n
+	variance := sumsq/n - mean*mean
+	if math.Abs(mean-10) > 0.1 {
+		t.Fatalf("normal mean = %.3f, want ~10", mean)
+	}
+	if math.Abs(math.Sqrt(variance)-2) > 0.1 {
+		t.Fatalf("normal stddev = %.3f, want ~2", math.Sqrt(variance))
+	}
+}

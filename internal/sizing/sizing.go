@@ -1,0 +1,246 @@
+// Package sizing answers the question the paper's introduction says
+// operators actually ask: "the maximum number of concurrent users their
+// servers can support given some hardware configuration, and what impact
+// on users yields this maximum value."
+//
+// It composes the reproduction's substrates — the scheduler simulator for
+// CPU-bound stalls, the §5.1.1 memory accounting for paging onset, and
+// link arithmetic for network saturation — into a single capacity
+// estimate, reporting which resource binds first. This is the paper's
+// behavior → load → latency framework packaged as a planning tool.
+package sizing
+
+import (
+	"fmt"
+
+	"thinbench/internal/latency"
+	"thinbench/internal/sched"
+	"thinbench/internal/simclock"
+	"thinbench/internal/workload"
+)
+
+// Profile describes one class of user, the paper's "user behavior" axis.
+type Profile struct {
+	Name string
+	// CPUPerInteraction is the server CPU consumed handling one
+	// interaction (echo + render + encode).
+	CPUPerInteraction simclock.Duration
+	// InteractionsPerSec is the user's interaction rate while active.
+	InteractionsPerSec float64
+	// BackgroundCPUFrac is non-interactive CPU the user's session burns
+	// (compilations, macros) as a fraction of one CPU.
+	BackgroundCPUFrac float64
+	// SessionKB is the per-session compulsory memory (§5.1.1).
+	SessionKB int
+	// DisplayBitsPerSec is steady display-channel traffic per user, which
+	// depends on protocol and content (Figure 4's numbers are the extreme).
+	DisplayBitsPerSec float64
+}
+
+// LightAdmin is a forms-and-typing user on an efficient protocol.
+func LightAdmin() Profile {
+	return Profile{
+		Name:               "light-admin",
+		CPUPerInteraction:  2 * simclock.Millisecond,
+		InteractionsPerSec: 2,
+		BackgroundCPUFrac:  0.002,
+		SessionKB:          3244 + 1200, // TSE login + one application
+		DisplayBitsPerSec:  16_000,
+	}
+}
+
+// WebBrowser is the paper's animated-page user: the bitmap cache has
+// overflowed and the page streams at Figure 4's combined rate.
+func WebBrowser() Profile {
+	return Profile{
+		Name:               "web-browser",
+		CPUPerInteraction:  3 * simclock.Millisecond,
+		InteractionsPerSec: 1,
+		BackgroundCPUFrac:  0.01,
+		SessionKB:          3244 + 4096,
+		DisplayBitsPerSec:  1_600_000, // Figure 4 combined
+	}
+}
+
+// Developer mixes typing with background compilation.
+func Developer() Profile {
+	return Profile{
+		Name:               "developer",
+		CPUPerInteraction:  2 * simclock.Millisecond,
+		InteractionsPerSec: 4,
+		BackgroundCPUFrac:  0.08,
+		SessionKB:          752 + 2800,
+		DisplayBitsPerSec:  40_000,
+	}
+}
+
+// Server describes the hardware and policy configuration.
+type Server struct {
+	PhysicalKB int
+	SystemKB   int
+	LinkMbps   float64
+	// Scheduler selects the CPU policy: "nt", "rr", or "svr4ia".
+	Scheduler string
+}
+
+// DefaultServer is the paper's testbed class: 64 MB, 10 Mbps shared
+// Ethernet, round-robin scheduling.
+func DefaultServer() Server {
+	return Server{
+		PhysicalKB: 64 * 1024,
+		SystemKB:   18 * 1024,
+		LinkMbps:   10,
+		Scheduler:  "rr",
+	}
+}
+
+// Estimate is the impact of a given population on one server.
+type Estimate struct {
+	Users int
+	// MeanStallMs is the measured typist stall at this population.
+	MeanStallMs float64
+	// MaxStallMs is the worst observed stall.
+	MaxStallMs float64
+	// MemoryKB is resident session memory; Paging reports overflow.
+	MemoryKB int
+	Paging   bool
+	// LinkUtilization is offered display traffic over link rate.
+	LinkUtilization float64
+}
+
+// Perceptible reports whether the population pushes the typist past the
+// 100 ms threshold.
+func (e Estimate) Perceptible() bool {
+	return e.MeanStallMs >= latency.PerceptionThreshold.Milliseconds()
+}
+
+func newScheduler(name string) (sched.Scheduler, bool) {
+	switch name {
+	case "nt":
+		return sched.NewNTSched(sched.DefaultNTConfig()), false
+	case "svr4ia":
+		return sched.NewSVR4IASched(10 * simclock.Millisecond), true
+	default:
+		return sched.NewRRSched(10 * simclock.Millisecond), false
+	}
+}
+
+// Evaluate simulates users of the profile on the server for the span and
+// measures one of them (a 20 Hz repeat typist, the Figure 3 probe).
+func Evaluate(srv Server, p Profile, users int, span simclock.Duration, seed uint64) Estimate {
+	if users < 1 {
+		users = 1
+	}
+	eng := simclock.NewEngine()
+	policy, interactive := newScheduler(srv.Scheduler)
+	cpu := sched.NewCPU(eng, policy, simclock.Second)
+	rng := simclock.NewRand(seed)
+
+	// The measured user's pipeline.
+	editor := cpu.NewThread("probe-editor", 9)
+	editor.GUIBoost = true
+	editor.Interactive = interactive
+	render := cpu.NewThread("probe-render", 8)
+	render.Interactive = interactive
+
+	// The other users: interaction bursts plus background load.
+	for i := 1; i < users; i++ {
+		t := cpu.NewThread(fmt.Sprintf("user%d", i), 8)
+		if p.InteractionsPerSec > 0 {
+			period := simclock.Duration(1e6 / p.InteractionsPerSec)
+			phase := rng.UniformDuration(0, period)
+			eng.Every(simclock.Time(phase), period, func(simclock.Time) {
+				cpu.Submit(t, &sched.WorkItem{Tag: "interact", CPU: p.CPUPerInteraction})
+			})
+		}
+		if p.BackgroundCPUFrac > 0 {
+			bg := cpu.NewThread(fmt.Sprintf("bg%d", i), 8)
+			// Background demand arrives as 100 ms-period slices.
+			slice := simclock.Duration(p.BackgroundCPUFrac * 100_000)
+			phase := rng.UniformDuration(0, 100*simclock.Millisecond)
+			eng.Every(simclock.Time(phase), 100*simclock.Millisecond, func(simclock.Time) {
+				cpu.Submit(bg, &sched.WorkItem{Tag: "background", CPU: slice})
+			})
+		}
+	}
+
+	tracker := latency.NewStallTracker(50 * simclock.Millisecond)
+	tracker.Observe(0)
+	for _, at := range workload.KeystrokeTimes(workload.TypingConfig{Rate: 20, Span: span}) {
+		cpu.SubmitAt(at, editor, &sched.WorkItem{
+			Tag: "echo", CPU: simclock.Millisecond, Coalesce: true,
+			OnDone: func(simclock.Time, int) {
+				cpu.Submit(render, &sched.WorkItem{
+					Tag: "render", CPU: 1500 * simclock.Microsecond, Coalesce: true,
+					OnDone: func(done simclock.Time, _ int) { tracker.Observe(done) },
+				})
+			},
+		})
+	}
+	eng.RunFor(span + simclock.Second)
+
+	mem := users * p.SessionKB
+	free := srv.PhysicalKB - srv.SystemKB
+	return Estimate{
+		Users:           users,
+		MeanStallMs:     tracker.MeanStallMs(),
+		MaxStallMs:      tracker.MaxStallMs(),
+		MemoryKB:        mem,
+		Paging:          mem > free,
+		LinkUtilization: float64(users) * p.DisplayBitsPerSec / (srv.LinkMbps * 1e6),
+	}
+}
+
+// Limit names the resource that capped a capacity search.
+type Limit string
+
+// Binding resources.
+const (
+	LimitCPU     Limit = "cpu"
+	LimitMemory  Limit = "memory"
+	LimitNetwork Limit = "network"
+	LimitNone    Limit = "none"
+)
+
+// Capacity finds the largest user count that keeps the probe's mean stall
+// under the perception threshold, stays out of paging, and keeps the link
+// under 80% utilization. It returns the count, the estimate at that count,
+// and which resource binds at count+1.
+func Capacity(srv Server, p Profile, maxUsers int, span simclock.Duration, seed uint64) (int, Estimate, Limit) {
+	if maxUsers < 1 {
+		maxUsers = 1
+	}
+	best := Evaluate(srv, p, 1, span, seed)
+	if violation(srv, best) != LimitNone {
+		return 0, best, violation(srv, best)
+	}
+	// The three constraints are all monotone in the user count, so binary
+	// search finds the frontier.
+	lo, hi := 1, maxUsers
+	for lo < hi {
+		mid := (lo + hi + 1) / 2
+		est := Evaluate(srv, p, mid, span, seed)
+		if violation(srv, est) == LimitNone {
+			lo = mid
+			best = est
+		} else {
+			hi = mid - 1
+		}
+	}
+	over := Evaluate(srv, p, lo+1, span, seed)
+	return lo, best, violation(srv, over)
+}
+
+// violation reports the first constraint the estimate breaks.
+func violation(srv Server, e Estimate) Limit {
+	if e.Paging {
+		return LimitMemory
+	}
+	if e.LinkUtilization > 0.8 {
+		return LimitNetwork
+	}
+	if e.Perceptible() {
+		return LimitCPU
+	}
+	return LimitNone
+}

@@ -1,0 +1,94 @@
+package sizing
+
+import (
+	"testing"
+
+	"thinbench/internal/simclock"
+)
+
+const testSpan = 10 * simclock.Second
+
+func TestStallGrowsWithUsers(t *testing.T) {
+	srv := DefaultServer()
+	p := Developer()
+	few := Evaluate(srv, p, 2, testSpan, 1)
+	many := Evaluate(srv, p, 40, testSpan, 1)
+	if many.MeanStallMs <= few.MeanStallMs {
+		t.Fatalf("stall did not grow: %v -> %v", few.MeanStallMs, many.MeanStallMs)
+	}
+	if few.Perceptible() {
+		t.Fatalf("2 developers already perceptible: %.1f ms", few.MeanStallMs)
+	}
+}
+
+func TestWebBrowsersAreNetworkBound(t *testing.T) {
+	// The paper's Figure 4 conclusion: ~5 animated-page users saturate
+	// 10 Mbps Ethernet, long before CPU or memory matter.
+	n, est, limit := Capacity(DefaultServer(), WebBrowser(), 100, testSpan, 1)
+	if limit != LimitNetwork {
+		t.Fatalf("web browsers limited by %s, want network", limit)
+	}
+	if n < 3 || n > 7 {
+		t.Fatalf("capacity = %d users, paper says ~5 saturate the link", n)
+	}
+	if est.LinkUtilization > 0.8 {
+		t.Fatalf("returned estimate already violates the link bound: %v", est.LinkUtilization)
+	}
+}
+
+func TestLightAdminsAreMemoryBound(t *testing.T) {
+	// Cheap interactions, tiny traffic: the 64 MB of RAM runs out first.
+	n, _, limit := Capacity(DefaultServer(), LightAdmin(), 100, testSpan, 1)
+	if limit != LimitMemory {
+		t.Fatalf("light admins limited by %s, want memory", limit)
+	}
+	// (65536-18432)/4444 = 10 sessions.
+	if n != 10 {
+		t.Fatalf("capacity = %d, want 10 memory-bound sessions", n)
+	}
+}
+
+func TestDevelopersAreCPUBound(t *testing.T) {
+	srv := DefaultServer()
+	srv.PhysicalKB = 512 * 1024 // plenty of memory
+	n, est, limit := Capacity(srv, Developer(), 120, testSpan, 1)
+	if limit != LimitCPU {
+		t.Fatalf("developers limited by %s, want cpu", limit)
+	}
+	if n < 5 || n > 100 {
+		t.Fatalf("implausible developer capacity %d", n)
+	}
+	if est.Perceptible() {
+		t.Fatal("returned estimate already perceptible")
+	}
+}
+
+func TestSVR4SchedulerRaisesCPUCapacity(t *testing.T) {
+	srv := DefaultServer()
+	srv.PhysicalKB = 512 * 1024
+	rr, _, _ := Capacity(srv, Developer(), 120, testSpan, 1)
+	srv.Scheduler = "svr4ia"
+	ia, _, _ := Capacity(srv, Developer(), 120, testSpan, 1)
+	if ia <= rr {
+		t.Fatalf("interactive scheduler capacity %d not above round-robin %d", ia, rr)
+	}
+}
+
+func TestEvaluateDeterministic(t *testing.T) {
+	a := Evaluate(DefaultServer(), Developer(), 10, testSpan, 42)
+	b := Evaluate(DefaultServer(), Developer(), 10, testSpan, 42)
+	if a != b {
+		t.Fatalf("identical seeds diverged: %+v vs %+v", a, b)
+	}
+}
+
+func TestZeroAndNegativeUsersClamp(t *testing.T) {
+	e := Evaluate(DefaultServer(), LightAdmin(), 0, testSpan, 1)
+	if e.Users != 1 {
+		t.Fatalf("users clamped to %d, want 1", e.Users)
+	}
+	n, _, _ := Capacity(DefaultServer(), LightAdmin(), 0, testSpan, 1)
+	if n < 0 {
+		t.Fatal("negative capacity")
+	}
+}

@@ -1,0 +1,113 @@
+package workload
+
+import (
+	"fmt"
+
+	"thinbench/internal/proto"
+	"thinbench/internal/simclock"
+	"thinbench/internal/trace"
+)
+
+// ReplayOpts models each protocol's flushing behavior during a Replay.
+type ReplayOpts struct {
+	// InputCoalesce merges input batches closer together than this into
+	// one EncodeInput call. The TSE client coalesces aggressively
+	// (~200 ms) and samples motion; X flushes at event-queue granularity.
+	InputCoalesce simclock.Duration
+	// DisplayCoalesce merges display batches within the window into one
+	// Update call: TSE's display driver aggregates damage on a timer and
+	// ships many orders per PDU, while X requests flow individually.
+	DisplayCoalesce simclock.Duration
+}
+
+// Replay plays a behavior trace through a protocol endpoint pair,
+// recording all traffic. Display batches are encoded by the server and
+// applied by the client (so decoding is verified as a side effect); input
+// batches are encoded by the client and decoded by the server.
+func Replay(tr Trace, srv proto.Server, cli proto.Client, rec *trace.Recorder, opts ReplayOpts) error {
+	inputs := coalesceInput(tr.Input, opts.InputCoalesce)
+	displays := coalesceDisplay(tr.Display, opts.DisplayCoalesce)
+	di, ii := 0, 0
+	for di < len(displays) || ii < len(inputs) {
+		nextDisplay := di < len(displays) &&
+			(ii >= len(inputs) || displays[di].At <= inputs[ii].At)
+		if nextDisplay {
+			b := displays[di]
+			di++
+			for _, m := range srv.Update(b.Ops) {
+				if rec != nil {
+					rec.Record(b.At, m)
+				}
+				if err := cli.Apply(m); err != nil {
+					return fmt.Errorf("replay %s: display batch at %v: %w", tr.Name, b.At, err)
+				}
+			}
+			continue
+		}
+		b := inputs[ii]
+		ii++
+		for _, m := range cli.EncodeInput(b.Events) {
+			if rec != nil {
+				rec.Record(b.At, m)
+			}
+			// Note: a legitimately empty decode is possible (a VNC-style
+			// server deduplicates repeated pointer positions), so only a
+			// decode error fails the replay.
+			if _, err := srv.DecodeInput(m); err != nil {
+				return fmt.Errorf("replay %s: input batch at %v: %w", tr.Name, b.At, err)
+			}
+		}
+	}
+	if rec != nil {
+		rec.Flush()
+	}
+	return nil
+}
+
+// coalesceInput merges input batches arriving within the window, keeping
+// the final batch's timestamp as the flush instant.
+func coalesceInput(in []InputBatch, window simclock.Duration) []InputBatch {
+	if window <= 0 || len(in) == 0 {
+		return in
+	}
+	out := make([]InputBatch, 0, len(in))
+	acc := InputBatch{At: in[0].At}
+	windowStart := in[0].At
+	for _, b := range in {
+		if b.At.Sub(windowStart) >= window && len(acc.Events) > 0 {
+			out = append(out, acc)
+			acc = InputBatch{}
+			windowStart = b.At
+		}
+		acc.At = b.At
+		acc.Events = append(acc.Events, b.Events...)
+	}
+	if len(acc.Events) > 0 {
+		out = append(out, acc)
+	}
+	return out
+}
+
+// coalesceDisplay merges display batches arriving within the window,
+// preserving operation order.
+func coalesceDisplay(in []DisplayBatch, window simclock.Duration) []DisplayBatch {
+	if window <= 0 || len(in) == 0 {
+		return in
+	}
+	out := make([]DisplayBatch, 0, len(in))
+	acc := DisplayBatch{At: in[0].At}
+	windowStart := in[0].At
+	for _, b := range in {
+		if b.At.Sub(windowStart) >= window && len(acc.Ops) > 0 {
+			out = append(out, acc)
+			acc = DisplayBatch{}
+			windowStart = b.At
+		}
+		acc.At = b.At
+		acc.Ops = append(acc.Ops, b.Ops...)
+	}
+	if len(acc.Ops) > 0 {
+		out = append(out, acc)
+	}
+	return out
+}

@@ -1,0 +1,46 @@
+package thinbench_test
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"thinbench"
+)
+
+func TestPublicRegistry(t *testing.T) {
+	exps := thinbench.Experiments()
+	if len(exps) != 21 {
+		t.Fatalf("%d experiments registered, want 21 (9 figures, 6 tables, 5 ablations, 1 capacity)", len(exps))
+	}
+	if _, ok := thinbench.Lookup("fig3"); !ok {
+		t.Fatal("fig3 not found via facade")
+	}
+}
+
+func TestPublicRun(t *testing.T) {
+	r, err := thinbench.Run("tab4", thinbench.QuickConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(r.Render(), "45,328") {
+		t.Fatal("tab4 render missing TSE setup bytes")
+	}
+}
+
+func TestPublicRunUnknown(t *testing.T) {
+	_, err := thinbench.Run("nope", thinbench.QuickConfig())
+	if err == nil {
+		t.Fatal("unknown experiment did not error")
+	}
+	var unk *thinbench.UnknownExperimentError
+	if !errors.As(err, &unk) || unk.ID != "nope" {
+		t.Fatalf("error = %v, want UnknownExperimentError{nope}", err)
+	}
+}
+
+func TestPerceptionThreshold(t *testing.T) {
+	if thinbench.PerceptionThreshold != 100*thinbench.Millisecond {
+		t.Fatal("facade perception threshold diverges from the paper's 100ms")
+	}
+}
