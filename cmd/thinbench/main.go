@@ -9,6 +9,7 @@
 //	thinbench -run all              run everything
 //	thinbench -run fig7 -quick      shortened measurement windows
 //	thinbench -run fig8 -seed 42    alternate random seed
+//	thinbench -run all -parallel 8  run experiments across 8 workers
 package main
 
 import (
@@ -21,10 +22,11 @@ import (
 
 func main() {
 	var (
-		runID = flag.String("run", "", "experiment ID to run (fig1..fig9, tab1..tab6, abl1..abl4, or 'all')")
-		list  = flag.Bool("list", false, "list registered experiments")
-		quick = flag.Bool("quick", false, "shorten measurement windows (same shapes, more noise)")
-		seed  = flag.Uint64("seed", 1999, "random seed; identical seeds reproduce identical results")
+		runID    = flag.String("run", "", "experiment ID to run (fig1..fig9, tab1..tab6, abl1..abl4, or 'all')")
+		list     = flag.Bool("list", false, "list registered experiments")
+		quick    = flag.Bool("quick", false, "shorten measurement windows (same shapes, more noise)")
+		seed     = flag.Uint64("seed", 1999, "random seed; identical seeds reproduce identical results")
+		parallel = flag.Int("parallel", 0, "worker pool size for -run all (0 = GOMAXPROCS, 1 = sequential); results are identical at any setting")
 	)
 	flag.Parse()
 
@@ -40,8 +42,11 @@ func main() {
 	}
 
 	cfg := thinbench.Config{Seed: *seed, Quick: *quick}
+	if *parallel != 0 && *runID != "all" {
+		fmt.Fprintln(os.Stderr, "note: -parallel applies to -run all; single experiments run on one worker")
+	}
 	if *runID == "all" {
-		results, err := thinbench.RunAll(cfg)
+		results, err := thinbench.RunAllParallel(cfg, *parallel)
 		for _, r := range results {
 			fmt.Println(r.Render())
 		}

@@ -18,14 +18,35 @@ func TestEndToEndOverLoopback(t *testing.T) {
 			}
 			defer ln.Close()
 			errc := make(chan error, 1)
-			go func() { errc <- serveListener(ln, prot, "animation", 3) }()
-			if err := view(ln.Addr().String(), prot); err != nil {
+			go func() { errc <- serveListener(ln, prot, "animation", 3, 1, 1999) }()
+			if err := view(ln.Addr().String(), prot, 1); err != nil {
 				t.Fatalf("client: %v", err)
 			}
 			if err := <-errc; err != nil {
 				t.Fatalf("server: %v", err)
 			}
 		})
+	}
+}
+
+// TestConcurrentSessionsOverLoopback multiplexes many concurrent client
+// sessions against one server process over real TCP connections — the
+// farm end-to-end: every session has its own codec state, workload trace
+// (seed-derived, so streams differ), and socket.
+func TestConcurrentSessionsOverLoopback(t *testing.T) {
+	const sessions = 8
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	errc := make(chan error, 1)
+	go func() { errc <- serveListener(ln, "rdp", "animation", 2, sessions, 7) }()
+	if err := view(ln.Addr().String(), "rdp", sessions); err != nil {
+		t.Fatalf("client: %v", err)
+	}
+	if err := <-errc; err != nil {
+		t.Fatalf("server: %v", err)
 	}
 }
 
@@ -36,7 +57,22 @@ func TestUnknownProtocolRejected(t *testing.T) {
 	if _, err := newClient("spice"); err == nil {
 		t.Fatal("unknown protocol accepted")
 	}
-	if _, err := buildTrace("quake", 1); err == nil {
+	if _, err := buildTrace("quake", 1, 1); err == nil {
 		t.Fatal("unknown workload accepted")
+	}
+	// Bad inputs must fail before any client is accepted.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	if err := serveListener(ln, "spice", "animation", 1, 1, 1); err == nil {
+		t.Fatal("serveListener accepted unknown protocol")
+	}
+	if err := serveListener(ln, "rdp", "quake", 1, 1, 1); err == nil {
+		t.Fatal("serveListener accepted unknown workload")
+	}
+	if err := view("127.0.0.1:0", "spice", 1); err == nil {
+		t.Fatal("view accepted unknown protocol")
 	}
 }

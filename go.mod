@@ -1,0 +1,3 @@
+module thinbench
+
+go 1.24.0

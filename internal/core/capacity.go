@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 
+	"thinbench/internal/farm"
 	"thinbench/internal/metrics"
 	"thinbench/internal/simclock"
 	"thinbench/internal/sizing"
@@ -25,10 +26,21 @@ func runCap1(cfg Config) (*Result, error) {
 	}
 	srv := sizing.DefaultServer()
 	table := metrics.NewTable("Profile", "capacity", "binding resource", "stall at cap", "link util")
-	for _, p := range []sizing.Profile{sizing.LightAdmin(), sizing.Developer(), sizing.WebBrowser()} {
-		n, est, limit := sizing.Capacity(srv, p, 120, span, cfg.Seed)
-		table.AddRow(p.Name, fmt.Sprintf("%d users", n), string(limit),
-			fmt.Sprintf("%.1fms", est.MeanStallMs), fmt.Sprintf("%.0f%%", est.LinkUtilization*100))
+	profiles := []sizing.Profile{sizing.LightAdmin(), sizing.Developer(), sizing.WebBrowser()}
+	// Each profile's capacity search is itself a concurrent fan-out over
+	// candidate user counts; the farm here runs the three searches at once
+	// and streams rows back in profile order, so the table is identical to
+	// a sequential run.
+	err := farm.Aggregate(farm.Config{Sessions: len(profiles), Seed: cfg.Seed},
+		func(s *farm.Session) ([]string, error) {
+			p := profiles[s.Index]
+			n, est, limit := sizing.Capacity(srv, p, 120, span, cfg.Seed)
+			return []string{p.Name, fmt.Sprintf("%d users", n), string(limit),
+				fmt.Sprintf("%.1fms", est.MeanStallMs), fmt.Sprintf("%.0f%%", est.LinkUtilization*100)}, nil
+		},
+		func(_ int, row []string) { table.AddRow(row...) })
+	if err != nil {
+		return nil, err
 	}
 	res.Tables = append(res.Tables, table)
 

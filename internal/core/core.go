@@ -16,6 +16,7 @@ import (
 	"sort"
 	"strings"
 
+	"thinbench/internal/farm"
 	"thinbench/internal/metrics"
 )
 
@@ -122,15 +123,38 @@ func Lookup(id string) (Experiment, bool) {
 	return Experiment{}, false
 }
 
-// RunAll executes every experiment, returning results in ID order.
+// RunAll executes every experiment sequentially, returning results in ID
+// order. It is RunAllParallel with a single worker.
 func RunAll(cfg Config) ([]*Result, error) {
-	var out []*Result
-	for _, e := range Experiments() {
-		r, err := e.Run(cfg)
-		if err != nil {
-			return out, fmt.Errorf("experiment %s: %w", e.ID, err)
+	return RunAllParallel(cfg, 1)
+}
+
+// RunAllParallel executes every experiment across a farm of the given
+// worker count (<= 0 means GOMAXPROCS), returning results in ID order.
+// Experiments share no mutable state and each derives all randomness from
+// cfg.Seed, so the results are identical to a sequential run — only the
+// wall-clock time changes.
+func RunAllParallel(cfg Config, workers int) ([]*Result, error) {
+	exps := Experiments()
+	results, err := farm.Run(farm.Config{Sessions: len(exps), Workers: workers, Seed: cfg.Seed},
+		func(s *farm.Session) (*Result, error) {
+			r, err := exps[s.Index].Run(cfg)
+			if err != nil {
+				return nil, fmt.Errorf("experiment %s: %w", exps[s.Index].ID, err)
+			}
+			return r, nil
+		})
+	if err != nil {
+		// Preserve RunAll's historical contract: the prefix of completed
+		// results up to the first failure, plus the error.
+		var prefix []*Result
+		for _, r := range results {
+			if r == nil {
+				break
+			}
+			prefix = append(prefix, r)
 		}
-		out = append(out, r)
+		return prefix, err
 	}
-	return out, nil
+	return results, nil
 }

@@ -325,3 +325,44 @@ func TestResultRender(t *testing.T) {
 		t.Fatalf("render output wrong:\n%s", out)
 	}
 }
+
+// TestRunAllParallelMatchesSequential: the farm-backed parallel registry
+// run must render every result identically to the sequential run — worker
+// count buys wall-clock only.
+func TestRunAllParallelMatchesSequential(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full registry comparison in -short mode")
+	}
+	seq, err := RunAll(quickCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := RunAllParallel(quickCfg, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(par) != len(seq) {
+		t.Fatalf("parallel returned %d results, sequential %d", len(par), len(seq))
+	}
+	for i := range seq {
+		if par[i].Render() != seq[i].Render() {
+			t.Errorf("%s renders differently under parallel execution", seq[i].ID)
+		}
+	}
+}
+
+func BenchmarkRunAllSequential(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := RunAll(quickCfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkRunAllParallel(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := RunAllParallel(quickCfg, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

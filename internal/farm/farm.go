@@ -1,0 +1,211 @@
+// Package farm is the concurrent multi-session execution engine of the
+// reproduction: it runs N independent simulated sessions — each with its
+// own discrete-event clock, random stream, and whatever scheduler, VM,
+// netsim, or protocol state the session body builds — across a bounded
+// worker pool, and aggregates per-session results deterministically.
+//
+// The paper's central operational question is capacity: "the maximum
+// number of concurrent users their servers can support". Answering it at
+// scale means simulating many sessions at once, and the farm is the
+// substrate every concurrent experiment, capacity probe, and thinserve
+// session multiplexer runs on.
+//
+// Determinism is the design constraint. Each session derives its seed from
+// the root seed and its session index (simclock.DeriveSeed), never from
+// which worker picks it up; and aggregation happens in session-index order
+// on a single goroutine, so a run with 8 workers is bit-for-bit identical
+// to a run with 1. Sessions share no mutable state — shard metrics live in
+// the session body and merge during ordered aggregation — so no global
+// locks exist anywhere on the hot path.
+package farm
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"thinbench/internal/simclock"
+)
+
+// Config sizes a farm run.
+type Config struct {
+	// Sessions is the number of independent sessions to run.
+	Sessions int
+	// Workers bounds the worker pool; <= 0 means GOMAXPROCS. The worker
+	// count never affects results, only wall-clock time.
+	Workers int
+	// Seed is the root seed; session i runs with
+	// simclock.DeriveSeed(Seed, i).
+	Seed uint64
+}
+
+// EffectiveWorkers resolves the pool size a run will actually use:
+// Workers, defaulted to GOMAXPROCS, clamped to [1, Sessions].
+func (c Config) EffectiveWorkers() int {
+	w := c.Workers
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	if w > c.Sessions {
+		w = c.Sessions
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// Session is the per-session context the farm hands to a session body: a
+// stable index, a deterministically derived seed, a private random stream,
+// and a private discrete-event clock. Bodies may build any further
+// per-session state (schedulers, VMs, network simulators, protocol codecs)
+// on top; nothing here is shared between sessions.
+type Session struct {
+	// Index is the session's position in [0, Sessions).
+	Index int
+	// Seed is DeriveSeed(root, Index); use it to seed any additional
+	// per-session randomness.
+	Seed uint64
+	// Rand is a private generator already seeded with Seed.
+	Rand *simclock.Rand
+	// Clock is a private discrete-event engine at time zero.
+	Clock *simclock.Engine
+}
+
+// Error reports the failure of one session. When several sessions fail,
+// the farm returns the lowest-indexed failure so that the reported error
+// does not depend on goroutine scheduling.
+type Error struct {
+	Index int
+	Err   error
+}
+
+func (e *Error) Error() string {
+	return fmt.Sprintf("farm: session %d: %v", e.Index, e.Err)
+}
+
+func (e *Error) Unwrap() error { return e.Err }
+
+// Run executes body once per session across the worker pool and returns
+// the per-session results in session-index order. Every session runs even
+// if an earlier one fails; on failure the results of failed sessions are
+// zero values and the returned error is the lowest-indexed session error.
+func Run[T any](cfg Config, body func(s *Session) (T, error)) ([]T, error) {
+	if cfg.Sessions <= 0 {
+		return nil, nil
+	}
+	results := make([]T, cfg.Sessions)
+	errs := make([]error, cfg.Sessions)
+
+	indices := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < cfg.EffectiveWorkers(); w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range indices {
+				// Each slot is written by exactly one goroutine, so the
+				// slices need no locking.
+				results[i], errs[i] = runSession(cfg, i, body)
+			}
+		}()
+	}
+	for i := 0; i < cfg.Sessions; i++ {
+		indices <- i
+	}
+	close(indices)
+	wg.Wait()
+
+	return results, firstError(errs)
+}
+
+// Aggregate executes body once per session across the worker pool and
+// streams results into merge strictly in session-index order, calling
+// merge on a single goroutine (the caller's). Because shards merge in
+// index order regardless of completion order, aggregated metrics are
+// bit-for-bit reproducible under any worker count; because merge is
+// single-threaded, shard types (metrics.Summary, Histogram, Series, Dist)
+// need no locks. Out-of-order completions are buffered until their turn.
+//
+// On session failure the farm still runs and merges every other session,
+// skipping merge only for failed ones, and returns the lowest-indexed
+// session error.
+func Aggregate[T any](cfg Config, body func(s *Session) (T, error), merge func(index int, result T)) error {
+	if cfg.Sessions <= 0 {
+		return nil
+	}
+	type done struct {
+		index  int
+		result T
+		err    error
+	}
+	completions := make(chan done)
+
+	indices := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < cfg.EffectiveWorkers(); w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range indices {
+				r, err := runSession(cfg, i, body)
+				completions <- done{index: i, result: r, err: err}
+			}
+		}()
+	}
+	go func() {
+		for i := 0; i < cfg.Sessions; i++ {
+			indices <- i
+		}
+		close(indices)
+		wg.Wait()
+		close(completions)
+	}()
+
+	// Single-threaded ordered fold: buffer completions that arrive ahead
+	// of the merge cursor.
+	errs := make([]error, cfg.Sessions)
+	pending := make(map[int]done)
+	next := 0
+	for d := range completions {
+		pending[d.index] = d
+		for {
+			d, ok := pending[next]
+			if !ok {
+				break
+			}
+			delete(pending, next)
+			if d.err != nil {
+				errs[d.index] = d.err
+			} else {
+				merge(d.index, d.result)
+			}
+			next++
+		}
+	}
+	return firstError(errs)
+}
+
+// runSession builds the per-session context and invokes the body. Panics
+// are deliberately not recovered: a panicking simulation is a bug and
+// should crash loudly.
+func runSession[T any](cfg Config, i int, body func(s *Session) (T, error)) (T, error) {
+	seed := simclock.DeriveSeed(cfg.Seed, uint64(i))
+	s := &Session{
+		Index: i,
+		Seed:  seed,
+		Rand:  simclock.NewRand(seed),
+		Clock: simclock.NewEngine(),
+	}
+	return body(s)
+}
+
+// firstError returns the lowest-indexed session error, wrapped.
+func firstError(errs []error) error {
+	for i, err := range errs {
+		if err != nil {
+			return &Error{Index: i, Err: err}
+		}
+	}
+	return nil
+}

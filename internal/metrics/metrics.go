@@ -84,6 +84,19 @@ func (s *Summary) Merge(o *Summary) {
 	s.n, s.mean, s.m2 = n, mean, m2
 }
 
+// MergeSummaries folds a set of per-shard summaries into one, in slice
+// order. Shards accumulate independently (no locks); the single-threaded
+// fold afterward is what makes farm aggregation deterministic.
+func MergeSummaries(shards []*Summary) *Summary {
+	out := &Summary{}
+	for _, s := range shards {
+		if s != nil {
+			out.Merge(s)
+		}
+	}
+	return out
+}
+
 // Dist collects raw samples for exact percentile queries. Intended for
 // experiment-sized sample sets (thousands), not unbounded streams.
 type Dist struct {
@@ -141,6 +154,15 @@ func (d *Dist) Min() float64 { return d.Percentile(0) }
 // Max returns the largest sample (0 when empty).
 func (d *Dist) Max() float64 { return d.Percentile(100) }
 
+// Merge appends another distribution's samples into d.
+func (d *Dist) Merge(o *Dist) {
+	if o == nil || len(o.samples) == 0 {
+		return
+	}
+	d.samples = append(d.samples, o.samples...)
+	d.sorted = false
+}
+
 // Histogram counts samples into fixed-width buckets over [0, width*len).
 // Samples beyond the last bucket are clamped into it.
 type Histogram struct {
@@ -193,6 +215,27 @@ func (h *Histogram) Total() float64 { return h.totalV }
 
 // Clamped reports how many samples exceeded the histogram range.
 func (h *Histogram) Clamped() int64 { return h.clamped }
+
+// Merge folds another histogram into h. Both histograms must have the same
+// bucket width and count; Merge panics otherwise, since silently mixing
+// incompatible bucketings would corrupt every downstream figure. Shards
+// accumulate independently during a farm run and merge single-threaded
+// afterward, so no locking is ever needed.
+func (h *Histogram) Merge(o *Histogram) {
+	if o == nil {
+		return
+	}
+	if o.width != h.width || len(o.counts) != len(h.counts) {
+		panic("metrics: merging histograms with different bucketing")
+	}
+	for i := range h.counts {
+		h.counts[i] += o.counts[i]
+		h.sums[i] += o.sums[i]
+	}
+	h.totalN += o.totalN
+	h.totalV += o.totalV
+	h.clamped += o.clamped
+}
 
 // CumulativeWeighted returns, for each bucket upper edge, the exact sum of
 // sample values in all buckets at or below it. This is the "cumulative

@@ -273,3 +273,87 @@ func TestFormatBytes(t *testing.T) {
 		}
 	}
 }
+
+func TestHistogramMerge(t *testing.T) {
+	whole := NewHistogram(10, 5)
+	a := NewHistogram(10, 5)
+	b := NewHistogram(10, 5)
+	samples := []float64{1, 12, 33, 47, 99, 12, 0, 88}
+	for i, v := range samples {
+		whole.Add(v)
+		if i%2 == 0 {
+			a.Add(v)
+		} else {
+			b.Add(v)
+		}
+	}
+	a.Merge(b)
+	if a.N() != whole.N() || a.Total() != whole.Total() || a.Clamped() != whole.Clamped() {
+		t.Fatalf("merged totals N=%d V=%v C=%d, want N=%d V=%v C=%d",
+			a.N(), a.Total(), a.Clamped(), whole.N(), whole.Total(), whole.Clamped())
+	}
+	for i := 0; i < whole.Buckets(); i++ {
+		if a.Count(i) != whole.Count(i) {
+			t.Fatalf("bucket %d: merged %d, want %d", i, a.Count(i), whole.Count(i))
+		}
+	}
+	cw, ww := a.CumulativeWeighted(), whole.CumulativeWeighted()
+	for i := range ww {
+		if cw[i] != ww[i] {
+			t.Fatalf("cumulative bucket %d: merged %v, want %v", i, cw[i], ww[i])
+		}
+	}
+}
+
+func TestHistogramMergeRejectsMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("merging mismatched histograms did not panic")
+		}
+	}()
+	NewHistogram(10, 5).Merge(NewHistogram(5, 5))
+}
+
+func TestDistMerge(t *testing.T) {
+	var whole, a, b Dist
+	for i, v := range []float64{5, 1, 9, 3, 7, 2, 8} {
+		whole.Add(v)
+		if i < 3 {
+			a.Add(v)
+		} else {
+			b.Add(v)
+		}
+	}
+	// Force a into sorted state first to check Merge resets it.
+	_ = a.Percentile(50)
+	a.Merge(&b)
+	if a.N() != whole.N() {
+		t.Fatalf("merged N = %d, want %d", a.N(), whole.N())
+	}
+	for _, p := range []float64{0, 25, 50, 75, 100} {
+		if a.Percentile(p) != whole.Percentile(p) {
+			t.Fatalf("p%v: merged %v, want %v", p, a.Percentile(p), whole.Percentile(p))
+		}
+	}
+}
+
+func TestMergeSummaries(t *testing.T) {
+	var whole Summary
+	shards := []*Summary{{}, {}, {}}
+	for i := 0; i < 300; i++ {
+		v := float64(i%17) * 1.5
+		whole.Add(v)
+		shards[i%3].Add(v)
+	}
+	m := MergeSummaries(shards)
+	if m.N() != whole.N() || m.Min() != whole.Min() || m.Max() != whole.Max() {
+		t.Fatalf("merged N/min/max diverge: %d/%v/%v vs %d/%v/%v",
+			m.N(), m.Min(), m.Max(), whole.N(), whole.Min(), whole.Max())
+	}
+	if d := m.Mean() - whole.Mean(); d > 1e-9 || d < -1e-9 {
+		t.Fatalf("merged mean %v, want %v", m.Mean(), whole.Mean())
+	}
+	if d := m.Variance() - whole.Variance(); d > 1e-9 || d < -1e-9 {
+		t.Fatalf("merged variance %v, want %v", m.Variance(), whole.Variance())
+	}
+}

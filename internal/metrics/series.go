@@ -55,6 +55,24 @@ func (s *Series) AddSpan(t simclock.Time, d simclock.Duration, amount float64) {
 	}
 }
 
+// Merge folds another series into s bucket-by-bucket, extending s as
+// needed. Both series must share a bucket duration; Merge panics otherwise.
+// Per-shard series accumulate without locks and merge single-threaded.
+func (s *Series) Merge(o *Series) {
+	if o == nil {
+		return
+	}
+	if o.bucket != s.bucket {
+		panic("metrics: merging series with different bucket durations")
+	}
+	for len(s.vals) < len(o.vals) {
+		s.vals = append(s.vals, 0)
+	}
+	for i, v := range o.vals {
+		s.vals[i] += v
+	}
+}
+
 // Len reports the number of buckets with data (including zero-gaps between).
 func (s *Series) Len() int { return len(s.vals) }
 

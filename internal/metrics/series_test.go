@@ -1,0 +1,41 @@
+package metrics
+
+import (
+	"testing"
+
+	"thinbench/internal/simclock"
+)
+
+func TestSeriesMerge(t *testing.T) {
+	whole := NewSeries(simclock.Second)
+	a := NewSeries(simclock.Second)
+	b := NewSeries(simclock.Second)
+	// b covers a longer span than a, so Merge must extend.
+	for i := 0; i < 10; i++ {
+		at := simclock.Time(i) * simclock.Time(simclock.Second)
+		whole.Add(at, float64(i))
+		if i < 4 {
+			a.Add(at, float64(i))
+		} else {
+			b.Add(at, float64(i))
+		}
+	}
+	a.Merge(b)
+	if a.Len() != whole.Len() {
+		t.Fatalf("merged length %d, want %d", a.Len(), whole.Len())
+	}
+	for i := 0; i < whole.Len(); i++ {
+		if a.At(i) != whole.At(i) {
+			t.Fatalf("bucket %d: merged %v, want %v", i, a.At(i), whole.At(i))
+		}
+	}
+}
+
+func TestSeriesMergeRejectsMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("merging mismatched series did not panic")
+		}
+	}()
+	NewSeries(simclock.Second).Merge(NewSeries(simclock.Millisecond))
+}

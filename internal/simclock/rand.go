@@ -16,6 +16,18 @@ func NewRand(seed uint64) *Rand {
 	return &Rand{state: seed + 0x9e3779b97f4a7c15}
 }
 
+// DeriveSeed deterministically derives an independent child seed from a
+// root seed and a stream index (splitmix64 finalizer over both). Concurrent
+// sessions each seed their own Rand with DeriveSeed(root, index), so a farm
+// run is reproducible bit-for-bit regardless of worker count or goroutine
+// interleaving.
+func DeriveSeed(root, stream uint64) uint64 {
+	z := root ^ (stream+1)*0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
 // Uint64 returns the next 64 pseudo-random bits.
 func (r *Rand) Uint64() uint64 {
 	r.state += 0x9e3779b97f4a7c15

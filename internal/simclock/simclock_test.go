@@ -291,3 +291,31 @@ func TestRandNormalMoments(t *testing.T) {
 		t.Fatalf("normal stddev = %.3f, want ~2", math.Sqrt(variance))
 	}
 }
+
+func TestDeriveSeedDeterministicAndIndependent(t *testing.T) {
+	if DeriveSeed(1999, 0) != DeriveSeed(1999, 0) {
+		t.Fatal("DeriveSeed not deterministic")
+	}
+	// Distinct streams and distinct roots must give distinct seeds.
+	seen := map[uint64]bool{}
+	for root := uint64(0); root < 4; root++ {
+		for stream := uint64(0); stream < 64; stream++ {
+			s := DeriveSeed(root, stream)
+			if seen[s] {
+				t.Fatalf("seed collision at root=%d stream=%d", root, stream)
+			}
+			seen[s] = true
+		}
+	}
+	// Derived streams should not be trivially correlated with the parent.
+	a, b := NewRand(DeriveSeed(7, 0)), NewRand(DeriveSeed(7, 1))
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Fatalf("%d identical draws across derived streams", same)
+	}
+}

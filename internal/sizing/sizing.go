@@ -13,6 +13,7 @@ package sizing
 import (
 	"fmt"
 
+	"thinbench/internal/farm"
 	"thinbench/internal/latency"
 	"thinbench/internal/sched"
 	"thinbench/internal/simclock"
@@ -205,30 +206,77 @@ const (
 // Capacity finds the largest user count that keeps the probe's mean stall
 // under the perception threshold, stays out of paging, and keeps the link
 // under 80% utilization. It returns the count, the estimate at that count,
-// and which resource binds at count+1.
+// and which resource binds at count+1. Probes fan out across a session
+// farm sized to GOMAXPROCS; use CapacityParallel to pick the worker count.
 func Capacity(srv Server, p Profile, maxUsers int, span simclock.Duration, seed uint64) (int, Estimate, Limit) {
+	return CapacityParallel(srv, p, maxUsers, span, seed, 0)
+}
+
+// CapacityParallel is Capacity with an explicit probe worker count (<= 0
+// means GOMAXPROCS). Instead of sequential binary probing, each round
+// evaluates up to `workers` candidate user-counts concurrently — a k-ary
+// search over the bracket. Every probe is deterministic in (users, seed)
+// alone, and the three constraints are monotone in the user count, so the
+// answer is identical under any worker count; fan-out only buys wall-clock
+// time, cutting rounds from log2(maxUsers) to log(k+1)(maxUsers).
+func CapacityParallel(srv Server, p Profile, maxUsers int, span simclock.Duration, seed uint64, workers int) (int, Estimate, Limit) {
 	if maxUsers < 1 {
 		maxUsers = 1
 	}
-	best := Evaluate(srv, p, 1, span, seed)
-	if violation(srv, best) != LimitNone {
-		return 0, best, violation(srv, best)
-	}
-	// The three constraints are all monotone in the user count, so binary
-	// search finds the frontier.
-	lo, hi := 1, maxUsers
-	for lo < hi {
-		mid := (lo + hi + 1) / 2
-		est := Evaluate(srv, p, mid, span, seed)
-		if violation(srv, est) == LimitNone {
-			lo = mid
-			best = est
-		} else {
-			hi = mid - 1
+	cache := map[int]Estimate{}
+	probe := func(counts []int) {
+		fresh := counts[:0]
+		for _, c := range counts {
+			if _, ok := cache[c]; !ok {
+				fresh = append(fresh, c)
+			}
+		}
+		if len(fresh) == 0 {
+			return
+		}
+		// Evaluate never fails, so the farm error is always nil.
+		ests, _ := farm.Run(farm.Config{Sessions: len(fresh), Workers: workers, Seed: seed},
+			func(s *farm.Session) (Estimate, error) {
+				return Evaluate(srv, p, fresh[s.Index], span, seed), nil
+			})
+		for i, c := range fresh {
+			cache[c] = ests[i]
 		}
 	}
-	over := Evaluate(srv, p, lo+1, span, seed)
-	return lo, best, violation(srv, over)
+
+	k := farm.Config{Sessions: maxUsers, Workers: workers}.EffectiveWorkers()
+	probe([]int{1})
+	if v := violation(srv, cache[1]); v != LimitNone {
+		return 0, cache[1], v
+	}
+	// k-ary bracket narrowing: [lo known-good, hi possibly-good].
+	lo, hi := 1, maxUsers
+	for lo < hi {
+		counts := make([]int, 0, k)
+		width := hi - lo
+		for j := 1; j <= k; j++ {
+			// Probe the k interior cut points dividing (lo, hi] into k+1
+			// segments; k=1 reduces exactly to classic binary search.
+			c := lo + (width*j+k)/(k+1)
+			if len(counts) == 0 || counts[len(counts)-1] != c {
+				counts = append(counts, c)
+			}
+		}
+		probe(counts)
+		newLo, newHi := lo, hi
+		for _, c := range counts {
+			if violation(srv, cache[c]) == LimitNone {
+				if c > newLo {
+					newLo = c
+				}
+			} else if c-1 < newHi {
+				newHi = c - 1
+			}
+		}
+		lo, hi = newLo, newHi
+	}
+	probe([]int{lo + 1})
+	return lo, cache[lo], violation(srv, cache[lo+1])
 }
 
 // violation reports the first constraint the estimate breaks.

@@ -92,3 +92,57 @@ func TestZeroAndNegativeUsersClamp(t *testing.T) {
 		t.Fatal("negative capacity")
 	}
 }
+
+// linearCapacity is the brute-force reference: walk user counts upward
+// until the first violation.
+func linearCapacity(srv Server, p Profile, maxUsers int, span simclock.Duration, seed uint64) (int, Limit) {
+	prev := Evaluate(srv, p, 1, span, seed)
+	if v := violation(srv, prev); v != LimitNone {
+		return 0, v
+	}
+	for n := 2; n <= maxUsers; n++ {
+		est := Evaluate(srv, p, n, span, seed)
+		if v := violation(srv, est); v != LimitNone {
+			return n - 1, v
+		}
+	}
+	over := Evaluate(srv, p, maxUsers+1, span, seed)
+	return maxUsers, violation(srv, over)
+}
+
+// TestParallelCapacityMatchesLinearScan pins the k-ary concurrent search
+// to the brute-force frontier on a quick workload.
+func TestParallelCapacityMatchesLinearScan(t *testing.T) {
+	span := 3 * simclock.Second
+	srv := DefaultServer()
+	for _, p := range []Profile{LightAdmin(), WebBrowser()} {
+		wantN, wantLimit := linearCapacity(srv, p, 30, span, 1)
+		for _, workers := range []int{1, 4, 16} {
+			n, est, limit := CapacityParallel(srv, p, 30, span, 1, workers)
+			if n != wantN || limit != wantLimit {
+				t.Fatalf("%s workers=%d: capacity=%d limit=%s, linear scan says %d/%s",
+					p.Name, workers, n, limit, wantN, wantLimit)
+			}
+			if n > 0 && est.Users != n {
+				t.Fatalf("%s workers=%d: estimate for %d users returned at capacity %d",
+					p.Name, workers, est.Users, n)
+			}
+		}
+	}
+}
+
+// TestCapacityWorkerCountInvariant: the concurrent fan-out must return
+// bit-identical estimates under any pool size.
+func TestCapacityWorkerCountInvariant(t *testing.T) {
+	srv := DefaultServer()
+	srv.PhysicalKB = 512 * 1024
+	p := Developer()
+	refN, refEst, refLimit := CapacityParallel(srv, p, 60, 5*simclock.Second, 42, 1)
+	for _, workers := range []int{2, 8} {
+		n, est, limit := CapacityParallel(srv, p, 60, 5*simclock.Second, 42, workers)
+		if n != refN || est != refEst || limit != refLimit {
+			t.Fatalf("workers=%d diverged: (%d,%+v,%s) vs (%d,%+v,%s)",
+				workers, n, est, limit, refN, refEst, refLimit)
+		}
+	}
+}

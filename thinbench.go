@@ -93,6 +93,14 @@ func Run(id string, cfg Config) (*Result, error) {
 // RunAll executes every experiment in ID order.
 func RunAll(cfg Config) ([]*Result, error) { return core.RunAll(cfg) }
 
+// RunAllParallel executes every experiment across a concurrent session
+// farm of the given worker count (<= 0 means GOMAXPROCS). Results are
+// identical to RunAll — experiments are deterministic in the seed and
+// share no state — only wall-clock time changes.
+func RunAllParallel(cfg Config, workers int) ([]*Result, error) {
+	return core.RunAllParallel(cfg, workers)
+}
+
 // UnknownExperimentError reports a Run call with an unregistered ID.
 type UnknownExperimentError struct{ ID string }
 

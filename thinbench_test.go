@@ -44,3 +44,22 @@ func TestPerceptionThreshold(t *testing.T) {
 		t.Fatal("facade perception threshold diverges from the paper's 100ms")
 	}
 }
+
+func TestPublicRunAllParallel(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full registry run in -short mode")
+	}
+	results, err := thinbench.RunAllParallel(thinbench.QuickConfig(), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != len(thinbench.Experiments()) {
+		t.Fatalf("parallel run returned %d results for %d experiments",
+			len(results), len(thinbench.Experiments()))
+	}
+	for i, r := range results[1:] {
+		if r.ID <= results[i].ID {
+			t.Fatalf("results out of ID order: %s before %s", results[i].ID, r.ID)
+		}
+	}
+}
