@@ -14,68 +14,90 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"sort"
 
-	"thinbench/internal/display"
-	"thinbench/internal/proto"
-	"thinbench/internal/proto/lbx"
-	"thinbench/internal/proto/rdp"
-	"thinbench/internal/proto/slim"
-	"thinbench/internal/proto/vnc"
-	"thinbench/internal/proto/xwire"
+	"thinbench/internal/proto/protos"
 	"thinbench/internal/simclock"
 	"thinbench/internal/trace"
 	"thinbench/internal/workload"
 )
 
+// tapConfig is one capture request, separated from flag parsing so tests
+// can pin the tool's output.
+type tapConfig struct {
+	workload string
+	proto    string
+	frames   int
+	fps      float64
+	spanSec  int
+	series   bool
+	kinds    bool
+}
+
 func main() {
-	var (
-		wl     = flag.String("workload", "office", "workload: office, webpage, animation")
-		prot   = flag.String("proto", "rdp", "protocol: rdp, x, lbx, vnc, slim")
-		frames = flag.Int("frames", 10, "animation frame count (animation workload)")
-		fps    = flag.Float64("fps", 20, "animation frame rate")
-		span   = flag.Int("span", 30, "workload span in seconds (webpage/animation)")
-		series = flag.Bool("series", false, "print the Mbps time series")
-		kinds  = flag.Bool("kinds", false, "print the per-message-kind breakdown")
-	)
+	var cfg tapConfig
+	flag.StringVar(&cfg.workload, "workload", "office", "workload: office, webpage, animation")
+	flag.StringVar(&cfg.proto, "proto", "rdp", "protocol: rdp, x, lbx, vnc, slim")
+	flag.IntVar(&cfg.frames, "frames", 10, "animation frame count (animation workload)")
+	flag.Float64Var(&cfg.fps, "fps", 20, "animation frame rate")
+	flag.IntVar(&cfg.spanSec, "span", 30, "workload span in seconds (webpage/animation)")
+	flag.BoolVar(&cfg.series, "series", false, "print the Mbps time series")
+	flag.BoolVar(&cfg.kinds, "kinds", false, "print the per-message-kind breakdown")
 	flag.Parse()
 
-	tr, err := buildWorkload(*wl, *frames, *fps, *span)
-	if err != nil {
+	if err := tap(cfg, os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "error:", err)
 		os.Exit(1)
 	}
-	srv, cli, opts, err := buildProtocol(*prot)
+}
+
+// tap replays the workload through the protocol pair and writes the
+// capture accounting. Output is deterministic in the configuration.
+func tap(cfg tapConfig, w io.Writer) error {
+	tr, err := buildWorkload(cfg.workload, cfg.frames, cfg.fps, cfg.spanSec)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "error:", err)
-		os.Exit(1)
+		return err
+	}
+	srv, cli, popts, err := protos.New(cfg.proto)
+	if err != nil {
+		return err
+	}
+	opts := workload.ReplayOpts{
+		InputCoalesce:   popts.InputCoalesce,
+		DisplayCoalesce: popts.DisplayCoalesce,
 	}
 	rec := trace.NewRecorder(simclock.Second)
 	if err := workload.Replay(tr, srv, cli, rec, opts); err != nil {
-		fmt.Fprintln(os.Stderr, "replay error:", err)
-		os.Exit(1)
+		return fmt.Errorf("replay: %w", err)
 	}
-	fmt.Print(rec.Summary(fmt.Sprintf("%s over %s", *wl, srv.Name())))
+	fmt.Fprint(w, rec.Summary(fmt.Sprintf("%s over %s", cfg.workload, srv.Name())))
 
-	if *kinds {
+	if cfg.kinds {
 		ks := rec.KindStats()
 		names := make([]string, 0, len(ks))
 		for k := range ks {
 			names = append(names, k)
 		}
-		sort.Slice(names, func(i, j int) bool { return ks[names[i]].Bytes > ks[names[j]].Bytes })
-		fmt.Println("  by kind:")
+		sort.Slice(names, func(i, j int) bool {
+			if ks[names[i]].Bytes != ks[names[j]].Bytes {
+				return ks[names[i]].Bytes > ks[names[j]].Bytes
+			}
+			return names[i] < names[j]
+		})
+		fmt.Fprintln(w, "  by kind:")
 		for _, k := range names {
-			fmt.Printf("    %-20s %10d bytes %8d messages\n", k, ks[k].Bytes, ks[k].Messages)
+			fmt.Fprintf(w, "    %-20s %10d bytes %8d messages\n", k, ks[k].Bytes, ks[k].Messages)
 		}
 	}
-	if *series {
-		fmt.Println("  Mbps by second:")
+	if cfg.series {
+		fmt.Fprintln(w, "  Mbps by second:")
 		for i, v := range rec.Series().Mbps() {
-			fmt.Printf("    %4d  %.4f\n", i, v)
+			fmt.Fprintf(w, "    %4d  %.4f\n", i, v)
 		}
 	}
+	return nil
 }
 
 func buildWorkload(name string, frames int, fps float64, spanSec int) (workload.Trace, error) {
@@ -95,31 +117,5 @@ func buildWorkload(name string, frames int, fps float64, spanSec int) (workload.
 		}), nil
 	default:
 		return workload.Trace{}, fmt.Errorf("unknown workload %q", name)
-	}
-}
-
-func buildProtocol(name string) (proto.Server, proto.Client, workload.ReplayOpts, error) {
-	switch name {
-	case "rdp":
-		cfg := rdp.DefaultConfig()
-		cfg.MotionSample = 8
-		return rdp.NewServer(cfg), rdp.NewClient(cfg), workload.ReplayOpts{
-			InputCoalesce:   500 * simclock.Millisecond,
-			DisplayCoalesce: simclock.Second,
-		}, nil
-	case "x":
-		return xwire.NewServer(), xwire.NewClient(display.TypicalScreenW, display.TypicalScreenH), workload.ReplayOpts{}, nil
-	case "lbx":
-		return lbx.NewServer(lbx.DefaultConfig()), lbx.NewClient(lbx.DefaultConfig()), workload.ReplayOpts{
-			InputCoalesce: 75 * simclock.Millisecond,
-		}, nil
-	case "vnc":
-		return vnc.NewServer(vnc.DefaultConfig()), vnc.NewClient(vnc.DefaultConfig()), workload.ReplayOpts{
-			DisplayCoalesce: 100 * simclock.Millisecond,
-		}, nil
-	case "slim":
-		return slim.NewServer(slim.DefaultConfig()), slim.NewClient(slim.DefaultConfig()), workload.ReplayOpts{}, nil
-	default:
-		return nil, nil, workload.ReplayOpts{}, fmt.Errorf("unknown protocol %q", name)
 	}
 }

@@ -1,0 +1,57 @@
+package main
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var updateGolden = flag.Bool("update-golden", false, "rewrite golden files from current output")
+
+// TestTapGoldenOutput pins the decoded-trace accounting for one capture:
+// a 10-frame animation over RDP with the per-kind breakdown and Mbps
+// series. The capture is deterministic in its seed, so any diff is a real
+// behavior change in the codec, the recorder, or the workload generator.
+func TestTapGoldenOutput(t *testing.T) {
+	cfg := tapConfig{
+		workload: "animation",
+		proto:    "rdp",
+		frames:   10,
+		fps:      20,
+		spanSec:  5,
+		series:   true,
+		kinds:    true,
+	}
+	var buf bytes.Buffer
+	if err := tap(cfg, &buf); err != nil {
+		t.Fatal(err)
+	}
+	golden := filepath.Join("testdata", "animation_rdp.golden")
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (regenerate with -update-golden)", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("capture accounting diverged from golden file.\n--- got ---\n%s\n--- want ---\n%s",
+			buf.Bytes(), want)
+	}
+}
+
+func TestTapRejectsUnknownInputs(t *testing.T) {
+	if err := tap(tapConfig{workload: "nope", proto: "rdp"}, &bytes.Buffer{}); err == nil {
+		t.Fatal("unknown workload accepted")
+	}
+	if err := tap(tapConfig{workload: "office", proto: "nope"}, &bytes.Buffer{}); err == nil {
+		t.Fatal("unknown protocol accepted")
+	}
+}

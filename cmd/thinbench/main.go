@@ -1,6 +1,6 @@
 // Command thinbench runs the reproduction's experiments: every table and
-// figure of Wong & Seltzer's USENIX 2000 thin-client study, plus the
-// ablations this reproduction adds.
+// figure of Wong & Seltzer's USENIX 2000 thin-client study, the ablations
+// this reproduction adds, and the shared-server contention grid.
 //
 // Usage:
 //
@@ -10,23 +10,41 @@
 //	thinbench -run fig7 -quick      shortened measurement windows
 //	thinbench -run fig8 -seed 42    alternate random seed
 //	thinbench -run all -parallel 8  run experiments across 8 workers
+//	thinbench -run all -json out.json            machine-readable results
+//
+// Contention mode sweeps user counts over one shared server per data
+// point — one clock, one CPU, one memory pool, one link:
+//
+//	thinbench -run contention
+//	thinbench -run contention -users 1..24 -proto rdp,x,lbx -sched rr,nt
+//	thinbench -run contention -users 1,4,16 -proto vnc -sched svr4ia -json BENCH_contention.json
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
+	"strings"
 
 	"thinbench"
+	"thinbench/internal/server"
+	"thinbench/internal/simclock"
 )
 
 func main() {
 	var (
-		runID    = flag.String("run", "", "experiment ID to run (fig1..fig9, tab1..tab6, abl1..abl4, or 'all')")
+		runID    = flag.String("run", "", "experiment ID to run (fig1..fig9, tab1..tab6, abl1..abl5, cap1, cont1, 'contention', or 'all')")
 		list     = flag.Bool("list", false, "list registered experiments")
 		quick    = flag.Bool("quick", false, "shorten measurement windows (same shapes, more noise)")
 		seed     = flag.Uint64("seed", 1999, "random seed; identical seeds reproduce identical results")
-		parallel = flag.Int("parallel", 0, "worker pool size for -run all (0 = GOMAXPROCS, 1 = sequential); results are identical at any setting")
+		parallel = flag.Int("parallel", 0, "worker pool size (0 = GOMAXPROCS, 1 = sequential); results are identical at any setting")
+		jsonPath = flag.String("json", "", "also write machine-readable results to this file")
+
+		users  = flag.String("users", "1..16", "contention mode: user counts, 'A..B' (ranges wider than 8 are stepped to ~8 points, endpoints kept) or a comma list probing every count")
+		protos = flag.String("proto", "rdp,x,lbx", "contention mode: comma list of protocols (rdp,x,lbx,vnc,slim)")
+		scheds = flag.String("sched", "rr,nt", "contention mode: comma list of schedulers (rr,nt,svr4ia)")
 	)
 	flag.Parse()
 
@@ -35,31 +53,173 @@ func main() {
 		for _, e := range thinbench.Experiments() {
 			fmt.Printf("  %-5s %s\n        paper: %s\n", e.ID, e.Title, e.Paper)
 		}
+		fmt.Println("  contention")
+		fmt.Println("        latency-vs-users grid on one shared server per point; see -users, -proto, -sched")
 		if *runID == "" && !*list {
-			fmt.Println("\nrun one with: thinbench -run <id>   (or -run all)")
+			fmt.Println("\nrun one with: thinbench -run <id>   (or -run all, -run contention)")
 		}
 		return
 	}
 
-	cfg := thinbench.Config{Seed: *seed, Quick: *quick}
-	if *parallel != 0 && *runID != "all" {
-		fmt.Fprintln(os.Stderr, "note: -parallel applies to -run all; single experiments run on one worker")
-	}
-	if *runID == "all" {
-		results, err := thinbench.RunAllParallel(cfg, *parallel)
-		for _, r := range results {
-			fmt.Println(r.Render())
-		}
-		if err != nil {
+	if *runID == "contention" {
+		if err := runContention(*users, *protos, *scheds, *quick, *seed, *parallel, *jsonPath); err != nil {
 			fmt.Fprintln(os.Stderr, "error:", err)
 			os.Exit(1)
 		}
 		return
 	}
-	r, err := thinbench.Run(*runID, cfg)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "error:", err)
+
+	cfg := thinbench.Config{Seed: *seed, Quick: *quick}
+	var results []*thinbench.Result
+	var runErr error
+	if *runID == "all" {
+		results, runErr = thinbench.RunAllParallel(cfg, *parallel)
+	} else {
+		if *parallel != 0 {
+			fmt.Fprintln(os.Stderr, "note: -parallel applies to -run all and -run contention; single experiments run on one worker")
+		}
+		var r *thinbench.Result
+		if r, runErr = thinbench.Run(*runID, cfg); r != nil {
+			results = append(results, r)
+		}
+	}
+	for _, r := range results {
+		fmt.Println(r.Render())
+	}
+	if *jsonPath != "" && len(results) > 0 {
+		if err := writeJSON(*jsonPath, experimentDoc(results, *seed, *quick)); err != nil {
+			fmt.Fprintln(os.Stderr, "error:", err)
+			os.Exit(1)
+		}
+	}
+	if runErr != nil {
+		fmt.Fprintln(os.Stderr, "error:", runErr)
 		os.Exit(1)
 	}
-	fmt.Println(r.Render())
+}
+
+// contentionDoc is the machine-readable contention result, the repo's
+// bench trajectory format (BENCH_contention.json).
+type contentionDoc struct {
+	Command   string            `json:"command"`
+	Seed      uint64            `json:"seed"`
+	SpanSec   float64           `json:"span_sec"`
+	Users     []int             `json:"users"`
+	Scenarios []server.Scenario `json:"scenarios"`
+}
+
+func runContention(users, protos, scheds string, quick bool, seed uint64, parallel int, jsonPath string) error {
+	counts, err := parseCounts(users)
+	if err != nil {
+		return err
+	}
+	base := server.DefaultConfig()
+	base.Span = 10 * simclock.Second
+	if quick {
+		base.Span = 3 * simclock.Second
+	}
+	protoList := splitList(protos)
+	schedList := splitList(scheds)
+	grid, err := server.Grid(base, protoList, schedList, counts, parallel, seed)
+	if err != nil {
+		return err
+	}
+	for _, sc := range grid {
+		fmt.Printf("== contention: %s over %s ==\n", sc.Protocol, sc.Scheduler)
+		fmt.Printf("  %6s %12s %12s %12s %8s %8s %8s %s\n",
+			"users", "mean ms", "p95 ms", "max ms", "cpu", "link", "censored", "paging")
+		for _, pt := range sc.Points {
+			fmt.Printf("  %6d %12.2f %12.2f %12.2f %7.0f%% %7.0f%% %8d %v\n",
+				pt.Users, pt.EchoMeanMs, pt.EchoP95Ms, pt.EchoMaxMs,
+				pt.CPUUtilization*100, pt.LinkUtilization*100, pt.Censored, pt.Paging)
+		}
+		fmt.Println()
+	}
+	if jsonPath != "" {
+		doc := contentionDoc{
+			Command: fmt.Sprintf("thinbench -run contention -users %s -proto %s -sched %s -seed %d -quick=%v",
+				users, protos, scheds, seed, quick),
+			Seed:      seed,
+			SpanSec:   base.Span.Seconds(),
+			Users:     counts,
+			Scenarios: grid,
+		}
+		return writeJSON(jsonPath, doc)
+	}
+	return nil
+}
+
+// experimentDoc projects experiment results into their serializable parts
+// (series and notes; tables are terminal renderings).
+func experimentDoc(results []*thinbench.Result, seed uint64, quick bool) any {
+	type expJSON struct {
+		ID     string             `json:"id"`
+		Title  string             `json:"title"`
+		Series []thinbench.Series `json:"series,omitempty"`
+		Notes  []string           `json:"notes,omitempty"`
+	}
+	out := struct {
+		Seed        uint64    `json:"seed"`
+		Quick       bool      `json:"quick"`
+		Experiments []expJSON `json:"experiments"`
+	}{Seed: seed, Quick: quick}
+	for _, r := range results {
+		out.Experiments = append(out.Experiments, expJSON{ID: r.ID, Title: r.Title, Series: r.Series, Notes: r.Notes})
+	}
+	return out
+}
+
+func writeJSON(path string, doc any) error {
+	b, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(b, '\n'), 0o644)
+}
+
+// parseCounts accepts "A..B" ranges and comma lists of user counts.
+func parseCounts(s string) ([]int, error) {
+	if lo, hi, ok := strings.Cut(s, ".."); ok {
+		a, err1 := strconv.Atoi(strings.TrimSpace(lo))
+		b, err2 := strconv.Atoi(strings.TrimSpace(hi))
+		if err1 != nil || err2 != nil || a < 1 || b < a {
+			return nil, fmt.Errorf("bad -users range %q (want e.g. 1..16)", s)
+		}
+		// Wide ranges step so the sweep stays a handful of points per
+		// scenario; narrow ranges probe every count.
+		step := 1
+		if n := b - a + 1; n > 8 {
+			step = (n + 7) / 8
+		}
+		var out []int
+		for c := a; c <= b; c += step {
+			out = append(out, c)
+		}
+		if out[len(out)-1] != b {
+			out = append(out, b)
+		}
+		return out, nil
+	}
+	var out []int
+	for _, f := range splitList(s) {
+		c, err := strconv.Atoi(f)
+		if err != nil || c < 1 {
+			return nil, fmt.Errorf("bad -users entry %q", f)
+		}
+		out = append(out, c)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("empty -users list")
+	}
+	return out, nil
+}
+
+func splitList(s string) []string {
+	var out []string
+	for _, f := range strings.Split(s, ",") {
+		if f = strings.TrimSpace(f); f != "" {
+			out = append(out, f)
+		}
+	}
+	return out
 }

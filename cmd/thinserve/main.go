@@ -23,11 +23,7 @@ import (
 	"thinbench/internal/display"
 	"thinbench/internal/farm"
 	"thinbench/internal/proto"
-	"thinbench/internal/proto/lbx"
-	"thinbench/internal/proto/rdp"
-	"thinbench/internal/proto/slim"
-	"thinbench/internal/proto/vnc"
-	"thinbench/internal/proto/xwire"
+	"thinbench/internal/proto/protos"
 	"thinbench/internal/simclock"
 	"thinbench/internal/workload"
 )
@@ -61,36 +57,17 @@ func main() {
 	}
 }
 
+// newServer and newClient take one endpoint of the registry's pair; the
+// peer endpoint lives in the other process, so the discarded half is
+// garbage immediately (cheap relative to a TCP session's lifetime).
 func newServer(prot string) (proto.Server, error) {
-	switch prot {
-	case "rdp":
-		return rdp.NewServer(rdp.DefaultConfig()), nil
-	case "x":
-		return xwire.NewServer(), nil
-	case "lbx":
-		return lbx.NewServer(lbx.DefaultConfig()), nil
-	case "vnc":
-		return vnc.NewServer(vnc.DefaultConfig()), nil
-	case "slim":
-		return slim.NewServer(slim.DefaultConfig()), nil
-	}
-	return nil, fmt.Errorf("unknown protocol %q", prot)
+	s, _, _, err := protos.New(prot)
+	return s, err
 }
 
 func newClient(prot string) (proto.Client, error) {
-	switch prot {
-	case "rdp":
-		return rdp.NewClient(rdp.DefaultConfig()), nil
-	case "x":
-		return xwire.NewClient(display.TypicalScreenW, display.TypicalScreenH), nil
-	case "lbx":
-		return lbx.NewClient(lbx.DefaultConfig()), nil
-	case "vnc":
-		return vnc.NewClient(vnc.DefaultConfig()), nil
-	case "slim":
-		return slim.NewClient(slim.DefaultConfig()), nil
-	}
-	return nil, fmt.Errorf("unknown protocol %q", prot)
+	_, c, _, err := protos.New(prot)
+	return c, err
 }
 
 // buildTrace composes one session's workload. The seed varies per-session

@@ -19,24 +19,25 @@ func init() {
 }
 
 func runCap1(cfg Config) (*Result, error) {
-	res := &Result{ID: "cap1", Title: "Capacity by behavior profile"}
+	res := &Result{ID: "cap1", Title: "Latency-threshold capacity by behavior profile"}
 	span := 20 * simclock.Second
 	if cfg.Quick {
 		span = 8 * simclock.Second
 	}
 	srv := sizing.DefaultServer()
-	table := metrics.NewTable("Profile", "capacity", "binding resource", "stall at cap", "link util")
+	table := metrics.NewTable("Profile", "capacity", "memory-only", "binding resource", "p95 echo at cap", "link util")
 	profiles := []sizing.Profile{sizing.LightAdmin(), sizing.Developer(), sizing.WebBrowser()}
-	// Each profile's capacity search is itself a concurrent fan-out over
-	// candidate user counts; the farm here runs the three searches at once
-	// and streams rows back in profile order, so the table is identical to
-	// a sequential run.
+	// Each profile's capacity search is itself a concurrent fan-out of
+	// shared-server instances over candidate user counts; the farm here
+	// runs the three searches at once and streams rows back in profile
+	// order, so the table is identical to a sequential run.
 	err := farm.Aggregate(farm.Config{Sessions: len(profiles), Seed: cfg.Seed},
 		func(s *farm.Session) ([]string, error) {
 			p := profiles[s.Index]
 			n, est, limit := sizing.Capacity(srv, p, 120, span, cfg.Seed)
-			return []string{p.Name, fmt.Sprintf("%d users", n), string(limit),
-				fmt.Sprintf("%.1fms", est.MeanStallMs), fmt.Sprintf("%.0f%%", est.LinkUtilization*100)}, nil
+			return []string{p.Name, fmt.Sprintf("%d users", n),
+				fmt.Sprintf("%d users", sizing.MemoryCapacity(srv, p)), string(limit),
+				fmt.Sprintf("%.1fms", est.P95EchoMs), fmt.Sprintf("%.0f%%", est.LinkUtilization*100)}, nil
 		},
 		func(_ int, row []string) { table.AddRow(row...) })
 	if err != nil {
@@ -50,6 +51,7 @@ func runCap1(cfg Config) (*Result, error) {
 	rrN, _, _ := sizing.Capacity(big, sizing.Developer(), 120, span, cfg.Seed)
 	big.Scheduler = "svr4ia"
 	iaN, _, _ := sizing.Capacity(big, sizing.Developer(), 120, span, cfg.Seed)
+	res.Notef("capacity = max users with p95 echo latency within the %v budget; never above the memory-only division", sizing.DefaultLatencyBudget)
 	res.Notef("with ample memory, developer capacity is CPU-bound at %d users under round-robin and %d under the SVR4 interactive class", rrN, iaN)
 	res.Notef("web browsers hit the network wall at ~5 users, the paper's §6.1.3 arithmetic")
 	return res, nil

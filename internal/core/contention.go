@@ -1,0 +1,56 @@
+package core
+
+import (
+	"fmt"
+
+	"thinbench/internal/server"
+	"thinbench/internal/session"
+	"thinbench/internal/simclock"
+)
+
+func init() {
+	register(Experiment{
+		ID:    "cont1",
+		Title: "Shared-server contention: echo latency versus concurrent users",
+		Paper: "The paper's core decomposition — user behavior generates load, the OS translates load into latency — run end to end: all users contend on one CPU, one memory pool, and one link; latency degrades with population and collapses past the §5.1.1 memory capacity.",
+		Run:   runCont1,
+	})
+}
+
+// cont1 runs the contention grid: every data point is one complete shared
+// server (not a loop of independent sessions), and whole server instances
+// fan out across the farm.
+func runCont1(cfg Config) (*Result, error) {
+	res := &Result{ID: "cont1", Title: "Echo latency vs concurrent users on one shared server"}
+	base := server.DefaultConfig()
+	base.Span = 10 * simclock.Second
+	users := []int{1, 4, 8, 12, 16}
+	if cfg.Quick {
+		base.Span = 3 * simclock.Second
+		users = []int{1, 4, 8, 14}
+	}
+	grid, err := server.Grid(base, []string{"rdp", "x", "lbx"}, []string{"rr", "nt"}, users, 0, cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	x := make([]float64, len(users))
+	for i, n := range users {
+		x[i] = float64(n)
+	}
+	for _, sc := range grid {
+		s := Series{
+			Label:  fmt.Sprintf("%s/%s", sc.Protocol, sc.Scheduler),
+			XLabel: "concurrent users",
+			YLabel: "p95 echo latency (ms)",
+			X:      x,
+		}
+		for _, pt := range sc.Points {
+			s.Y = append(s.Y, pt.EchoP95Ms)
+		}
+		res.Series = append(res.Series, s)
+	}
+	memCap := session.Capacity(base.PhysicalKB, base.SystemKB, base.SessionManifest())
+	res.Notef("memory fits %d sessions; past it the global clock evicts working sets and every keystroke pays page-in latency (§5.2 as an emergent effect)", memCap)
+	res.Notef("one server instance per data point: all users share one engine, one %s-scheduled CPU, one vm.Manager, one %.0f Mbps link", base.Scheduler, base.Link.RateMbps)
+	return res, nil
+}

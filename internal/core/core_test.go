@@ -40,7 +40,7 @@ func seriesByLabel(t *testing.T, r *Result, label string) Series {
 func TestRegistryComplete(t *testing.T) {
 	want := []string{
 		"abl1", "abl2", "abl3", "abl4", "abl5",
-		"cap1",
+		"cap1", "cont1",
 		"fig1", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9",
 		"tab1", "tab2", "tab3", "tab4", "tab5", "tab6",
 	}
@@ -363,6 +363,25 @@ func BenchmarkRunAllParallel(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		if _, err := RunAllParallel(quickCfg, 0); err != nil {
 			b.Fatal(err)
+		}
+	}
+}
+
+// TestCont1LatencyDegradesMonotonically: every protocol x scheduler series
+// of the shared-server grid must degrade (never improve) as users grow.
+func TestCont1LatencyDegradesMonotonically(t *testing.T) {
+	r := mustRun(t, "cont1", quickCfg)
+	if len(r.Series) != 6 {
+		t.Fatalf("cont1 produced %d series, want 3 protocols x 2 schedulers", len(r.Series))
+	}
+	for _, s := range r.Series {
+		for i := 1; i < len(s.Y); i++ {
+			if s.Y[i]+0.01 < s.Y[i-1] {
+				t.Fatalf("%s: p95 improved with more users: %v", s.Label, s.Y)
+			}
+		}
+		if last := s.Y[len(s.Y)-1]; last < s.Y[0]*2 {
+			t.Fatalf("%s: no meaningful degradation across the sweep: %v", s.Label, s.Y)
 		}
 	}
 }

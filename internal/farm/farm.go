@@ -1,22 +1,27 @@
-// Package farm is the concurrent multi-session execution engine of the
-// reproduction: it runs N independent simulated sessions — each with its
+// Package farm is the concurrent simulation execution engine of the
+// reproduction: it runs N independent simulation bodies — each with its
 // own discrete-event clock, random stream, and whatever scheduler, VM,
-// netsim, or protocol state the session body builds — across a bounded
-// worker pool, and aggregates per-session results deterministically.
+// netsim, or protocol state the body builds — across a bounded worker
+// pool, and aggregates per-body results deterministically.
 //
-// The paper's central operational question is capacity: "the maximum
-// number of concurrent users their servers can support". Answering it at
-// scale means simulating many sessions at once, and the farm is the
-// substrate every concurrent experiment, capacity probe, and thinserve
-// session multiplexer runs on.
+// The unit of parallelism is a whole simulation, not a user session.
+// Since the shared-server refactor, concurrent user sessions deliberately
+// share one clock, one CPU, one memory pool, and one link inside a single
+// server.Server so that they contend — splitting them across workers
+// would destroy the contention the paper measures. What fans out across
+// the farm instead is the scenario grid: one complete server instance per
+// candidate user count and protocol × scheduler combination
+// (server.Sweep), one experiment per worker (core.RunAllParallel), one
+// capacity probe per candidate population (sizing.CapacityParallel), and
+// one TCP session pipeline per connection (thinserve).
 //
-// Determinism is the design constraint. Each session derives its seed from
-// the root seed and its session index (simclock.DeriveSeed), never from
-// which worker picks it up; and aggregation happens in session-index order
-// on a single goroutine, so a run with 8 workers is bit-for-bit identical
-// to a run with 1. Sessions share no mutable state — shard metrics live in
-// the session body and merge during ordered aggregation — so no global
-// locks exist anywhere on the hot path.
+// Determinism is the design constraint. Each body derives its seed from
+// the root seed and its index (simclock.DeriveSeed), never from which
+// worker picks it up; and aggregation happens in index order on a single
+// goroutine, so a run with 8 workers is bit-for-bit identical to a run
+// with 1. Bodies share no mutable state — shard metrics live in the body
+// and merge during ordered aggregation — so no global locks exist
+// anywhere on the hot path.
 package farm
 
 import (

@@ -1,0 +1,479 @@
+// Package server composes the reproduction's simulation layers into one
+// shared machine — the configuration the paper actually studies. N
+// concurrent user sessions run inside a single discrete-event engine and
+// contend on:
+//
+//   - one CPU under a pluggable scheduling policy (the paper's NT/TSE
+//     scheduler, the round-robin Linux model, or the SVR4 interactive
+//     class of Evans et al.);
+//   - one physical memory pool: every session's §5.1.1 process set is
+//     resident in a shared vm.Manager, and when the population overcommits
+//     physical memory the global clock evicts working sets, so the next
+//     interaction pays page-in latency (the §5.2 pathology, now emerging
+//     from load rather than staged);
+//   - one shared network link carrying every session's protocol traffic,
+//     so display bytes queue behind other users' display bytes exactly as
+//     on the paper's 10 Mbps segment.
+//
+// Each user runs the paper's echo probe: key-repeat input events flow
+// client → link → server, wake the session's application thread, which
+// hands the drawn echo to a display-encoder thread, whose output is
+// encoded by a real protocol codec and transmitted back over the shared
+// link. User-perceived latency is the full path: input transmission, CPU
+// queueing (inflated by page-in cost under memory pressure), encode
+// queueing, and display transmission.
+//
+// Everything derives from Config.Seed via simclock.DeriveSeed, so a run is
+// bit-for-bit reproducible; Sweep fans server instances out across the
+// farm without breaking that guarantee.
+package server
+
+import (
+	"fmt"
+
+	"thinbench/internal/display"
+	"thinbench/internal/metrics"
+	"thinbench/internal/netsim"
+	"thinbench/internal/proto"
+	"thinbench/internal/proto/protos"
+	"thinbench/internal/sched"
+	"thinbench/internal/session"
+	"thinbench/internal/simclock"
+	"thinbench/internal/vm"
+	"thinbench/internal/workload"
+)
+
+// Config describes one shared server and its user population.
+type Config struct {
+	// Users is the number of concurrent sessions.
+	Users int
+	// Protocol selects the remote display protocol ("rdp", "x", "lbx",
+	// "vnc", "slim"). The empty string or "model" selects the size-model
+	// codec: fixed InputBytes/EchoBytes messages with no per-user codec
+	// state, the frugal choice for large capacity searches.
+	Protocol string
+	// Scheduler selects the CPU policy: "rr", "nt", or "svr4ia".
+	Scheduler string
+
+	// PhysicalKB and SystemKB size the machine: physical memory and the
+	// pinned system baseline unavailable to sessions (§5.1.1).
+	PhysicalKB int
+	SystemKB   int
+	// Link is the shared segment all sessions' traffic crosses.
+	Link netsim.LinkConfig
+
+	// Manifest is the per-session login process set; AppKB adds one
+	// application process on top of the bare login.
+	Manifest session.Manifest
+	AppKB    int
+	// WorkingSetKB is how much of the application each interaction
+	// touches (a rotating window, so evicted pages fault back in).
+	WorkingSetKB int
+
+	// InteractionsPerSec is each user's input rate (the paper's repeat
+	// probe runs at 20 Hz).
+	InteractionsPerSec float64
+	// EchoCPU and EncodeCPU are the per-interaction costs on the
+	// application and display-encoder threads.
+	EchoCPU   simclock.Duration
+	EncodeCPU simclock.Duration
+	// BackgroundCPUFrac is per-user non-interactive CPU demand
+	// (compilations, macros) as a fraction of one CPU.
+	BackgroundCPUFrac float64
+	// BackgroundBitsPerSec is per-user steady display-channel traffic
+	// beyond the echo (animations, tickers), offered to the shared link.
+	BackgroundBitsPerSec float64
+
+	// InputBytes and EchoBytes size the model codec's messages when
+	// Protocol is "model".
+	InputBytes int
+	EchoBytes  int
+
+	// Span is the measurement window; Seed roots all randomness.
+	Span simclock.Duration
+	Seed uint64
+}
+
+// DefaultConfig is a testbed-class shared server: 64 MB of memory behind
+// an 18 MB system baseline, a 10 Mbps shared segment, round-robin
+// scheduling, and Linux-login sessions running a 2.8 MB application with
+// the 20 Hz repeat probe.
+func DefaultConfig() Config {
+	return Config{
+		Users:              1,
+		Protocol:           "rdp",
+		Scheduler:          "rr",
+		PhysicalKB:         64 * 1024,
+		SystemKB:           18 * 1024,
+		Link:               netsim.DefaultLinkConfig(),
+		Manifest:           session.LinuxManifest(),
+		AppKB:              2800,
+		WorkingSetKB:       64,
+		InteractionsPerSec: 20,
+		EchoCPU:            simclock.Millisecond,
+		EncodeCPU:          1500 * simclock.Microsecond,
+		BackgroundCPUFrac:  0.02,
+		// An animated banner's worth of ambient display traffic per user,
+		// so the shared link sees real load as the population grows.
+		BackgroundBitsPerSec: 250_000,
+		InputBytes:           64,
+		EchoBytes:            200,
+		Span:                 10 * simclock.Second,
+		Seed:                 1,
+	}
+}
+
+// SessionManifest is the complete per-session process set: the login
+// manifest plus the AppKB application process. It is the single
+// definition of "one session's memory" used by New, by committed-memory
+// accounting, and by experiments quoting the §5.1.1 division.
+func (c Config) SessionManifest() session.Manifest {
+	man := c.Manifest
+	if c.AppKB > 0 {
+		man.Processes = append(man.Processes[:len(man.Processes):len(man.Processes)],
+			session.ProcessSpec{Name: "app", PrivateKB: c.AppKB})
+	}
+	return man
+}
+
+// SessionKB is one session's compulsory memory load.
+func (c Config) SessionKB() int { return c.SessionManifest().TotalKB() }
+
+// NewPolicy builds the named scheduling policy. The boolean reports
+// whether threads should be marked interactive (only the SVR4 class
+// distinguishes them).
+func NewPolicy(name string) (sched.Scheduler, bool, error) {
+	switch name {
+	case "nt":
+		return sched.NewNTSched(sched.DefaultNTConfig()), false, nil
+	case "svr4ia":
+		return sched.NewSVR4IASched(10 * simclock.Millisecond), true, nil
+	case "rr", "":
+		return sched.NewRRSched(10 * simclock.Millisecond), false, nil
+	default:
+		return nil, false, fmt.Errorf("server: unknown scheduler %q", name)
+	}
+}
+
+// Result is the measured impact of the population on one shared server.
+// All fields are scalars so results compare with == in determinism tests
+// and serialize directly for the bench trajectory.
+type Result struct {
+	Users     int    `json:"users"`
+	Protocol  string `json:"protocol"`
+	Scheduler string `json:"scheduler"`
+
+	// Echo latency: input event to echoed display update delivered at the
+	// client, over every user's every interaction. Interactions still
+	// unanswered when the run ends (overload backlogs, packets lost to
+	// full queues) are right-censored: they contribute a sample equal to
+	// their age at run end, a lower bound on what the user experienced,
+	// so saturation cannot masquerade as low latency.
+	EchoSamples int64   `json:"echo_samples"`
+	EchoMeanMs  float64 `json:"echo_mean_ms"`
+	EchoP50Ms   float64 `json:"echo_p50_ms"`
+	EchoP95Ms   float64 `json:"echo_p95_ms"`
+	EchoMaxMs   float64 `json:"echo_max_ms"`
+	// Interactions counts submitted probe events; Censored counts the
+	// ones that never completed and entered as right-censored samples.
+	Interactions int64 `json:"interactions"`
+	Censored     int64 `json:"censored"`
+
+	CPUUtilization  float64 `json:"cpu_utilization"`
+	LinkUtilization float64 `json:"link_utilization"`
+	LinkDrops       int64   `json:"link_drops"`
+	LostInputs      int64   `json:"lost_inputs"`
+
+	CommittedKB      int     `json:"committed_kb"`
+	ResidentKB       int     `json:"resident_kb"`
+	FaultsAfterLogin int64   `json:"faults_after_login"`
+	PageInMs         float64 `json:"page_in_ms"`
+	Paging           bool    `json:"paging"`
+}
+
+// Server is one composed shared machine ready to run.
+type Server struct {
+	cfg    Config
+	eng    *simclock.Engine
+	cpu    *sched.CPU
+	mem    *vm.Manager
+	link   *netsim.Link
+	users  []*userState
+	system *vm.Process
+
+	loginFaults int64
+	echo        *metrics.Dist
+	err         error
+}
+
+// userState is one session's private wiring on the shared substrates.
+type userState struct {
+	*session.User
+	rng   *simclock.Rand
+	psrv  proto.Server // nil in model mode
+	pcli  proto.Client
+	ws    *vm.Process
+	wsOff int // rotating working-set offset, KB
+	col   int // echo caret position
+	lost  int64
+	echo  *metrics.Dist
+	// submitted records every interaction's submit time and completed
+	// marks the ones whose echo landed. Completion is tracked per
+	// interaction rather than by count: a link drop leaves a hole in the
+	// otherwise-FIFO pipeline, and censoring must age the interaction
+	// that actually hung, not the youngest one.
+	submitted []simclock.Time
+	completed []bool
+	pageIn    simclock.Duration
+}
+
+// New composes a shared server from the configuration. It fails on an
+// unknown protocol or scheduler rather than at run time.
+func New(cfg Config) (*Server, error) {
+	if cfg.Users < 1 {
+		cfg.Users = 1
+	}
+	policy, interactive, err := NewPolicy(cfg.Scheduler)
+	if err != nil {
+		return nil, err
+	}
+	eng := simclock.NewEngine()
+	s := &Server{
+		cfg:  cfg,
+		eng:  eng,
+		cpu:  sched.NewCPU(eng, policy, simclock.Second),
+		mem:  vm.New(vmConfig(cfg)),
+		link: netsim.NewLink(eng, cfg.Link, simclock.Second),
+		echo: &metrics.Dist{},
+	}
+	// The pinned system baseline: memory no session can reclaim.
+	if cfg.SystemKB > 0 {
+		s.system = s.mem.NewProcess("system", cfg.SystemKB)
+		s.system.Pinned = true
+		s.mem.TouchAll(s.system)
+	}
+	man := cfg.SessionManifest()
+	for i := 0; i < cfg.Users; i++ {
+		u := &userState{
+			User: session.AttachUser(s.cpu, s.mem, man, i, interactive),
+			rng:  simclock.NewRand(simclock.DeriveSeed(cfg.Seed, uint64(i))),
+			echo: &metrics.Dist{},
+		}
+		u.ws = u.WorkingSet()
+		if cfg.Protocol != "" && cfg.Protocol != "model" {
+			psrv, pcli, _, err := protos.New(cfg.Protocol)
+			if err != nil {
+				return nil, err
+			}
+			u.psrv, u.pcli = psrv, pcli
+		}
+		s.users = append(s.users, u)
+	}
+	s.loginFaults = s.mem.Stats().Faults
+	return s, nil
+}
+
+func vmConfig(cfg Config) vm.Config {
+	c := vm.DefaultConfig()
+	c.PhysicalKB = cfg.PhysicalKB
+	return c
+}
+
+// Run drives every session for the configured span and reports the
+// population's measured impact. The same configuration always produces an
+// identical Result.
+func (s *Server) Run() (Result, error) {
+	cfg := s.cfg
+	period := simclock.Duration(1e6 / cfg.InteractionsPerSec)
+	for _, u := range s.users {
+		u := u
+		// Stagger users by a seed-derived phase so the population doesn't
+		// interact in lockstep bursts.
+		tr := workload.TypingTrace(workload.TypingConfig{
+			Rate: cfg.InteractionsPerSec,
+			Span: cfg.Span,
+			Code: uint16(30 + u.Index%26),
+		})
+		tr.Shift(u.rng.UniformDuration(0, period))
+		// The probe is per-keystroke: no input coalescing, so every
+		// interaction yields one latency sample.
+		workload.DriveTrace(s.eng, tr, workload.ReplayOpts{},
+			func(now simclock.Time, events []display.InputEvent) { s.keystroke(u, now, events) },
+			nil)
+
+		if cfg.BackgroundCPUFrac > 0 {
+			bg := s.cpu.NewThread(fmt.Sprintf("u%d-bg", u.Index), 4)
+			slice := simclock.Duration(cfg.BackgroundCPUFrac * 100_000)
+			phase := u.rng.UniformDuration(0, 100*simclock.Millisecond)
+			s.eng.Every(simclock.Time(phase), 100*simclock.Millisecond, func(simclock.Time) {
+				s.cpu.Submit(bg, &sched.WorkItem{Tag: "background", CPU: slice})
+			})
+		}
+		if cfg.BackgroundBitsPerSec > 0 {
+			// Steady display traffic (animations, tickers) offered in
+			// 50 ms ticks, packetized at the MTU.
+			bytesPerTick := int(cfg.BackgroundBitsPerSec / 8 / 20)
+			phase := u.rng.UniformDuration(0, 50*simclock.Millisecond)
+			s.eng.Every(simclock.Time(phase), 50*simclock.Millisecond, func(simclock.Time) {
+				for rem := bytesPerTick; rem > 0; rem -= netsim.EthernetMTU {
+					pkt := rem
+					if pkt > netsim.EthernetMTU {
+						pkt = netsim.EthernetMTU
+					}
+					s.link.Send(pkt+netsim.TCPIPHeaderBytes, nil)
+				}
+			})
+		}
+	}
+
+	// Capture utilization at exactly the span boundary, then let
+	// in-flight echoes land during a short drain tail.
+	var busyAtSpan simclock.Duration
+	var bytesAtSpan int64
+	s.eng.At(simclock.Time(cfg.Span), func(simclock.Time) {
+		busyAtSpan = s.cpu.BusyTotal()
+		bytesAtSpan = s.link.SentBytes()
+	})
+	s.eng.RunUntil(simclock.Time(cfg.Span))
+	s.eng.RunFor(2 * simclock.Second)
+	if s.err != nil {
+		return Result{}, s.err
+	}
+
+	res := Result{
+		Users:     cfg.Users,
+		Protocol:  protocolName(cfg.Protocol),
+		Scheduler: cfg.Scheduler,
+
+		CPUUtilization:  float64(busyAtSpan) / float64(cfg.Span),
+		LinkUtilization: float64(bytesAtSpan*8) / (cfg.Link.RateMbps * 1e6 * cfg.Span.Seconds()),
+		LinkDrops:       s.link.Drops(),
+
+		CommittedKB:      cfg.SystemKB + cfg.Users*cfg.SessionKB(),
+		ResidentKB:       (s.mem.TotalPages() - s.mem.FreePages()) * s.mem.Config().PageKB,
+		FaultsAfterLogin: s.mem.Stats().Faults - s.loginFaults,
+	}
+	end := s.eng.Now()
+	for _, u := range s.users {
+		// Right-censor interactions still in flight: each contributes its
+		// age at run end.
+		for i, at := range u.submitted {
+			if !u.completed[i] {
+				u.echo.Add(end.Sub(at).Milliseconds())
+				res.Censored++
+			}
+		}
+		res.Interactions += int64(len(u.submitted))
+		res.LostInputs += u.lost
+		res.PageInMs += u.pageIn.Milliseconds()
+		s.echo.Merge(u.echo)
+	}
+	res.Paging = res.FaultsAfterLogin > 0
+	res.EchoSamples = int64(s.echo.N())
+	res.EchoMeanMs = s.echo.Mean()
+	res.EchoP50Ms = s.echo.Percentile(50)
+	res.EchoP95Ms = s.echo.Percentile(95)
+	res.EchoMaxMs = s.echo.Max()
+	return res, nil
+}
+
+func protocolName(p string) string {
+	if p == "" {
+		return "model"
+	}
+	return p
+}
+
+// keystroke runs one interaction through the full contended pipeline.
+func (s *Server) keystroke(u *userState, at simclock.Time, events []display.InputEvent) {
+	idx := len(u.submitted)
+	u.submitted = append(u.submitted, at)
+	u.completed = append(u.completed, false)
+	deliver := func(simclock.Time) { s.serveInput(u, idx) }
+	if u.pcli == nil {
+		if !s.link.Send(s.cfg.InputBytes+netsim.TCPIPHeaderBytes, deliver) {
+			u.lost++
+		}
+		return
+	}
+	msgs := u.pcli.EncodeInput(events)
+	for i, m := range msgs {
+		m := m
+		var onDelivered func(simclock.Time)
+		if i == len(msgs)-1 {
+			onDelivered = func(now simclock.Time) {
+				if _, err := u.psrv.DecodeInput(m); err != nil && s.err == nil {
+					s.err = fmt.Errorf("server: user %d input decode: %w", u.Index, err)
+				}
+				deliver(now)
+			}
+		}
+		if !s.link.Send(m.Size()+netsim.TCPIPHeaderBytes, onDelivered) {
+			u.lost++
+			return
+		}
+	}
+}
+
+// serveInput is the server side of an interaction: touch the session's
+// working set (paying page-in cost under memory pressure), run the
+// application echo, then the display encode, then transmit the update.
+func (s *Server) serveInput(u *userState, idx int) {
+	cost := s.cfg.EchoCPU
+	if u.ws != nil && s.cfg.WorkingSetKB > 0 {
+		wsKB := s.mem.Config().PageKB * u.ws.Pages()
+		faults := s.mem.TouchSpan(u.ws, u.wsOff, s.cfg.WorkingSetKB)
+		u.wsOff = (u.wsOff + s.cfg.WorkingSetKB) % wsKB
+		if faults > 0 {
+			d := s.mem.FaultCost(faults)
+			u.pageIn += d
+			cost += d
+		}
+	}
+	s.cpu.Submit(u.App, &sched.WorkItem{
+		Tag: "echo", CPU: cost,
+		OnDone: func(simclock.Time, int) {
+			s.cpu.Submit(u.Encoder, &sched.WorkItem{
+				Tag: "encode", CPU: s.cfg.EncodeCPU,
+				OnDone: func(simclock.Time, int) { s.sendEcho(u, idx) },
+			})
+		},
+	})
+}
+
+// sendEcho encodes the drawn echo and transmits it; the latency sample is
+// taken when the last display message reaches the client.
+func (s *Server) sendEcho(u *userState, idx int) {
+	record := func(now simclock.Time) {
+		u.echo.Add(now.Sub(u.submitted[idx]).Milliseconds())
+		u.completed[idx] = true
+	}
+	if u.psrv == nil {
+		if !s.link.Send(s.cfg.EchoBytes+netsim.TCPIPHeaderBytes, record) {
+			u.lost++
+		}
+		return
+	}
+	ops := []display.Op{display.DrawText{
+		X: 56 + (u.col%70)*display.GlyphW, Y: 80 + (u.col/70%24)*16,
+		Text: string(rune('a' + u.Index%26)), Color: 0,
+	}}
+	u.col++
+	msgs := u.psrv.Update(ops)
+	for i, m := range msgs {
+		m := m
+		last := i == len(msgs)-1
+		ok := s.link.Send(m.Size()+netsim.TCPIPHeaderBytes, func(now simclock.Time) {
+			if err := u.pcli.Apply(m); err != nil && s.err == nil {
+				s.err = fmt.Errorf("server: user %d display apply: %w", u.Index, err)
+			}
+			if last {
+				record(now)
+			}
+		})
+		if !ok {
+			u.lost++
+			return
+		}
+	}
+}

@@ -1,0 +1,188 @@
+package server
+
+import (
+	"reflect"
+	"testing"
+
+	"thinbench/internal/simclock"
+)
+
+// quick returns a short-span configuration for fast tests.
+func quick() Config {
+	cfg := DefaultConfig()
+	cfg.Span = 3 * simclock.Second
+	cfg.Seed = 42
+	return cfg
+}
+
+func mustRun(t *testing.T, cfg Config) Result {
+	t.Helper()
+	srv, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := srv.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestRunDeterministic(t *testing.T) {
+	for _, proto := range []string{"rdp", "x", "model"} {
+		cfg := quick()
+		cfg.Users = 6
+		cfg.Protocol = proto
+		a := mustRun(t, cfg)
+		b := mustRun(t, cfg)
+		if a != b {
+			t.Fatalf("%s: identical configs diverged:\n%+v\n%+v", proto, a, b)
+		}
+	}
+}
+
+// TestSharedClockReplayWorkerInvariant is the multi-user replay
+// determinism proof: many users share one clock inside each server, whole
+// servers fan out across the farm, and the same seed must produce
+// bit-for-bit identical event interleavings — hence identical results — at
+// any worker count.
+func TestSharedClockReplayWorkerInvariant(t *testing.T) {
+	base := quick()
+	base.Span = 2 * simclock.Second
+	run := func(workers int) []Scenario {
+		grid, err := Grid(base, []string{"rdp", "x"}, []string{"rr", "nt"}, []int{1, 4, 8}, workers, 7)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return grid
+	}
+	ref := run(1)
+	for _, workers := range []int{2, 8} {
+		if got := run(workers); !reflect.DeepEqual(got, ref) {
+			t.Fatalf("workers=%d diverged from sequential grid", workers)
+		}
+	}
+}
+
+func TestLatencyDegradesWithUsers(t *testing.T) {
+	counts := []int{1, 2, 4, 8, 12, 16, 20}
+	var prevMean, prevP95 float64
+	for i, n := range counts {
+		cfg := DefaultConfig()
+		cfg.Users = n
+		cfg.Seed = 1999
+		res := mustRun(t, cfg)
+		// Epsilon absorbs sub-10µs jitter between adjacent small counts.
+		const eps = 0.01
+		if i > 0 && res.EchoMeanMs+eps < prevMean {
+			t.Fatalf("mean latency improved with more users: %d users %.3fms after %.3fms",
+				n, res.EchoMeanMs, prevMean)
+		}
+		if i > 0 && res.EchoP95Ms+eps < prevP95 {
+			t.Fatalf("p95 latency improved with more users: %d users %.3fms after %.3fms",
+				n, res.EchoP95Ms, prevP95)
+		}
+		prevMean, prevP95 = res.EchoMeanMs, res.EchoP95Ms
+	}
+	if prevMean < 100 {
+		t.Fatalf("20 users on a 64MB box should be far past perception, mean=%.1fms", prevMean)
+	}
+}
+
+func TestPagingFeedsBackIntoLatency(t *testing.T) {
+	over := quick()
+	over.Users = 16 // (65536-18432)/3552 ≈ 13 sessions fit
+	// Keep CPU demand well under saturation so the memory axis is isolated.
+	over.BackgroundCPUFrac = 0
+	over.InteractionsPerSec = 10
+	crowded := mustRun(t, over)
+	ample := over
+	ample.PhysicalKB = 512 * 1024
+	roomy := mustRun(t, ample)
+
+	if !crowded.Paging || crowded.FaultsAfterLogin == 0 {
+		t.Fatalf("overcommitted population did not page: %+v", crowded)
+	}
+	if roomy.Paging {
+		t.Fatalf("ample memory paged anyway: %+v", roomy)
+	}
+	if crowded.EchoP95Ms < 10*roomy.EchoP95Ms {
+		t.Fatalf("paging feedback too weak: crowded p95 %.1fms vs roomy %.1fms",
+			crowded.EchoP95Ms, roomy.EchoP95Ms)
+	}
+	if crowded.PageInMs <= 0 {
+		t.Fatal("paging population reported zero page-in time")
+	}
+}
+
+func TestSVR4ClassProtectsInteractiveWork(t *testing.T) {
+	cfg := quick()
+	cfg.Users = 6
+	cfg.BackgroundCPUFrac = 0.12 // heavy non-interactive competition
+	rr := mustRun(t, cfg)
+	cfg.Scheduler = "svr4ia"
+	ia := mustRun(t, cfg)
+	if ia.EchoP95Ms >= rr.EchoP95Ms {
+		t.Fatalf("interactive class did not help: svr4ia p95 %.2fms vs rr %.2fms",
+			ia.EchoP95Ms, rr.EchoP95Ms)
+	}
+}
+
+func TestSharedLinkCarriesAllSessions(t *testing.T) {
+	cfg := quick()
+	cfg.Users = 1
+	one := mustRun(t, cfg)
+	cfg.Users = 10
+	ten := mustRun(t, cfg)
+	if ten.LinkUtilization < 5*one.LinkUtilization {
+		t.Fatalf("link load did not scale with users: %f -> %f",
+			one.LinkUtilization, ten.LinkUtilization)
+	}
+	if ten.LinkUtilization > 1.0 {
+		t.Fatalf("implausible link utilization %f", ten.LinkUtilization)
+	}
+}
+
+func TestCensoringCoversEveryInteraction(t *testing.T) {
+	cfg := quick()
+	cfg.Users = 24 // far past every limit: most echoes never complete
+	res := mustRun(t, cfg)
+	if res.EchoSamples != res.Interactions {
+		t.Fatalf("samples %d != interactions %d: censoring leak",
+			res.EchoSamples, res.Interactions)
+	}
+	if res.Censored == 0 {
+		t.Fatal("a 24-user overload should censor some interactions")
+	}
+}
+
+func TestModelProtocolMatchesPipelineShape(t *testing.T) {
+	cfg := quick()
+	cfg.Users = 4
+	cfg.Protocol = ""
+	res := mustRun(t, cfg)
+	if res.Protocol != "model" {
+		t.Fatalf("protocol name = %q, want model", res.Protocol)
+	}
+	if res.EchoSamples == 0 || res.EchoMeanMs <= 0 {
+		t.Fatalf("model pipeline produced no latency: %+v", res)
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	cfg := quick()
+	cfg.Protocol = "telnet"
+	if _, err := New(cfg); err == nil {
+		t.Fatal("unknown protocol accepted")
+	}
+	cfg = quick()
+	cfg.Scheduler = "cfs"
+	if _, err := New(cfg); err == nil {
+		t.Fatal("unknown scheduler accepted")
+	}
+	cfg = quick()
+	cfg.Users = 0
+	if res := mustRun(t, cfg); res.Users != 1 {
+		t.Fatalf("zero users clamped to %d, want 1", res.Users)
+	}
+}

@@ -3,6 +3,8 @@ package session
 import (
 	"testing"
 
+	"thinbench/internal/sched"
+	"thinbench/internal/simclock"
 	"thinbench/internal/vm"
 )
 
@@ -63,5 +65,35 @@ func TestLightVsTypicalOrdering(t *testing.T) {
 	if !(LinuxManifest().TotalKB() < TSELightManifest().TotalKB() &&
 		TSELightManifest().TotalKB() < TSEManifest().TotalKB()) {
 		t.Fatal("per-session memory ordering violated")
+	}
+}
+
+func TestAttachUserWiresSharedSubstrates(t *testing.T) {
+	eng := simclock.NewEngine()
+	cpu := sched.NewCPU(eng, sched.NewRRSched(10*simclock.Millisecond), simclock.Second)
+	m := vm.New(vm.DefaultConfig())
+	a := AttachUser(cpu, m, LinuxManifest(), 0, true)
+	b := AttachUser(cpu, m, LinuxManifest(), 1, false)
+	if len(a.Procs) != 3 {
+		t.Fatalf("user 0 created %d processes, want 3", len(a.Procs))
+	}
+	if a.App.ID == b.App.ID || a.Encoder.ID == b.Encoder.ID {
+		t.Fatal("users share thread IDs on the shared CPU")
+	}
+	if !a.App.GUIBoost {
+		t.Fatal("application thread lost the GUI wake boost")
+	}
+	if !a.App.Interactive || b.App.Interactive {
+		t.Fatal("interactive marking did not follow the policy flag")
+	}
+	ws := a.WorkingSet()
+	if ws == nil || ws.Name != "xterm" {
+		t.Fatalf("working set should be the largest process, got %+v", ws)
+	}
+	// Both logins are resident in the one shared memory manager.
+	want := 2 * LinuxManifest().TotalKB()
+	used := m.TotalPages()*m.Config().PageKB - m.FreeKB()
+	if used < want {
+		t.Fatalf("shared manager holds %d KB resident, want at least %d", used, want)
 	}
 }

@@ -1,0 +1,57 @@
+package session
+
+import (
+	"fmt"
+
+	"thinbench/internal/sched"
+	"thinbench/internal/vm"
+)
+
+// User is one logged-in session wired onto a shared server: the manifest's
+// processes resident in the shared memory manager, plus the session's
+// schedulable threads on the shared CPU — an application thread that
+// handles the user's input, and a display-encoder thread that turns the
+// application's drawing into protocol traffic (the X server / TSE display
+// driver role).
+type User struct {
+	Index int
+	// Procs are the manifest processes created in the shared memory
+	// manager, in manifest order.
+	Procs []*vm.Process
+	// App handles input and application work. It carries the GUI wake
+	// boost on the NT policy.
+	App *sched.Thread
+	// Encoder encodes display updates for the wire.
+	Encoder *sched.Thread
+}
+
+// AttachUser logs a session into a shared server: its manifest processes
+// become resident in m (the compulsory §5.1.1 memory load) and its two
+// pipeline threads register with the shared CPU. interactive marks the
+// pipeline threads for the SVR4 interactive-class policy; background work
+// a user may run later should go on separate, non-interactive threads so
+// the class distinction means something.
+func AttachUser(cpu *sched.CPU, m *vm.Manager, man Manifest, index int, interactive bool) *User {
+	u := &User{
+		Index:   index,
+		Procs:   Login(m, man),
+		App:     cpu.NewThread(fmt.Sprintf("u%d-app", index), 9),
+		Encoder: cpu.NewThread(fmt.Sprintf("u%d-enc", index), 8),
+	}
+	u.App.GUIBoost = true
+	u.App.Interactive = interactive
+	u.Encoder.Interactive = interactive
+	return u
+}
+
+// WorkingSet returns the user's largest process — the application address
+// space whose pages an interaction touches — or nil for an empty manifest.
+func (u *User) WorkingSet() *vm.Process {
+	var biggest *vm.Process
+	for _, p := range u.Procs {
+		if biggest == nil || p.Pages() > biggest.Pages() {
+			biggest = p
+		}
+	}
+	return biggest
+}

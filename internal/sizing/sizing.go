@@ -3,28 +3,31 @@
 // servers can support given some hardware configuration, and what impact
 // on users yields this maximum value."
 //
-// It composes the reproduction's substrates — the scheduler simulator for
-// CPU-bound stalls, the §5.1.1 memory accounting for paging onset, and
-// link arithmetic for network saturation — into a single capacity
-// estimate, reporting which resource binds first. This is the paper's
-// behavior → load → latency framework packaged as a planning tool.
+// Every probe instantiates one shared server (internal/server): all
+// candidate users contend on one clock, one CPU, one physical memory pool,
+// and one link, so the capacity answer reflects cross-resource feedback —
+// paging inflates echo latency, display traffic delays input packets —
+// rather than three independent arithmetic checks. Capacity itself is
+// latency-threshold capacity: the largest population whose p95 echo
+// latency stays within the server's configurable budget (150 ms by
+// default) while staying out of paging and under link saturation. The
+// memory-only division the paper's §5.1.1 tables support remains available
+// as MemoryCapacity, and the latency-threshold answer can only be lower.
 package sizing
 
 import (
-	"fmt"
-
 	"thinbench/internal/farm"
-	"thinbench/internal/latency"
-	"thinbench/internal/sched"
+	"thinbench/internal/netsim"
+	"thinbench/internal/server"
+	"thinbench/internal/session"
 	"thinbench/internal/simclock"
-	"thinbench/internal/workload"
 )
 
 // Profile describes one class of user, the paper's "user behavior" axis.
 type Profile struct {
 	Name string
-	// CPUPerInteraction is the server CPU consumed handling one
-	// interaction (echo + render + encode).
+	// CPUPerInteraction is the application CPU consumed handling one
+	// interaction (echo + render); display encoding costs EncodeCPU more.
 	CPUPerInteraction simclock.Duration
 	// InteractionsPerSec is the user's interaction rate while active.
 	InteractionsPerSec float64
@@ -37,6 +40,10 @@ type Profile struct {
 	// depends on protocol and content (Figure 4's numbers are the extreme).
 	DisplayBitsPerSec float64
 }
+
+// EncodeCPU is the display-encoder cost per interaction, charged on top
+// of the profile's application CPU.
+const EncodeCPU = 1500 * simclock.Microsecond
 
 // LightAdmin is a forms-and-typing user on an efficient protocol.
 func LightAdmin() Profile {
@@ -82,10 +89,18 @@ type Server struct {
 	LinkMbps   float64
 	// Scheduler selects the CPU policy: "nt", "rr", or "svr4ia".
 	Scheduler string
+	// LatencyBudget is the p95 echo-latency ceiling that defines
+	// capacity; zero means the 150 ms default.
+	LatencyBudget simclock.Duration
 }
 
+// DefaultLatencyBudget is the capacity threshold when a Server leaves
+// LatencyBudget zero: half again the paper's 100 ms perception limit, the
+// operator's "users are complaining" line.
+const DefaultLatencyBudget = 150 * simclock.Millisecond
+
 // DefaultServer is the paper's testbed class: 64 MB, 10 Mbps shared
-// Ethernet, round-robin scheduling.
+// Ethernet, round-robin scheduling, 150 ms p95 budget.
 func DefaultServer() Server {
 	return Server{
 		PhysicalKB: 64 * 1024,
@@ -95,100 +110,93 @@ func DefaultServer() Server {
 	}
 }
 
-// Estimate is the impact of a given population on one server.
-type Estimate struct {
-	Users int
-	// MeanStallMs is the measured typist stall at this population.
-	MeanStallMs float64
-	// MaxStallMs is the worst observed stall.
-	MaxStallMs float64
-	// MemoryKB is resident session memory; Paging reports overflow.
-	MemoryKB int
-	Paging   bool
-	// LinkUtilization is offered display traffic over link rate.
-	LinkUtilization float64
+func (s Server) budget() simclock.Duration {
+	if s.LatencyBudget > 0 {
+		return s.LatencyBudget
+	}
+	return DefaultLatencyBudget
 }
 
-// Perceptible reports whether the population pushes the typist past the
-// 100 ms threshold.
-func (e Estimate) Perceptible() bool {
-	return e.MeanStallMs >= latency.PerceptionThreshold.Milliseconds()
-}
+// probeConfig composes the shared-server instance for one capacity probe.
+// The size-model codec keeps per-user state tiny, so wide candidate
+// fan-outs stay cheap; protocol-faithful byte streams live in the
+// contention experiments.
+func probeConfig(srv Server, p Profile, users int, span simclock.Duration, seed uint64) server.Config {
+	link := netsim.DefaultLinkConfig()
+	link.RateMbps = srv.LinkMbps
+	return server.Config{
+		Users:     users,
+		Protocol:  "model",
+		Scheduler: srv.Scheduler,
 
-func newScheduler(name string) (sched.Scheduler, bool) {
-	switch name {
-	case "nt":
-		return sched.NewNTSched(sched.DefaultNTConfig()), false
-	case "svr4ia":
-		return sched.NewSVR4IASched(10 * simclock.Millisecond), true
-	default:
-		return sched.NewRRSched(10 * simclock.Millisecond), false
+		PhysicalKB: srv.PhysicalKB,
+		SystemKB:   srv.SystemKB,
+		Link:       link,
+
+		Manifest: session.Manifest{
+			OS:        "profile",
+			Variant:   p.Name,
+			Processes: []session.ProcessSpec{{Name: "session", PrivateKB: p.SessionKB}},
+		},
+		WorkingSetKB: 64,
+
+		InteractionsPerSec:   p.InteractionsPerSec,
+		EchoCPU:              p.CPUPerInteraction,
+		EncodeCPU:            EncodeCPU,
+		BackgroundCPUFrac:    p.BackgroundCPUFrac,
+		BackgroundBitsPerSec: p.DisplayBitsPerSec,
+
+		InputBytes: 64,
+		EchoBytes:  200,
+
+		Span: span,
+		Seed: seed,
 	}
 }
 
-// Evaluate simulates users of the profile on the server for the span and
-// measures one of them (a 20 Hz repeat typist, the Figure 3 probe).
+// Estimate is the impact of a given population on one shared server.
+type Estimate struct {
+	Users int
+	// Echo latency percentiles over every user's every interaction
+	// (right-censored at run end, so overload reads as high latency).
+	MeanEchoMs float64
+	P95EchoMs  float64
+	MaxEchoMs  float64
+	// CPUUtilization and LinkUtilization are measured over the span.
+	CPUUtilization  float64
+	LinkUtilization float64
+	// MemoryKB is committed session memory plus the system baseline;
+	// Paging reports that the population overcommitted physical memory
+	// and paid page-in latency.
+	MemoryKB int
+	Paging   bool
+}
+
+// Evaluate simulates the population on one shared server for the span and
+// measures every user's echo latency under full contention.
 func Evaluate(srv Server, p Profile, users int, span simclock.Duration, seed uint64) Estimate {
 	if users < 1 {
 		users = 1
 	}
-	eng := simclock.NewEngine()
-	policy, interactive := newScheduler(srv.Scheduler)
-	cpu := sched.NewCPU(eng, policy, simclock.Second)
-	rng := simclock.NewRand(seed)
-
-	// The measured user's pipeline.
-	editor := cpu.NewThread("probe-editor", 9)
-	editor.GUIBoost = true
-	editor.Interactive = interactive
-	render := cpu.NewThread("probe-render", 8)
-	render.Interactive = interactive
-
-	// The other users: interaction bursts plus background load.
-	for i := 1; i < users; i++ {
-		t := cpu.NewThread(fmt.Sprintf("user%d", i), 8)
-		if p.InteractionsPerSec > 0 {
-			period := simclock.Duration(1e6 / p.InteractionsPerSec)
-			phase := rng.UniformDuration(0, period)
-			eng.Every(simclock.Time(phase), period, func(simclock.Time) {
-				cpu.Submit(t, &sched.WorkItem{Tag: "interact", CPU: p.CPUPerInteraction})
-			})
-		}
-		if p.BackgroundCPUFrac > 0 {
-			bg := cpu.NewThread(fmt.Sprintf("bg%d", i), 8)
-			// Background demand arrives as 100 ms-period slices.
-			slice := simclock.Duration(p.BackgroundCPUFrac * 100_000)
-			phase := rng.UniformDuration(0, 100*simclock.Millisecond)
-			eng.Every(simclock.Time(phase), 100*simclock.Millisecond, func(simclock.Time) {
-				cpu.Submit(bg, &sched.WorkItem{Tag: "background", CPU: slice})
-			})
-		}
+	inst, err := server.New(probeConfig(srv, p, users, span, seed))
+	if err != nil {
+		// Profiles and servers are validated values; a bad scheduler name
+		// is a programming error.
+		panic(err)
 	}
-
-	tracker := latency.NewStallTracker(50 * simclock.Millisecond)
-	tracker.Observe(0)
-	for _, at := range workload.KeystrokeTimes(workload.TypingConfig{Rate: 20, Span: span}) {
-		cpu.SubmitAt(at, editor, &sched.WorkItem{
-			Tag: "echo", CPU: simclock.Millisecond, Coalesce: true,
-			OnDone: func(simclock.Time, int) {
-				cpu.Submit(render, &sched.WorkItem{
-					Tag: "render", CPU: 1500 * simclock.Microsecond, Coalesce: true,
-					OnDone: func(done simclock.Time, _ int) { tracker.Observe(done) },
-				})
-			},
-		})
+	res, err := inst.Run()
+	if err != nil {
+		panic(err)
 	}
-	eng.RunFor(span + simclock.Second)
-
-	mem := users * p.SessionKB
-	free := srv.PhysicalKB - srv.SystemKB
 	return Estimate{
 		Users:           users,
-		MeanStallMs:     tracker.MeanStallMs(),
-		MaxStallMs:      tracker.MaxStallMs(),
-		MemoryKB:        mem,
-		Paging:          mem > free,
-		LinkUtilization: float64(users) * p.DisplayBitsPerSec / (srv.LinkMbps * 1e6),
+		MeanEchoMs:      res.EchoMeanMs,
+		P95EchoMs:       res.EchoP95Ms,
+		MaxEchoMs:       res.EchoMaxMs,
+		CPUUtilization:  res.CPUUtilization,
+		LinkUtilization: res.LinkUtilization,
+		MemoryKB:        res.CommittedKB,
+		Paging:          res.Paging,
 	}
 }
 
@@ -203,11 +211,22 @@ const (
 	LimitNone    Limit = "none"
 )
 
-// Capacity finds the largest user count that keeps the probe's mean stall
-// under the perception threshold, stays out of paging, and keeps the link
-// under 80% utilization. It returns the count, the estimate at that count,
-// and which resource binds at count+1. Probes fan out across a session
-// farm sized to GOMAXPROCS; use CapacityParallel to pick the worker count.
+// MemoryCapacity is the §5.1.1 memory-only division: sessions that fit in
+// physical memory after the system baseline, ignoring latency entirely.
+// The latency-threshold Capacity can never exceed it when memory binds,
+// because the first overcommitted user pushes every session into paging.
+func MemoryCapacity(srv Server, p Profile) int {
+	return session.Capacity(srv.PhysicalKB, srv.SystemKB, session.Manifest{
+		Processes: []session.ProcessSpec{{Name: "session", PrivateKB: p.SessionKB}},
+	})
+}
+
+// Capacity finds the latency-threshold capacity: the largest user count
+// whose p95 echo latency stays within the server's budget, out of paging,
+// and under 80% link utilization. It returns the count, the estimate at
+// that count, and which resource binds at count+1. Probes fan out across
+// a farm sized to GOMAXPROCS; use CapacityParallel to pick the worker
+// count.
 func Capacity(srv Server, p Profile, maxUsers int, span simclock.Duration, seed uint64) (int, Estimate, Limit) {
 	return CapacityParallel(srv, p, maxUsers, span, seed, 0)
 }
@@ -215,10 +234,11 @@ func Capacity(srv Server, p Profile, maxUsers int, span simclock.Duration, seed 
 // CapacityParallel is Capacity with an explicit probe worker count (<= 0
 // means GOMAXPROCS). Instead of sequential binary probing, each round
 // evaluates up to `workers` candidate user-counts concurrently — a k-ary
-// search over the bracket. Every probe is deterministic in (users, seed)
-// alone, and the three constraints are monotone in the user count, so the
-// answer is identical under any worker count; fan-out only buys wall-clock
-// time, cutting rounds from log2(maxUsers) to log(k+1)(maxUsers).
+// search over the bracket, each probe a complete shared-server instance.
+// Every probe is deterministic in (users, seed) alone, and the three
+// constraints are monotone in the user count, so the answer is identical
+// under any worker count; fan-out only buys wall-clock time, cutting
+// rounds from log2(maxUsers) to log(k+1)(maxUsers).
 func CapacityParallel(srv Server, p Profile, maxUsers int, span simclock.Duration, seed uint64, workers int) (int, Estimate, Limit) {
 	if maxUsers < 1 {
 		maxUsers = 1
@@ -279,7 +299,9 @@ func CapacityParallel(srv Server, p Profile, maxUsers int, span simclock.Duratio
 	return lo, cache[lo], violation(srv, cache[lo+1])
 }
 
-// violation reports the first constraint the estimate breaks.
+// violation reports the first constraint the estimate breaks. Paging and
+// link saturation are checked before the latency budget so that a blown
+// budget names the scarce resource, not just the symptom.
 func violation(srv Server, e Estimate) Limit {
 	if e.Paging {
 		return LimitMemory
@@ -287,7 +309,7 @@ func violation(srv Server, e Estimate) Limit {
 	if e.LinkUtilization > 0.8 {
 		return LimitNetwork
 	}
-	if e.Perceptible() {
+	if e.P95EchoMs > srv.budget().Milliseconds() {
 		return LimitCPU
 	}
 	return LimitNone

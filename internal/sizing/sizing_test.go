@@ -8,16 +8,17 @@ import (
 
 const testSpan = 10 * simclock.Second
 
-func TestStallGrowsWithUsers(t *testing.T) {
+func TestLatencyGrowsWithUsers(t *testing.T) {
 	srv := DefaultServer()
+	srv.PhysicalKB = 512 * 1024 // isolate the CPU axis
 	p := Developer()
 	few := Evaluate(srv, p, 2, testSpan, 1)
 	many := Evaluate(srv, p, 40, testSpan, 1)
-	if many.MeanStallMs <= few.MeanStallMs {
-		t.Fatalf("stall did not grow: %v -> %v", few.MeanStallMs, many.MeanStallMs)
+	if many.P95EchoMs <= few.P95EchoMs {
+		t.Fatalf("p95 did not grow under contention: %v -> %v", few.P95EchoMs, many.P95EchoMs)
 	}
-	if few.Perceptible() {
-		t.Fatalf("2 developers already perceptible: %.1f ms", few.MeanStallMs)
+	if few.P95EchoMs > srv.budget().Milliseconds() {
+		t.Fatalf("2 developers already over budget: %.1f ms", few.P95EchoMs)
 	}
 }
 
@@ -48,6 +49,21 @@ func TestLightAdminsAreMemoryBound(t *testing.T) {
 	}
 }
 
+// TestLatencyCapacityNeverExceedsMemoryCapacity pins the contention
+// model's key property: because the first overcommitted user drags every
+// session into paging and page-in latency lands on the echo path, the
+// latency-threshold capacity cannot exceed the §5.1.1 memory division.
+func TestLatencyCapacityNeverExceedsMemoryCapacity(t *testing.T) {
+	srv := DefaultServer()
+	for _, p := range []Profile{LightAdmin(), Developer(), WebBrowser()} {
+		n, _, _ := Capacity(srv, p, 100, testSpan, 1)
+		if memN := MemoryCapacity(srv, p); n > memN {
+			t.Fatalf("%s: latency capacity %d exceeds memory-only capacity %d",
+				p.Name, n, memN)
+		}
+	}
+}
+
 func TestDevelopersAreCPUBound(t *testing.T) {
 	srv := DefaultServer()
 	srv.PhysicalKB = 512 * 1024 // plenty of memory
@@ -58,8 +74,8 @@ func TestDevelopersAreCPUBound(t *testing.T) {
 	if n < 5 || n > 100 {
 		t.Fatalf("implausible developer capacity %d", n)
 	}
-	if est.Perceptible() {
-		t.Fatal("returned estimate already perceptible")
+	if est.P95EchoMs > srv.budget().Milliseconds() {
+		t.Fatal("returned estimate already over the latency budget")
 	}
 }
 
@@ -71,6 +87,20 @@ func TestSVR4SchedulerRaisesCPUCapacity(t *testing.T) {
 	ia, _, _ := Capacity(srv, Developer(), 120, testSpan, 1)
 	if ia <= rr {
 		t.Fatalf("interactive scheduler capacity %d not above round-robin %d", ia, rr)
+	}
+}
+
+func TestTighterBudgetLowersCapacity(t *testing.T) {
+	srv := DefaultServer()
+	srv.PhysicalKB = 512 * 1024
+	loose, _, _ := Capacity(srv, Developer(), 120, testSpan, 1)
+	srv.LatencyBudget = 30 * simclock.Millisecond
+	tight, _, _ := Capacity(srv, Developer(), 120, testSpan, 1)
+	if tight > loose {
+		t.Fatalf("30 ms budget capacity %d above 150 ms budget capacity %d", tight, loose)
+	}
+	if tight == 0 {
+		t.Fatal("even a tight budget should admit someone")
 	}
 }
 

@@ -1,0 +1,62 @@
+package workload
+
+import (
+	"thinbench/internal/display"
+	"thinbench/internal/simclock"
+)
+
+// TypingTrace generates the Figure 3 probe as a replayable behavior trace:
+// one key-repeat input batch per keystroke at the configured rate. Unlike
+// KeystrokeTimes (which returns bare timestamps for direct CPU submission),
+// the trace form carries real input events that a protocol client can
+// encode, so it can drive the full input-channel pipeline of a shared
+// server.
+func TypingTrace(cfg TypingConfig) Trace {
+	code := cfg.Code
+	if code == 0 {
+		code = 30 // 'a'
+	}
+	t := Trace{Name: "typing"}
+	for _, at := range KeystrokeTimes(cfg) {
+		t.Input = append(t.Input, InputBatch{
+			At:     at,
+			Events: []display.InputEvent{display.KeyEvent{Down: true, Code: code}},
+		})
+	}
+	return t
+}
+
+// DriveTrace schedules a behavior trace's batches as events on a shared
+// discrete-event engine, applying the same per-protocol coalescing as
+// Replay. Where Replay walks one session's batches in lock step, DriveTrace
+// lets N users' traces interleave on one server clock: each batch fires at
+// its trace timestamp and the engine's deterministic tie-breaking orders
+// same-instant batches by scheduling order, so a multi-user replay is
+// bit-for-bit reproducible for a given set of traces.
+//
+// Batches whose timestamps have already passed (a trace shifted behind the
+// clock) fire immediately. Either callback may be nil to skip that channel.
+func DriveTrace(eng *simclock.Engine, tr Trace, opts ReplayOpts,
+	onInput func(now simclock.Time, events []display.InputEvent),
+	onDisplay func(now simclock.Time, ops []display.Op)) {
+	if onInput != nil {
+		for _, b := range coalesceInput(tr.Input, opts.InputCoalesce) {
+			events := b.Events
+			eng.At(clampAt(eng, b.At), func(now simclock.Time) { onInput(now, events) })
+		}
+	}
+	if onDisplay != nil {
+		for _, b := range coalesceDisplay(tr.Display, opts.DisplayCoalesce) {
+			ops := b.Ops
+			eng.At(clampAt(eng, b.At), func(now simclock.Time) { onDisplay(now, ops) })
+		}
+	}
+}
+
+// clampAt keeps trace timestamps schedulable on an already-running clock.
+func clampAt(eng *simclock.Engine, at simclock.Time) simclock.Time {
+	if now := eng.Now(); at < now {
+		return now
+	}
+	return at
+}

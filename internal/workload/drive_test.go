@@ -1,0 +1,106 @@
+package workload
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"thinbench/internal/display"
+	"thinbench/internal/simclock"
+)
+
+func TestTypingTraceCarriesRealEvents(t *testing.T) {
+	tr := TypingTrace(TypingConfig{Rate: 20, Span: simclock.Second, Code: 44})
+	if len(tr.Input) != 20 {
+		t.Fatalf("20 Hz for 1 s produced %d batches, want 20", len(tr.Input))
+	}
+	for _, b := range tr.Input {
+		if len(b.Events) != 1 {
+			t.Fatalf("batch at %v has %d events, want 1", b.At, len(b.Events))
+		}
+		k, ok := b.Events[0].(display.KeyEvent)
+		if !ok || k.Code != 44 || !k.Down {
+			t.Fatalf("batch at %v: unexpected event %+v", b.At, b.Events[0])
+		}
+	}
+}
+
+// interleaving replays nUsers typing traces on one shared clock and
+// returns the fired event log: (time, user, batch) in dispatch order.
+func interleaving(nUsers int, seed uint64) []string {
+	eng := simclock.NewEngine()
+	var log []string
+	for u := 0; u < nUsers; u++ {
+		u := u
+		rng := simclock.NewRand(simclock.DeriveSeed(seed, uint64(u)))
+		tr := TypingTrace(TypingConfig{Rate: 20, Span: 2 * simclock.Second})
+		tr.Shift(rng.UniformDuration(0, 50*simclock.Millisecond))
+		batch := 0
+		DriveTrace(eng, tr, ReplayOpts{},
+			func(now simclock.Time, events []display.InputEvent) {
+				log = append(log, fmt.Sprintf("%d@%d:u%d#%d", len(events), now, u, batch))
+				batch++
+			}, nil)
+	}
+	eng.Drain(1 << 20)
+	return log
+}
+
+// TestSharedClockInterleavingDeterministic is the contention model's
+// foundation: N users' replays on one clock must interleave identically
+// for identical seeds — the property that makes a shared-server run
+// reproducible at any farm worker count.
+func TestSharedClockInterleavingDeterministic(t *testing.T) {
+	ref := interleaving(8, 99)
+	if len(ref) != 8*40 {
+		t.Fatalf("8 users x 40 keystrokes produced %d events", len(ref))
+	}
+	for run := 0; run < 3; run++ {
+		if got := interleaving(8, 99); !reflect.DeepEqual(got, ref) {
+			t.Fatalf("run %d interleaved differently", run)
+		}
+	}
+	if other := interleaving(8, 100); reflect.DeepEqual(other, ref) {
+		t.Fatal("different seeds produced identical interleavings")
+	}
+}
+
+func TestDriveTraceMatchesReplayCoalescing(t *testing.T) {
+	// DriveTrace must apply the same windows as Replay: a 500 ms coalesce
+	// over 20 Hz typing yields one batch per 500 ms window.
+	eng := simclock.NewEngine()
+	tr := TypingTrace(TypingConfig{Rate: 20, Span: 2 * simclock.Second})
+	batches := 0
+	events := 0
+	DriveTrace(eng, tr, ReplayOpts{InputCoalesce: 500 * simclock.Millisecond},
+		func(_ simclock.Time, evs []display.InputEvent) {
+			batches++
+			events += len(evs)
+		}, nil)
+	eng.Drain(1 << 20)
+	if events != 40 {
+		t.Fatalf("coalescing lost events: %d of 40", events)
+	}
+	if batches != len(coalesceInput(tr.Input, 500*simclock.Millisecond)) {
+		t.Fatalf("DriveTrace fired %d batches, Replay's coalescer makes %d",
+			batches, len(coalesceInput(tr.Input, 500*simclock.Millisecond)))
+	}
+}
+
+func TestDriveTraceClampsPastTimestamps(t *testing.T) {
+	eng := simclock.NewEngine()
+	eng.RunUntil(simclock.Time(simclock.Second))
+	tr := TypingTrace(TypingConfig{Rate: 10, Span: 500 * simclock.Millisecond})
+	fired := 0
+	DriveTrace(eng, tr, ReplayOpts{},
+		func(now simclock.Time, _ []display.InputEvent) {
+			if now < simclock.Time(simclock.Second) {
+				t.Fatalf("batch fired at %v, before the clock", now)
+			}
+			fired++
+		}, nil)
+	eng.Drain(1 << 20)
+	if fired != len(tr.Input) {
+		t.Fatalf("%d of %d past-dated batches fired", fired, len(tr.Input))
+	}
+}

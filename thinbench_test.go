@@ -10,8 +10,8 @@ import (
 
 func TestPublicRegistry(t *testing.T) {
 	exps := thinbench.Experiments()
-	if len(exps) != 21 {
-		t.Fatalf("%d experiments registered, want 21 (9 figures, 6 tables, 5 ablations, 1 capacity)", len(exps))
+	if len(exps) != 22 {
+		t.Fatalf("%d experiments registered, want 22 (9 figures, 6 tables, 5 ablations, capacity, contention)", len(exps))
 	}
 	if _, ok := thinbench.Lookup("fig3"); !ok {
 		t.Fatal("fig3 not found via facade")
