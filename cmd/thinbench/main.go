@@ -18,6 +18,13 @@
 //	thinbench -run contention
 //	thinbench -run contention -users 1..24 -proto rdp,x,lbx -sched rr,nt
 //	thinbench -run contention -users 1,4,16 -proto vnc -sched svr4ia -json BENCH_contention.json
+//
+// Shard mode sweeps total population over a heterogeneous fleet of M
+// shared servers per data point, one fleet per placement policy:
+//
+//	thinbench -run shard
+//	thinbench -run shard -shards 3 -policy roundrobin,memaware,lataware -users 6..30
+//	thinbench -run shard -shards 5 -policy lataware -users 12,24,48 -json BENCH_shard.json
 package main
 
 import (
@@ -30,21 +37,25 @@ import (
 
 	"thinbench"
 	"thinbench/internal/server"
+	"thinbench/internal/shard"
 	"thinbench/internal/simclock"
 )
 
 func main() {
 	var (
-		runID    = flag.String("run", "", "experiment ID to run (fig1..fig9, tab1..tab6, abl1..abl5, cap1, cont1, 'contention', or 'all')")
+		runID    = flag.String("run", "", "experiment ID to run (fig1..fig9, tab1..tab6, abl1..abl5, cap1, cont1, shard1, 'contention', 'shard', or 'all')")
 		list     = flag.Bool("list", false, "list registered experiments")
 		quick    = flag.Bool("quick", false, "shorten measurement windows (same shapes, more noise)")
 		seed     = flag.Uint64("seed", 1999, "random seed; identical seeds reproduce identical results")
 		parallel = flag.Int("parallel", 0, "worker pool size (0 = GOMAXPROCS, 1 = sequential); results are identical at any setting")
 		jsonPath = flag.String("json", "", "also write machine-readable results to this file")
 
-		users  = flag.String("users", "1..16", "contention mode: user counts, 'A..B' (ranges wider than 8 are stepped to ~8 points, endpoints kept) or a comma list probing every count")
+		users  = flag.String("users", "1..16", "contention/shard mode: user counts, 'A..B' (ranges wider than 8 are stepped to ~8 points, endpoints kept) or a comma list probing every count; shard mode reads them as total fleet populations")
 		protos = flag.String("proto", "rdp,x,lbx", "contention mode: comma list of protocols (rdp,x,lbx,vnc,slim)")
 		scheds = flag.String("sched", "rr,nt", "contention mode: comma list of schedulers (rr,nt,svr4ia)")
+
+		shards   = flag.Int("shards", 3, "shard mode: machine count of the heterogeneous fleet (hardware classes cycle big/base/weak)")
+		policies = flag.String("policy", "roundrobin,memaware,lataware", "shard mode: comma list of placement policies")
 	)
 	flag.Parse()
 
@@ -55,14 +66,24 @@ func main() {
 		}
 		fmt.Println("  contention")
 		fmt.Println("        latency-vs-users grid on one shared server per point; see -users, -proto, -sched")
+		fmt.Println("  shard")
+		fmt.Println("        fleet-level p95 vs total users across M shared servers per placement policy; see -shards, -policy, -users")
 		if *runID == "" && !*list {
-			fmt.Println("\nrun one with: thinbench -run <id>   (or -run all, -run contention)")
+			fmt.Println("\nrun one with: thinbench -run <id>   (or -run all, -run contention, -run shard)")
 		}
 		return
 	}
 
 	if *runID == "contention" {
 		if err := runContention(*users, *protos, *scheds, *quick, *seed, *parallel, *jsonPath); err != nil {
+			fmt.Fprintln(os.Stderr, "error:", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	if *runID == "shard" {
+		if err := runShard(*users, *policies, *shards, *quick, *seed, *parallel, *jsonPath); err != nil {
 			fmt.Fprintln(os.Stderr, "error:", err)
 			os.Exit(1)
 		}
@@ -120,6 +141,14 @@ func runContention(users, protos, scheds string, quick bool, seed uint64, parall
 	}
 	protoList := splitList(protos)
 	schedList := splitList(scheds)
+	// An empty axis would legally produce an empty grid; at the CLI that
+	// is always a mistyped flag, so fail instead of printing zero rows.
+	if len(protoList) == 0 {
+		return fmt.Errorf("empty -proto list")
+	}
+	if len(schedList) == 0 {
+		return fmt.Errorf("empty -sched list")
+	}
 	grid, err := server.Grid(base, protoList, schedList, counts, parallel, seed)
 	if err != nil {
 		return err
@@ -144,6 +173,81 @@ func runContention(users, protos, scheds string, quick bool, seed uint64, parall
 			Users:     counts,
 			Scenarios: grid,
 		}
+		return writeJSON(jsonPath, doc)
+	}
+	return nil
+}
+
+// shardDoc is the machine-readable fleet result, the repo's bench
+// trajectory format (BENCH_shard.json).
+type shardDoc struct {
+	Command  string          `json:"command"`
+	Seed     uint64          `json:"seed"`
+	SpanSec  float64         `json:"span_sec"`
+	Machines []shard.Machine `json:"machines"`
+	Users    []int           `json:"users"`
+	Policies []policySeries  `json:"policies"`
+}
+
+type policySeries struct {
+	Policy string              `json:"policy"`
+	Points []shard.FleetResult `json:"points"`
+}
+
+func runShard(users, policies string, machines int, quick bool, seed uint64, parallel int, jsonPath string) error {
+	counts, err := parseCounts(users)
+	if err != nil {
+		return err
+	}
+	policyList := splitList(policies)
+	if len(policyList) == 0 {
+		return fmt.Errorf("empty -policy list")
+	}
+	if machines < 1 {
+		return fmt.Errorf("bad -shards count %d (want >= 1)", machines)
+	}
+	base := server.DefaultConfig()
+	base.Span = 10 * simclock.Second
+	probeSpan := 2 * simclock.Second
+	if quick {
+		base.Span = 3 * simclock.Second
+		probeSpan = simclock.Second
+	}
+	fleet := shard.DefaultFleet(machines)
+	doc := shardDoc{
+		Command: fmt.Sprintf("thinbench -run shard -shards %d -policy %s -users %s -seed %d -quick=%v",
+			machines, policies, users, seed, quick),
+		Seed:     seed,
+		SpanSec:  base.Span.Seconds(),
+		Machines: fleet,
+		Users:    counts,
+	}
+	for _, policy := range policyList {
+		fmt.Printf("== shard: %s placement over %d machines ==\n", policy, machines)
+		fmt.Printf("  %6s %12s %12s %14s %8s %-s\n",
+			"users", "fleet p50", "fleet p95", "max shard p95", "censored", "placement")
+		ps := policySeries{Policy: policy}
+		for _, n := range counts {
+			fr, err := shard.Run(shard.Config{
+				Base:      base,
+				Machines:  fleet,
+				Users:     n,
+				Policy:    policy,
+				ProbeSpan: probeSpan,
+				Workers:   parallel,
+				Seed:      seed,
+			})
+			if err != nil {
+				return err
+			}
+			fmt.Printf("  %6d %10.0f ms %10.0f ms %12.0f ms %8d %v\n",
+				fr.Users, fr.EchoP50Ms, fr.EchoP95Ms, fr.MaxShardP95Ms, fr.Censored, fr.Placement)
+			ps.Points = append(ps.Points, fr)
+		}
+		doc.Policies = append(doc.Policies, ps)
+		fmt.Println()
+	}
+	if jsonPath != "" {
 		return writeJSON(jsonPath, doc)
 	}
 	return nil

@@ -42,6 +42,7 @@ func TestRegistryComplete(t *testing.T) {
 		"abl1", "abl2", "abl3", "abl4", "abl5",
 		"cap1", "cont1",
 		"fig1", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9",
+		"shard1",
 		"tab1", "tab2", "tab3", "tab4", "tab5", "tab6",
 	}
 	got := make([]string, 0, len(want))
@@ -364,6 +365,35 @@ func BenchmarkRunAllParallel(b *testing.B) {
 		if _, err := RunAllParallel(quickCfg, 0); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// TestShard1PoliciesMonotoneAndOrdered: every placement policy's fleet
+// p95 series must degrade (never improve) as the total population grows —
+// common random numbers per shard plus the prefix property of greedy
+// placement guarantee it — and at the heaviest population the
+// latency-aware policy must not lose to blind round-robin.
+func TestShard1PoliciesMonotoneAndOrdered(t *testing.T) {
+	r := mustRun(t, "shard1", quickCfg)
+	if len(r.Series) != 3 {
+		t.Fatalf("shard1 produced %d series, want one per placement policy", len(r.Series))
+	}
+	byPolicy := map[string]Series{}
+	for _, s := range r.Series {
+		byPolicy[s.Label] = s
+		for i := 1; i < len(s.Y); i++ {
+			if s.Y[i]+0.01 < s.Y[i-1] {
+				t.Fatalf("%s: fleet p95 improved with more users: %v", s.Label, s.Y)
+			}
+		}
+	}
+	rr, lat := byPolicy["roundrobin"], byPolicy["lataware"]
+	if len(rr.Y) == 0 || len(lat.Y) == 0 {
+		t.Fatalf("missing policy series: %v", byPolicy)
+	}
+	if last := len(rr.Y) - 1; lat.Y[last] > rr.Y[last] {
+		t.Fatalf("lataware fleet p95 %.2fms above roundrobin %.2fms at the heaviest population",
+			lat.Y[last], rr.Y[last])
 	}
 }
 

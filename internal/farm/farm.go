@@ -45,7 +45,10 @@ type Config struct {
 }
 
 // EffectiveWorkers resolves the pool size a run will actually use:
-// Workers, defaulted to GOMAXPROCS, clamped to [1, Sessions].
+// Workers, defaulted to GOMAXPROCS, clamped to [1, Sessions]. The clamp
+// floor means Sessions <= 0 still reports one worker; Run and Aggregate
+// never start that worker — zero sessions is an explicit empty run and
+// negative sessions is an error.
 func (c Config) EffectiveWorkers() int {
 	w := c.Workers
 	if w <= 0 {
@@ -95,9 +98,17 @@ func (e *Error) Unwrap() error { return e.Err }
 // the per-session results in session-index order. Every session runs even
 // if an earlier one fails; on failure the results of failed sessions are
 // zero values and the returned error is the lowest-indexed session error.
+//
+// Zero sessions is a legal empty sweep and returns an empty, non-nil
+// slice; a negative session count is always a caller bug (an inverted
+// range, an uninitialized config) and fails loudly rather than silently
+// running nothing.
 func Run[T any](cfg Config, body func(s *Session) (T, error)) ([]T, error) {
-	if cfg.Sessions <= 0 {
-		return nil, nil
+	if cfg.Sessions < 0 {
+		return nil, fmt.Errorf("farm: negative session count %d", cfg.Sessions)
+	}
+	if cfg.Sessions == 0 {
+		return []T{}, nil
 	}
 	results := make([]T, cfg.Sessions)
 	errs := make([]error, cfg.Sessions)
@@ -136,7 +147,10 @@ func Run[T any](cfg Config, body func(s *Session) (T, error)) ([]T, error) {
 // skipping merge only for failed ones, and returns the lowest-indexed
 // session error.
 func Aggregate[T any](cfg Config, body func(s *Session) (T, error), merge func(index int, result T)) error {
-	if cfg.Sessions <= 0 {
+	if cfg.Sessions < 0 {
+		return fmt.Errorf("farm: negative session count %d", cfg.Sessions)
+	}
+	if cfg.Sessions == 0 {
 		return nil
 	}
 	type done struct {

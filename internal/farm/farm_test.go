@@ -241,13 +241,27 @@ func TestLowestIndexedErrorWins(t *testing.T) {
 }
 
 func TestEmptyAndDegenerateConfigs(t *testing.T) {
-	results, err := farm.Run(farm.Config{Sessions: 0}, func(*farm.Session) (int, error) { return 1, nil })
-	if err != nil || results != nil {
-		t.Fatalf("empty farm: results=%v err=%v", results, err)
+	// Zero sessions: an explicit empty sweep — empty non-nil results, no
+	// error, body never invoked.
+	results, err := farm.Run(farm.Config{Sessions: 0}, func(*farm.Session) (int, error) {
+		t.Error("body called for empty farm")
+		return 1, nil
+	})
+	if err != nil || results == nil || len(results) != 0 {
+		t.Fatalf("empty farm: results=%v err=%v, want empty slice and nil error", results, err)
 	}
-	if err := farm.Aggregate(farm.Config{Sessions: -4}, func(*farm.Session) (int, error) { return 1, nil },
+	if err := farm.Aggregate(farm.Config{Sessions: 0}, func(*farm.Session) (int, error) { return 1, nil },
 		func(int, int) { t.Error("merge called for empty farm") }); err != nil {
 		t.Fatal(err)
+	}
+	// Negative sessions: always a caller bug (inverted range), rejected
+	// loudly instead of silently running nothing.
+	if _, err := farm.Run(farm.Config{Sessions: -4}, func(*farm.Session) (int, error) { return 1, nil }); err == nil {
+		t.Fatal("Run accepted negative session count")
+	}
+	if err := farm.Aggregate(farm.Config{Sessions: -4}, func(*farm.Session) (int, error) { return 1, nil },
+		func(int, int) { t.Error("merge called for negative farm") }); err == nil {
+		t.Fatal("Aggregate accepted negative session count")
 	}
 	// Workers beyond Sessions and unset Workers both work.
 	for _, w := range []int{0, 1000} {

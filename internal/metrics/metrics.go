@@ -154,6 +154,18 @@ func (d *Dist) Min() float64 { return d.Percentile(0) }
 // Max returns the largest sample (0 when empty).
 func (d *Dist) Max() float64 { return d.Percentile(100) }
 
+// ToHistogram buckets every collected sample into a fresh histogram of n
+// buckets each width wide. Histograms with identical bucketing merge
+// across farm shards where raw Dists would grow unboundedly, so this is
+// the bridge from a per-machine distribution to a fleet-level one.
+func (d *Dist) ToHistogram(width float64, n int) *Histogram {
+	h := NewHistogram(width, n)
+	for _, v := range d.samples {
+		h.Add(v)
+	}
+	return h
+}
+
 // Merge appends another distribution's samples into d.
 func (d *Dist) Merge(o *Dist) {
 	if o == nil || len(o.samples) == 0 {
@@ -235,6 +247,37 @@ func (h *Histogram) Merge(o *Histogram) {
 	h.totalN += o.totalN
 	h.totalV += o.totalV
 	h.clamped += o.clamped
+}
+
+// Percentile returns the p-th percentile (0..100) at bucket granularity:
+// the upper edge of the bucket holding the nearest-rank sample, a
+// conservative "no worse than" bound for samples within the histogram's
+// range (clamped samples sit in the last bucket, so when Clamped is
+// nonzero high percentiles floor at the range edge). An empty histogram
+// (N == 0) is
+// defined to return 0 — never an undefined or stale value — so callers
+// summarizing latency must check N (or a censored-interaction count)
+// before trusting a 0: a measurement window too short for any sample to
+// land reads as 0 ms here, which is "no data", not "fast".
+func (h *Histogram) Percentile(p float64) float64 {
+	if h.totalN == 0 {
+		return 0
+	}
+	rank := int64(math.Ceil(p / 100 * float64(h.totalN)))
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > h.totalN {
+		rank = h.totalN
+	}
+	var run int64
+	for i, c := range h.counts {
+		run += c
+		if run >= rank {
+			return float64(i+1) * h.width
+		}
+	}
+	return float64(len(h.counts)) * h.width
 }
 
 // CumulativeWeighted returns, for each bucket upper edge, the exact sum of

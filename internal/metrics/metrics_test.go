@@ -337,6 +337,76 @@ func TestDistMerge(t *testing.T) {
 	}
 }
 
+func TestHistogramPercentile(t *testing.T) {
+	h := NewHistogram(10, 10) // buckets [0,10) ... [90,100)
+	for i := 1; i <= 100; i++ {
+		h.Add(float64(i) - 0.5)
+	}
+	// Nearest-rank sample 50 (49.5) sits in bucket [40,50): upper edge 50.
+	if v := h.Percentile(50); v != 50 {
+		t.Fatalf("p50 = %v, want 50", v)
+	}
+	if v := h.Percentile(0); v != 10 {
+		t.Fatalf("p0 = %v, want 10 (first occupied bucket's upper edge)", v)
+	}
+	if v := h.Percentile(100); v != 100 {
+		t.Fatalf("p100 = %v, want 100", v)
+	}
+	if v := h.Percentile(95); v != 100 {
+		t.Fatalf("p95 = %v, want 100", v)
+	}
+	// Clamped samples count at the last bucket's edge, never beyond it.
+	h.Add(1e9)
+	if v := h.Percentile(100); v != 100 {
+		t.Fatalf("p100 with clamped sample = %v, want 100", v)
+	}
+}
+
+// TestHistogramPercentileEmpty pins the empty-histogram contract: N == 0
+// yields exactly 0 for every percentile, so an all-censored or zero-sample
+// window can never leak an undefined value into a latency summary.
+func TestHistogramPercentileEmpty(t *testing.T) {
+	h := NewHistogram(1, 8)
+	for _, p := range []float64{0, 50, 95, 100} {
+		if v := h.Percentile(p); v != 0 {
+			t.Fatalf("empty histogram p%v = %v, want 0", p, v)
+		}
+	}
+	// Merging empties stays empty and defined.
+	h.Merge(NewHistogram(1, 8))
+	if v := h.Percentile(95); v != 0 || h.N() != 0 {
+		t.Fatalf("merged empty p95 = %v N = %d, want 0/0", v, h.N())
+	}
+}
+
+func TestDistToHistogram(t *testing.T) {
+	var d Dist
+	for _, v := range []float64{1, 12, 33, 47, 99, 12, 0, 888} {
+		d.Add(v)
+	}
+	h := d.ToHistogram(10, 5)
+	if h.N() != int64(d.N()) {
+		t.Fatalf("histogram N = %d, want %d", h.N(), d.N())
+	}
+	if h.Count(0) != 2 || h.Count(1) != 2 || h.Count(4) != 3 {
+		t.Fatalf("bucket counts wrong: %d %d %d", h.Count(0), h.Count(1), h.Count(4))
+	}
+	if h.Clamped() != 2 {
+		t.Fatalf("Clamped = %d, want 2 (99 and 888)", h.Clamped())
+	}
+	// Per-shard Dists bucketed then merged must equal the whole bucketed.
+	var a, b Dist
+	a.Add(1)
+	a.Add(33)
+	b.Add(47)
+	ha, hw := a.ToHistogram(10, 5), (&Dist{}).ToHistogram(10, 5)
+	hw.Merge(ha)
+	hw.Merge(b.ToHistogram(10, 5))
+	if hw.N() != 3 || hw.Count(3) != 1 || hw.Count(4) != 1 {
+		t.Fatalf("shard-merged histogram wrong: N=%d", hw.N())
+	}
+}
+
 func TestMergeSummaries(t *testing.T) {
 	var whole Summary
 	shards := []*Summary{{}, {}, {}}

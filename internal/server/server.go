@@ -377,6 +377,16 @@ func (s *Server) Run() (Result, error) {
 	return res, nil
 }
 
+// EchoHistogram buckets every echo-latency sample Run collected
+// (milliseconds, right-censored samples included) into a histogram of n
+// buckets each widthMs wide. Result keeps only scalar percentiles so it
+// stays ==-comparable; the histogram is the mergeable form a fleet layer
+// needs to compute percentiles across many servers, since percentiles of
+// separate machines cannot be combined after the fact.
+func (s *Server) EchoHistogram(widthMs float64, n int) *metrics.Histogram {
+	return s.echo.ToHistogram(widthMs, n)
+}
+
 func protocolName(p string) string {
 	if p == "" {
 		return "model"

@@ -169,6 +169,58 @@ func TestModelProtocolMatchesPipelineShape(t *testing.T) {
 	}
 }
 
+// TestEmptyGridIsExplicitNoOp pins the empty-sweep contract: an empty
+// configuration list, or a grid with any empty axis, returns an empty
+// non-nil slice and no error instead of falling into a zero-session farm
+// run.
+func TestEmptyGridIsExplicitNoOp(t *testing.T) {
+	res, err := Sweep(nil, 4, 7)
+	if err != nil || res == nil || len(res) != 0 {
+		t.Fatalf("empty sweep: results=%v err=%v, want empty slice and nil error", res, err)
+	}
+	base := quick()
+	for _, axes := range [][3]int{{0, 1, 1}, {1, 0, 1}, {1, 1, 0}} {
+		protos := []string{"rdp"}[:axes[0]]
+		scheds := []string{"rr"}[:axes[1]]
+		users := []int{1}[:axes[2]]
+		grid, err := Grid(base, protos, scheds, users, 4, 7)
+		if err != nil || grid == nil || len(grid) != 0 {
+			t.Fatalf("grid axes %v: scenarios=%v err=%v, want empty slice and nil error",
+				axes, grid, err)
+		}
+	}
+}
+
+// TestEchoHistogramMatchesScalars: the mergeable histogram form must agree
+// with Result's scalar summary — same sample count, and bucket-granular
+// percentiles bounding the exact ones from above by at most one bucket.
+func TestEchoHistogramMatchesScalars(t *testing.T) {
+	cfg := quick()
+	cfg.Users = 6
+	srv, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := srv.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := srv.EchoHistogram(1, 4096)
+	if h.N() != res.EchoSamples {
+		t.Fatalf("histogram N = %d, want %d echo samples", h.N(), res.EchoSamples)
+	}
+	for _, p := range []float64{50, 95} {
+		exact := res.EchoP50Ms
+		if p == 95 {
+			exact = res.EchoP95Ms
+		}
+		got := h.Percentile(p)
+		if got < exact || got > exact+1 {
+			t.Fatalf("histogram p%v = %v, want within one 1ms bucket above exact %v", p, got, exact)
+		}
+	}
+}
+
 func TestConfigValidation(t *testing.T) {
 	cfg := quick()
 	cfg.Protocol = "telnet"

@@ -16,6 +16,10 @@ import (
 // grid index (simclock.DeriveSeed via the farm), never from worker
 // identity, so a sweep is bit-for-bit identical at any worker count.
 func Sweep(cfgs []Config, workers int, root uint64) ([]Result, error) {
+	if len(cfgs) == 0 {
+		// An empty grid is a legal no-op sweep, not a degenerate farm run.
+		return []Result{}, nil
+	}
 	return farm.Run(farm.Config{Sessions: len(cfgs), Workers: workers, Seed: root},
 		func(s *farm.Session) (Result, error) {
 			c := cfgs[s.Index]
@@ -51,6 +55,11 @@ type Scenario struct {
 // sampling noise, and protocol/scheduler columns compare the same
 // population.
 func Grid(base Config, protocols, schedulers []string, users []int, workers int, root uint64) ([]Scenario, error) {
+	if len(protocols) == 0 || len(schedulers) == 0 || len(users) == 0 {
+		// Any empty axis empties the whole grid; return an explicit empty
+		// result rather than scenarios with zero rows.
+		return []Scenario{}, nil
+	}
 	seed := simclock.DeriveSeed(root, 0x9d1d)
 	var cfgs []Config
 	for _, p := range protocols {

@@ -1,0 +1,197 @@
+package shard
+
+import (
+	"thinbench/internal/farm"
+	"thinbench/internal/metrics"
+	"thinbench/internal/server"
+	"thinbench/internal/simclock"
+	"thinbench/internal/sizing"
+)
+
+// Fleet-standard echo-latency bucketing: 1 ms buckets, at least
+// HistBuckets of them. Every shard of a run buckets identically so
+// per-shard histograms merge into exact fleet-level counts.
+const (
+	HistBucketMs = 1.0
+	HistBuckets  = 4096
+)
+
+// histBuckets sizes a run's bucketing to its measurement window. A
+// censored interaction enters as its age at run end, which can reach the
+// span plus the server's drain tail, so the range must cover that or
+// fleet percentiles would silently floor at the histogram edge exactly
+// when the fleet is most overloaded — the case they exist to expose.
+func histBuckets(span simclock.Duration) int {
+	n := int(span.Milliseconds()) + 3000
+	if n < HistBuckets {
+		n = HistBuckets
+	}
+	return n
+}
+
+// ShardResult is one machine's measured slice of a fleet run: its
+// hardware, its assigned population, and the full server.Result. A shard
+// assigned zero users reports a zero Result — no machine is simulated,
+// unlike server.New which clamps an empty population up to one user.
+type ShardResult struct {
+	Shard      int     `json:"shard"`
+	PhysicalKB int     `json:"physical_kb"`
+	CPUSpeed   float64 `json:"cpu_speed"`
+	server.Result
+}
+
+// FleetResult is the population's measured impact on the whole fleet.
+// Fleet percentiles come from the merged per-shard histograms, at bucket
+// granularity (HistBucketMs): the p95 of a fleet is not the max (or any
+// other combination) of per-shard p95s, so the sample counts must merge
+// before the percentile is taken. All fields are scalars, slices of
+// scalars, or nested scalar structs, so results compare with
+// reflect.DeepEqual in determinism tests and serialize directly.
+type FleetResult struct {
+	Policy string `json:"policy"`
+	Users  int    `json:"users"`
+	// Placement is users per shard, in shard-index order.
+	Placement []int         `json:"placement"`
+	Shards    []ShardResult `json:"shards"`
+
+	// EchoP50Ms and EchoP95Ms are fleet-level percentiles over every
+	// user's every interaction on every shard, censored samples included.
+	EchoP50Ms float64 `json:"echo_p50_ms"`
+	EchoP95Ms float64 `json:"echo_p95_ms"`
+	// MaxShardP95Ms is the worst single machine's exact p95, the number a
+	// per-shard alert would fire on.
+	MaxShardP95Ms float64 `json:"max_shard_p95_ms"`
+
+	Interactions int64 `json:"interactions"`
+	Censored     int64 `json:"censored"`
+	LostInputs   int64 `json:"lost_inputs"`
+	// Clamped counts samples beyond the fleet histogram's range. It stays
+	// zero for any span the bucketing was sized for; nonzero means the
+	// fleet percentiles are floored at the histogram edge.
+	Clamped int64 `json:"clamped"`
+}
+
+func policyName(p string) string {
+	if p == "" {
+		return PolicyRoundRobin
+	}
+	return p
+}
+
+// Run places the population, runs every shard concurrently across the
+// farm — one whole machine per farm body — and merges the per-shard
+// echo histograms into fleet-level percentiles. The same configuration
+// always produces a deeply identical FleetResult at any worker count.
+func Run(cfg Config) (FleetResult, error) {
+	counts, err := Place(cfg)
+	if err != nil {
+		return FleetResult{}, err
+	}
+	buckets := histBuckets(cfg.Base.Span)
+	type shardOut struct {
+		res  server.Result
+		hist *metrics.Histogram
+	}
+	outs, err := farm.Run(farm.Config{Sessions: len(cfg.Machines), Workers: cfg.Workers, Seed: cfg.Seed},
+		func(s *farm.Session) (shardOut, error) {
+			n := counts[s.Index]
+			if n == 0 {
+				return shardOut{hist: metrics.NewHistogram(HistBucketMs, buckets)}, nil
+			}
+			srv, err := server.New(cfg.shardConfig(s.Index, n))
+			if err != nil {
+				return shardOut{}, err
+			}
+			res, err := srv.Run()
+			if err != nil {
+				return shardOut{}, err
+			}
+			return shardOut{res: res, hist: srv.EchoHistogram(HistBucketMs, buckets)}, nil
+		})
+	if err != nil {
+		return FleetResult{}, err
+	}
+
+	fleet := FleetResult{Policy: policyName(cfg.Policy), Users: cfg.Users, Placement: counts}
+	merged := metrics.NewHistogram(HistBucketMs, buckets)
+	for j, o := range outs {
+		fleet.Shards = append(fleet.Shards, ShardResult{
+			Shard:      j,
+			PhysicalKB: cfg.shardConfig(j, 0).PhysicalKB,
+			CPUSpeed:   cfg.Machines[j].speed(),
+			Result:     o.res,
+		})
+		merged.Merge(o.hist)
+		fleet.Interactions += o.res.Interactions
+		fleet.Censored += o.res.Censored
+		fleet.LostInputs += o.res.LostInputs
+		if o.res.EchoP95Ms > fleet.MaxShardP95Ms {
+			fleet.MaxShardP95Ms = o.res.EchoP95Ms
+		}
+	}
+	fleet.EchoP50Ms = merged.Percentile(50)
+	fleet.EchoP95Ms = merged.Percentile(95)
+	fleet.Clamped = merged.Clamped()
+	return fleet, nil
+}
+
+// FleetCapacity finds the largest total population whose fleet-level p95
+// echo latency stays within the budget (0 means the sizing layer's 150 ms
+// default), bisecting over populations exactly as sizing.Capacity bisects
+// one machine's. A fleet where no interaction ever completes is over
+// budget no matter what its censored ages read. Because greedy placement
+// has the prefix property and every shard keeps its index-derived seed,
+// candidate populations share common random numbers and the fleet p95 is
+// monotone in N, which is what makes bisection valid. Returns the
+// capacity and the fleet result at that population (at population 1 when
+// even one user blows the budget).
+func FleetCapacity(cfg Config, maxUsers int, budget simclock.Duration) (int, FleetResult, error) {
+	if budget <= 0 {
+		budget = sizing.DefaultLatencyBudget
+	}
+	if maxUsers < 1 {
+		maxUsers = 1
+	}
+	cache := map[int]FleetResult{}
+	eval := func(n int) (FleetResult, error) {
+		if r, ok := cache[n]; ok {
+			return r, nil
+		}
+		c := cfg
+		c.Users = n
+		r, err := Run(c)
+		if err == nil {
+			cache[n] = r
+		}
+		return r, err
+	}
+	within := func(r FleetResult) bool {
+		return r.Censored < r.Interactions && r.EchoP95Ms <= budget.Milliseconds()
+	}
+
+	first, err := eval(1)
+	if err != nil {
+		return 0, FleetResult{}, err
+	}
+	if !within(first) {
+		return 0, first, nil
+	}
+	lo, hi := 1, maxUsers
+	for lo < hi {
+		mid := (lo + hi + 1) / 2
+		r, err := eval(mid)
+		if err != nil {
+			return 0, FleetResult{}, err
+		}
+		if within(r) {
+			lo = mid
+		} else {
+			hi = mid - 1
+		}
+	}
+	at, err := eval(lo)
+	if err != nil {
+		return 0, FleetResult{}, err
+	}
+	return lo, at, nil
+}

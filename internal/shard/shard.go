@@ -1,0 +1,286 @@
+// Package shard scales the shared-server contention model out to a
+// fleet. One server.Server is one machine — its users contend on one
+// clock, one CPU, one memory pool, one link — and the paper sizes exactly
+// that machine. The north star is millions of users, which no single
+// machine serves: a fleet of M servers does, and the operative question
+// becomes placement — which machine gets the next user — especially once
+// machines differ in memory and CPU speed.
+//
+// A Config names a base machine, a fleet of per-shard hardware overrides,
+// a total population, and a placement policy:
+//
+//   - roundrobin deals users out in index order, the policy of a fleet
+//     that knows nothing about its machines;
+//   - memaware greedily bin-packs against each machine's §5.1.1 memory
+//     division (session.Capacity over the session manifest), the policy of
+//     a fleet that reads /proc/meminfo;
+//   - lataware probes: each user lands on the shard whose marginal p95
+//     echo latency — measured by a short sizing.EvaluateConfig run of that
+//     shard at its would-be population — is lowest, the policy of a fleet
+//     that measures what the paper says to measure.
+//
+// Shards are independent machines, so whole shards fan out across
+// farm.Run; each shard's seed derives from the fleet seed and its index,
+// never from worker identity, so a fleet result is bit-for-bit identical
+// at any worker count. Per-shard echo-latency histograms (identical
+// bucketing fleet-wide) merge into fleet-level percentiles — percentiles
+// of separate machines cannot be combined after the fact — and
+// FleetCapacity bisects populations for the largest N whose fleet p95
+// stays within the latency budget, the sizing question asked of the whole
+// fleet instead of one box.
+package shard
+
+import (
+	"fmt"
+	"math"
+
+	"thinbench/internal/farm"
+	"thinbench/internal/server"
+	"thinbench/internal/session"
+	"thinbench/internal/simclock"
+	"thinbench/internal/sizing"
+)
+
+// Placement policies.
+const (
+	PolicyRoundRobin = "roundrobin"
+	PolicyMemAware   = "memaware"
+	PolicyLatAware   = "lataware"
+)
+
+// Policies lists every placement policy in canonical order.
+func Policies() []string {
+	return []string{PolicyRoundRobin, PolicyMemAware, PolicyLatAware}
+}
+
+// Machine describes one shard's hardware as overrides of the fleet's base
+// configuration. The zero value is exactly the base machine.
+type Machine struct {
+	// MemoryMB overrides the base machine's physical memory; 0 keeps it.
+	MemoryMB int `json:"memory_mb"`
+	// CPUSpeed scales the processor relative to the base machine:
+	// per-interaction CPU costs and background demand divide by it, so
+	// 2.0 is a machine twice as fast and 0.5 one half as fast. 0 means
+	// 1.0.
+	CPUSpeed float64 `json:"cpu_speed"`
+}
+
+func (m Machine) speed() float64 {
+	if m.CPUSpeed <= 0 {
+		return 1
+	}
+	return m.CPUSpeed
+}
+
+// DefaultFleet builds an m-machine heterogeneous fleet cycling through
+// three hardware classes: a big box (128 MB, 1.5x CPU), the base machine
+// unchanged, and a weak leftover (48 MB, 0.6x CPU). Placement policies
+// only differentiate when machines differ; this is the canonical
+// differing fleet used by the shard1 experiment, the CLI, and the
+// walkthrough example.
+func DefaultFleet(m int) []Machine {
+	if m < 1 {
+		m = 1
+	}
+	classes := []Machine{
+		{MemoryMB: 128, CPUSpeed: 1.5},
+		{},
+		{MemoryMB: 48, CPUSpeed: 0.6},
+	}
+	out := make([]Machine, m)
+	for j := range out {
+		out[j] = classes[j%len(classes)]
+	}
+	return out
+}
+
+// Config describes a fleet and its total population.
+type Config struct {
+	// Base is the per-machine baseline. Base.Users is ignored (placement
+	// decides each shard's population) and Base.Seed is ignored
+	// (per-shard seeds derive from Seed and the shard index).
+	Base server.Config
+	// Machines is the fleet, one hardware override per shard.
+	Machines []Machine
+	// Users is the total population placed across the fleet.
+	Users int
+	// Policy selects the placement policy; empty means roundrobin.
+	Policy string
+	// ProbeSpan is the lataware placement probe window; 0 means 2 s.
+	// Probes only rank shards, so they run far shorter than Base.Span.
+	ProbeSpan simclock.Duration
+	// Workers bounds the farm pool shards (and placement probes) run on;
+	// like everywhere else in the reproduction it never affects results.
+	Workers int
+	// Seed roots all fleet randomness.
+	Seed uint64
+}
+
+func (c Config) validate() error {
+	if len(c.Machines) == 0 {
+		return fmt.Errorf("shard: fleet has no machines")
+	}
+	if c.Users < 1 {
+		return fmt.Errorf("shard: fleet population %d, need at least one user", c.Users)
+	}
+	for j, m := range c.Machines {
+		if m.MemoryMB < 0 || m.CPUSpeed < 0 {
+			return fmt.Errorf("shard: machine %d has negative hardware override %+v", j, m)
+		}
+	}
+	return nil
+}
+
+// shardConfig composes shard j's complete server configuration: the base
+// machine with j's hardware overrides applied, the given population, and
+// the index-derived seed that makes every fleet run worker-count
+// invariant (and placement probes consistent with the final run).
+func (c Config) shardConfig(j, users int) server.Config {
+	sc := c.Base
+	m := c.Machines[j]
+	if m.MemoryMB > 0 {
+		sc.PhysicalKB = m.MemoryMB * 1024
+	}
+	if speed := m.speed(); speed != 1 {
+		sc.EchoCPU = scaleCPU(sc.EchoCPU, speed)
+		sc.EncodeCPU = scaleCPU(sc.EncodeCPU, speed)
+		sc.BackgroundCPUFrac /= speed
+	}
+	sc.Users = users
+	sc.Seed = simclock.DeriveSeed(c.Seed, uint64(j))
+	return sc
+}
+
+// scaleCPU divides a per-interaction cost by the machine's speed, keeping
+// a nonzero cost nonzero (a faster machine still does the work).
+func scaleCPU(d simclock.Duration, speed float64) simclock.Duration {
+	if d <= 0 {
+		return d
+	}
+	s := simclock.Duration(float64(d) / speed)
+	if s < 1 {
+		s = 1
+	}
+	return s
+}
+
+// memoryCapacity is shard j's §5.1.1 memory division: sessions that fit
+// in its physical memory behind the system baseline.
+func (c Config) memoryCapacity(j int) int {
+	sc := c.shardConfig(j, 0)
+	return session.Capacity(sc.PhysicalKB, sc.SystemKB, sc.SessionManifest())
+}
+
+// Place distributes the fleet's population across its machines under the
+// configured policy and returns the per-shard populations. Placement is
+// greedy one user at a time, which gives every policy the prefix
+// property: the placement for N users is a prefix of the placement for
+// N+1, so fleet series over growing populations share common random
+// numbers per shard and degrade monotonically.
+func Place(cfg Config) ([]int, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	m := len(cfg.Machines)
+	counts := make([]int, m)
+	switch cfg.Policy {
+	case PolicyRoundRobin, "":
+		for u := 0; u < cfg.Users; u++ {
+			counts[u%m]++
+		}
+	case PolicyMemAware:
+		// Greedy bin-pack against each machine's memory division: the
+		// next user lands on the machine with the most free session
+		// slots; an overcommitted fleet keeps filling the least
+		// overcommitted machine. Ties break to the lowest index.
+		caps := make([]int, m)
+		for j := range caps {
+			caps[j] = cfg.memoryCapacity(j)
+		}
+		for u := 0; u < cfg.Users; u++ {
+			best := 0
+			for j := 1; j < m; j++ {
+				if caps[j]-counts[j] > caps[best]-counts[best] {
+					best = j
+				}
+			}
+			counts[best]++
+		}
+	case PolicyLatAware:
+		return placeLatAware(cfg)
+	default:
+		return nil, fmt.Errorf("shard: unknown placement policy %q", cfg.Policy)
+	}
+	return counts, nil
+}
+
+// placeLatAware places each user on the shard whose marginal p95 — the
+// measured p95 echo latency of that shard running its current population
+// plus this user — is lowest. Marginals come from short
+// sizing.EvaluateConfig probes of the real shard configuration (same
+// protocol, same hardware overrides, same index-derived seed as the final
+// run, only the span shortened), cached per (shard, population): placing
+// a user invalidates exactly one shard's marginal, so placement costs
+// about M+N probes, with the M first-round probes fanned out across the
+// farm.
+func placeLatAware(cfg Config) ([]int, error) {
+	m := len(cfg.Machines)
+	probeSpan := cfg.ProbeSpan
+	if probeSpan <= 0 {
+		probeSpan = 2 * simclock.Second
+	}
+	raw := func(j, users int) (float64, error) {
+		sc := cfg.shardConfig(j, users)
+		sc.Span = probeSpan
+		est, err := sizing.EvaluateConfig(sc)
+		if err != nil {
+			return 0, err
+		}
+		if est.Censored >= est.Interactions {
+			// Nothing completed: worse than any measured latency.
+			return math.Inf(1), nil
+		}
+		return est.P95EchoMs, nil
+	}
+
+	type key struct{ shard, users int }
+	cache := map[key]float64{}
+	// First-round marginals (every shard at population 1) fan out across
+	// the farm; the cache is filled single-threaded from the ordered
+	// results.
+	firsts, err := farm.Run(farm.Config{Sessions: m, Workers: cfg.Workers, Seed: cfg.Seed},
+		func(s *farm.Session) (float64, error) { return raw(s.Index, 1) })
+	if err != nil {
+		return nil, err
+	}
+	for j, p := range firsts {
+		cache[key{j, 1}] = p
+	}
+	probe := func(j, users int) (float64, error) {
+		if p, ok := cache[key{j, users}]; ok {
+			return p, nil
+		}
+		p, err := raw(j, users)
+		if err != nil {
+			return 0, err
+		}
+		cache[key{j, users}] = p
+		return p, nil
+	}
+
+	counts := make([]int, m)
+	for u := 0; u < cfg.Users; u++ {
+		best, bestP95 := -1, 0.0
+		for j := 0; j < m; j++ {
+			p, err := probe(j, counts[j]+1)
+			if err != nil {
+				return nil, err
+			}
+			if best < 0 || p < bestP95 {
+				best, bestP95 = j, p
+			}
+		}
+		counts[best]++
+	}
+	return counts, nil
+}

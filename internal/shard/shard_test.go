@@ -1,0 +1,271 @@
+package shard_test
+
+import (
+	"reflect"
+	"testing"
+
+	"thinbench/internal/server"
+	"thinbench/internal/shard"
+	"thinbench/internal/simclock"
+)
+
+// fleetCfg is the test fleet: the canonical heterogeneous three-machine
+// fleet (big / base / weak) on short spans.
+func fleetCfg(policy string, users int) shard.Config {
+	base := server.DefaultConfig()
+	base.Span = 3 * simclock.Second
+	return shard.Config{
+		Base:      base,
+		Machines:  shard.DefaultFleet(3),
+		Users:     users,
+		Policy:    policy,
+		ProbeSpan: simclock.Second,
+		Seed:      42,
+	}
+}
+
+func mustRun(t *testing.T, cfg shard.Config) shard.FleetResult {
+	t.Helper()
+	res, err := shard.Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func sum(counts []int) int {
+	total := 0
+	for _, c := range counts {
+		total += c
+	}
+	return total
+}
+
+func TestPlaceRoundRobin(t *testing.T) {
+	counts, err := shard.Place(fleetCfg(shard.PolicyRoundRobin, 7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(counts, []int{3, 2, 2}) {
+		t.Fatalf("roundrobin placed %v, want [3 2 2]", counts)
+	}
+	// The empty policy defaults to roundrobin.
+	def, err := shard.Place(fleetCfg("", 7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(def, counts) {
+		t.Fatalf("default policy placed %v, want roundrobin's %v", def, counts)
+	}
+}
+
+func TestPlaceMemAwareFollowsMemory(t *testing.T) {
+	// DefaultFleet memory divisions: 128 MB ~ 31 sessions, 64 MB ~ 13,
+	// 48 MB ~ 8. Greedy bin-packing must load machines in that order.
+	cfg := fleetCfg(shard.PolicyMemAware, 26)
+	counts, err := shard.Place(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum(counts) != cfg.Users {
+		t.Fatalf("placement %v loses users, want total %d", counts, cfg.Users)
+	}
+	if !(counts[0] > counts[1] && counts[1] > counts[2]) {
+		t.Fatalf("memaware ignored memory sizes: %v for capacities ~[31 13 8]", counts)
+	}
+	// Under total memory capacity, no shard is pushed past its division.
+	if counts[2] > 8 {
+		t.Fatalf("memaware overcommitted the 48 MB machine: %v", counts)
+	}
+}
+
+func TestPlaceLatAwarePrefersFastMachine(t *testing.T) {
+	cfg := fleetCfg(shard.PolicyLatAware, 12)
+	counts, err := shard.Place(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum(counts) != cfg.Users {
+		t.Fatalf("placement %v loses users, want total %d", counts, cfg.Users)
+	}
+	if counts[0] <= counts[2] {
+		t.Fatalf("lataware loaded the 0.6x machine (%d users) at least as much as the 1.5x machine (%d)",
+			counts[2], counts[0])
+	}
+}
+
+func TestPlaceRejectsBadConfigs(t *testing.T) {
+	cfg := fleetCfg(shard.PolicyRoundRobin, 4)
+	cfg.Users = 0
+	if _, err := shard.Place(cfg); err == nil {
+		t.Fatal("empty population accepted")
+	}
+	cfg = fleetCfg(shard.PolicyRoundRobin, 4)
+	cfg.Machines = nil
+	if _, err := shard.Place(cfg); err == nil {
+		t.Fatal("machineless fleet accepted")
+	}
+	cfg = fleetCfg("hash", 4)
+	if _, err := shard.Place(cfg); err == nil {
+		t.Fatal("unknown policy accepted")
+	}
+	cfg = fleetCfg(shard.PolicyRoundRobin, 4)
+	cfg.Machines[1].MemoryMB = -64
+	if _, err := shard.Place(cfg); err == nil {
+		t.Fatal("negative hardware override accepted")
+	}
+	cfg = fleetCfg(shard.PolicyRoundRobin, 4)
+	cfg.Base.Protocol = "telnet"
+	if _, err := shard.Run(cfg); err == nil {
+		t.Fatal("unknown base protocol accepted by Run")
+	}
+}
+
+// TestFleetWorkerInvariant is the shard layer's determinism proof: whole
+// machines fan out across the farm with index-derived seeds, so a fleet
+// result must be deeply identical at any worker count, for every policy.
+func TestFleetWorkerInvariant(t *testing.T) {
+	for _, policy := range shard.Policies() {
+		cfg := fleetCfg(policy, 10)
+		cfg.Base.Span = 2 * simclock.Second
+		cfg.Workers = 1
+		ref := mustRun(t, cfg)
+		for _, workers := range []int{2, 8} {
+			cfg.Workers = workers
+			if got := mustRun(t, cfg); !reflect.DeepEqual(got, ref) {
+				t.Fatalf("%s: workers=%d diverged from sequential fleet:\n%+v\n%+v",
+					policy, workers, got, ref)
+			}
+		}
+	}
+}
+
+// TestFleetP95MonotoneInUsers: greedy placement has the prefix property
+// and every shard keeps its index-derived seed, so growing populations
+// share common random numbers and the fleet p95 series must degrade, never
+// improve, under every policy.
+func TestFleetP95MonotoneInUsers(t *testing.T) {
+	for _, policy := range shard.Policies() {
+		var prev float64
+		for i, n := range []int{4, 10, 16, 22, 28} {
+			res := mustRun(t, fleetCfg(policy, n))
+			if res.Users != n || sum(res.Placement) != n {
+				t.Fatalf("%s: fleet result placed %v for %d users", policy, res.Placement, n)
+			}
+			if i > 0 && res.EchoP95Ms+0.01 < prev {
+				t.Fatalf("%s: fleet p95 improved with more users: %d users %.2fms after %.2fms",
+					policy, n, res.EchoP95Ms, prev)
+			}
+			prev = res.EchoP95Ms
+		}
+	}
+}
+
+// TestLatAwareNoWorseThanRoundRobin is the point of measurement-driven
+// placement: on a heterogeneous fleet, blind round-robin marches the weak
+// machine into paging while lataware routes around it, so for the same
+// total population the lataware fleet p95 cannot be worse.
+func TestLatAwareNoWorseThanRoundRobin(t *testing.T) {
+	for _, n := range []int{18, 30} {
+		rr := mustRun(t, fleetCfg(shard.PolicyRoundRobin, n))
+		lat := mustRun(t, fleetCfg(shard.PolicyLatAware, n))
+		if lat.EchoP95Ms > rr.EchoP95Ms {
+			t.Fatalf("%d users: lataware fleet p95 %.2fms worse than roundrobin %.2fms (placements %v vs %v)",
+				n, lat.EchoP95Ms, rr.EchoP95Ms, lat.Placement, rr.Placement)
+		}
+	}
+	// At 30 users round-robin puts 10 sessions on the 48 MB machine
+	// (§5.1.1 division ~8), so the gap should be dramatic, not a tie.
+	rr := mustRun(t, fleetCfg(shard.PolicyRoundRobin, 30))
+	lat := mustRun(t, fleetCfg(shard.PolicyLatAware, 30))
+	if lat.EchoP95Ms >= rr.EchoP95Ms/2 {
+		t.Fatalf("lataware p95 %.2fms not decisively better than roundrobin %.2fms under overload",
+			lat.EchoP95Ms, rr.EchoP95Ms)
+	}
+}
+
+// TestOverloadedFleetP95NotFloored: the bucketing must be sized to the
+// measurement window, so that a deeply overloaded fleet's censored
+// samples (ages up to span plus drain) land in real buckets instead of
+// clamping — otherwise fleet p95 would silently floor at the histogram
+// edge exactly when overload is worst.
+func TestOverloadedFleetP95NotFloored(t *testing.T) {
+	cfg := fleetCfg(shard.PolicyRoundRobin, 30) // 10 sessions on the ~8-session 48 MB machine
+	cfg.Base.Span = 10 * simclock.Second
+	res := mustRun(t, cfg)
+	worst := res.Shards[2]
+	if !worst.Paging || worst.Censored == 0 {
+		t.Fatalf("weak shard not overloaded as intended: %+v", worst)
+	}
+	if res.Clamped != 0 {
+		t.Fatalf("fleet histogram clamped %d samples on a span-sized bucketing", res.Clamped)
+	}
+	if res.EchoP95Ms <= float64(shard.HistBuckets)*shard.HistBucketMs {
+		t.Fatalf("overloaded fleet p95 %.0fms at or under the minimum histogram range — still floored", res.EchoP95Ms)
+	}
+}
+
+// TestEmptyShardContributesNothing: a shard assigned zero users must not
+// be simulated at all — no invented clamped-up user — and the fleet
+// summary must equal the populated shards' alone.
+func TestEmptyShardContributesNothing(t *testing.T) {
+	res := mustRun(t, fleetCfg(shard.PolicyRoundRobin, 1))
+	if !reflect.DeepEqual(res.Placement, []int{1, 0, 0}) {
+		t.Fatalf("placement %v, want [1 0 0]", res.Placement)
+	}
+	for _, sr := range res.Shards[1:] {
+		if sr.Users != 0 || sr.Interactions != 0 || sr.EchoSamples != 0 {
+			t.Fatalf("empty shard %d simulated anyway: %+v", sr.Shard, sr)
+		}
+	}
+	if res.Interactions != res.Shards[0].Interactions {
+		t.Fatalf("fleet interactions %d != sole shard's %d", res.Interactions, res.Shards[0].Interactions)
+	}
+	if res.EchoP95Ms < res.Shards[0].EchoP95Ms || res.EchoP95Ms > res.Shards[0].EchoP95Ms+shard.HistBucketMs {
+		t.Fatalf("fleet p95 %.2fms not within one bucket above sole shard's %.2fms",
+			res.EchoP95Ms, res.Shards[0].EchoP95Ms)
+	}
+}
+
+// TestFleetCapacity: the fleet-level sizing answer must sit within the
+// budget at N and violate it at N+1, and measurement-driven placement
+// must never size a heterogeneous fleet below blind round-robin.
+func TestFleetCapacity(t *testing.T) {
+	mk := func(policy string) shard.Config {
+		cfg := fleetCfg(policy, 1)
+		cfg.Base.Protocol = "model" // frugal probes for a wide bisection
+		cfg.Base.Span = 2 * simclock.Second
+		return cfg
+	}
+	const maxUsers = 40
+	caps := map[string]int{}
+	for _, policy := range []string{shard.PolicyRoundRobin, shard.PolicyLatAware} {
+		n, at, err := shard.FleetCapacity(mk(policy), maxUsers, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if n < 1 {
+			t.Fatalf("%s: fleet of three machines admits nobody", policy)
+		}
+		if at.Users != n {
+			t.Fatalf("%s: returned result is for %d users, capacity %d", policy, at.Users, n)
+		}
+		if at.EchoP95Ms > 150 || at.Censored >= at.Interactions {
+			t.Fatalf("%s: result at capacity already violates the budget: %+v", policy, at)
+		}
+		if n < maxUsers {
+			over := mk(policy)
+			over.Users = n + 1
+			res := mustRun(t, over)
+			if res.EchoP95Ms <= 150 && res.Censored < res.Interactions {
+				t.Fatalf("%s: capacity %d but %d users still within budget (p95 %.2fms)",
+					policy, n, n+1, res.EchoP95Ms)
+			}
+		}
+		caps[policy] = n
+	}
+	if caps[shard.PolicyLatAware] < caps[shard.PolicyRoundRobin] {
+		t.Fatalf("lataware capacity %d below roundrobin %d on a heterogeneous fleet",
+			caps[shard.PolicyLatAware], caps[shard.PolicyRoundRobin])
+	}
+}

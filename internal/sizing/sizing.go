@@ -170,6 +170,13 @@ type Estimate struct {
 	// and paid page-in latency.
 	MemoryKB int
 	Paging   bool
+	// Interactions counts submitted probe events; Censored counts the
+	// ones that never completed within the span. When every interaction
+	// is censored the latency percentiles are lower bounds from ages at
+	// run end, so violation treats that case as a blown budget no matter
+	// how small the numbers read.
+	Interactions int64
+	Censored     int64
 }
 
 // Evaluate simulates the population on one shared server for the span and
@@ -178,18 +185,31 @@ func Evaluate(srv Server, p Profile, users int, span simclock.Duration, seed uin
 	if users < 1 {
 		users = 1
 	}
-	inst, err := server.New(probeConfig(srv, p, users, span, seed))
+	est, err := EvaluateConfig(probeConfig(srv, p, users, span, seed))
 	if err != nil {
 		// Profiles and servers are validated values; a bad scheduler name
 		// is a programming error.
 		panic(err)
 	}
+	return est
+}
+
+// EvaluateConfig measures an explicit server.Config the same way Evaluate
+// measures a profile-derived one. Fleet placement policies probe candidate
+// shards through this entry point, so a heterogeneous machine (overridden
+// memory, scaled CPU costs) is judged by the same latency estimate that
+// sizes a homogeneous one.
+func EvaluateConfig(cfg server.Config) (Estimate, error) {
+	inst, err := server.New(cfg)
+	if err != nil {
+		return Estimate{}, err
+	}
 	res, err := inst.Run()
 	if err != nil {
-		panic(err)
+		return Estimate{}, err
 	}
 	return Estimate{
-		Users:           users,
+		Users:           res.Users,
 		MeanEchoMs:      res.EchoMeanMs,
 		P95EchoMs:       res.EchoP95Ms,
 		MaxEchoMs:       res.EchoMaxMs,
@@ -197,7 +217,9 @@ func Evaluate(srv Server, p Profile, users int, span simclock.Duration, seed uin
 		LinkUtilization: res.LinkUtilization,
 		MemoryKB:        res.CommittedKB,
 		Paging:          res.Paging,
-	}
+		Interactions:    res.Interactions,
+		Censored:        res.Censored,
+	}, nil
 }
 
 // Limit names the resource that capped a capacity search.
@@ -301,7 +323,11 @@ func CapacityParallel(srv Server, p Profile, maxUsers int, span simclock.Duratio
 
 // violation reports the first constraint the estimate breaks. Paging and
 // link saturation are checked before the latency budget so that a blown
-// budget names the scarce resource, not just the symptom.
+// budget names the scarce resource, not just the symptom. A probe where no
+// interaction ever completed (all censored, or a span too short to submit
+// any) is a latency violation regardless of the measured percentiles:
+// censored samples are ages at run end, which a short span can keep under
+// the budget even though every user is still waiting.
 func violation(srv Server, e Estimate) Limit {
 	if e.Paging {
 		return LimitMemory
@@ -309,7 +335,7 @@ func violation(srv Server, e Estimate) Limit {
 	if e.LinkUtilization > 0.8 {
 		return LimitNetwork
 	}
-	if e.P95EchoMs > srv.budget().Milliseconds() {
+	if e.Censored >= e.Interactions || e.P95EchoMs > srv.budget().Milliseconds() {
 		return LimitCPU
 	}
 	return LimitNone

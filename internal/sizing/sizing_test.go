@@ -123,6 +123,51 @@ func TestZeroAndNegativeUsersClamp(t *testing.T) {
 	}
 }
 
+// TestAllCensoredIsLatencyViolation pins the censoring fix: a span too
+// short for any echo to complete yields censored-only samples whose ages
+// can sit far under the budget, and such an estimate must never read as
+// acceptable capacity.
+func TestAllCensoredIsLatencyViolation(t *testing.T) {
+	srv := DefaultServer()
+	est := Estimate{Interactions: 40, Censored: 40, P95EchoMs: 3}
+	if v := violation(srv, est); v != LimitCPU {
+		t.Fatalf("all-censored estimate violated %s, want cpu (latency)", v)
+	}
+	// No interactions at all — a zero-length window — is equally "no echo
+	// ever completed" and must not pass either.
+	if v := violation(srv, Estimate{}); v != LimitCPU {
+		t.Fatalf("zero-interaction estimate violated %s, want cpu (latency)", v)
+	}
+	// A healthy estimate with some (but not all) censoring still judges on
+	// its percentiles.
+	ok := Estimate{Interactions: 40, Censored: 2, P95EchoMs: 30}
+	if v := violation(srv, ok); v != LimitNone {
+		t.Fatalf("partially censored healthy estimate violated %s", v)
+	}
+}
+
+// TestEvaluateConfigMatchesEvaluate: the explicit-config entry point used
+// by fleet placement must agree bit-for-bit with the profile path.
+func TestEvaluateConfigMatchesEvaluate(t *testing.T) {
+	srv, p := DefaultServer(), Developer()
+	want := Evaluate(srv, p, 6, 3*simclock.Second, 42)
+	got, err := EvaluateConfig(probeConfig(srv, p, 6, 3*simclock.Second, 42))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Fatalf("EvaluateConfig diverged from Evaluate:\n%+v\n%+v", got, want)
+	}
+	if got.Interactions == 0 || got.Censored >= got.Interactions {
+		t.Fatalf("healthy probe reads as all-censored: %+v", got)
+	}
+	bad := probeConfig(srv, p, 6, 3*simclock.Second, 42)
+	bad.Scheduler = "cfs"
+	if _, err := EvaluateConfig(bad); err == nil {
+		t.Fatal("EvaluateConfig accepted an unknown scheduler")
+	}
+}
+
 // linearCapacity is the brute-force reference: walk user counts upward
 // until the first violation.
 func linearCapacity(srv Server, p Profile, maxUsers int, span simclock.Duration, seed uint64) (int, Limit) {
