@@ -25,6 +25,15 @@
 //	thinbench -run shard
 //	thinbench -run shard -shards 3 -policy roundrobin,memaware,lataware -users 6..30
 //	thinbench -run shard -shards 5 -policy lataware -users 12,24,48 -json BENCH_shard.json
+//
+// Churn mode holds one fleet population and sweeps the session turnover
+// rate — every departure replaced by a fresh login routed through the
+// live placement policy — then kills a machine and measures the failover
+// excursion and recovery per policy:
+//
+//	thinbench -run churn
+//	thinbench -run churn -users 22 -churn 0,0.15,0.3 -kill 2 -killat 4
+//	thinbench -run churn -users 22 -policy roundrobin,lataware -json BENCH_churn.json
 package main
 
 import (
@@ -54,8 +63,12 @@ func main() {
 		protos = flag.String("proto", "rdp,x,lbx", "contention mode: comma list of protocols (rdp,x,lbx,vnc,slim)")
 		scheds = flag.String("sched", "rr,nt", "contention mode: comma list of schedulers (rr,nt,svr4ia)")
 
-		shards   = flag.Int("shards", 3, "shard mode: machine count of the heterogeneous fleet (hardware classes cycle big/base/weak)")
-		policies = flag.String("policy", "roundrobin,memaware,lataware", "shard mode: comma list of placement policies")
+		shards   = flag.Int("shards", 3, "shard/churn mode: machine count of the heterogeneous fleet (hardware classes cycle big/base/weak)")
+		policies = flag.String("policy", "roundrobin,memaware,lataware", "shard/churn mode: comma list of placement policies")
+
+		churnRates = flag.String("churn", "0,0.15,0.3", "churn mode: comma list of per-session logout rates (1/s); each rate is one fleet run per policy")
+		killShard  = flag.Int("kill", 2, "churn mode: machine to kill mid-span for the failover section (-1 disables)")
+		killAtSec  = flag.Float64("killat", 4, "churn mode: kill time in seconds")
 	)
 	flag.Parse()
 
@@ -68,6 +81,8 @@ func main() {
 		fmt.Println("        latency-vs-users grid on one shared server per point; see -users, -proto, -sched")
 		fmt.Println("  shard")
 		fmt.Println("        fleet-level p95 vs total users across M shared servers per placement policy; see -shards, -policy, -users")
+		fmt.Println("  churn")
+		fmt.Println("        fleet p95 vs session turnover rate plus a machine-kill failover, per placement policy; see -churn, -kill, -killat")
 		if *runID == "" && !*list {
 			fmt.Println("\nrun one with: thinbench -run <id>   (or -run all, -run contention, -run shard)")
 		}
@@ -84,6 +99,22 @@ func main() {
 
 	if *runID == "shard" {
 		if err := runShard(*users, *policies, *shards, *quick, *seed, *parallel, *jsonPath); err != nil {
+			fmt.Fprintln(os.Stderr, "error:", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	if *runID == "churn" {
+		// Churn mode holds one population; the range default of -users is
+		// a sweep axis, so substitute the canonical churn population when
+		// the flag was left untouched.
+		churnUsers := *users
+		if !flagWasSet("users") {
+			churnUsers = "22"
+		}
+		if err := runChurn(churnUsers, *policies, *churnRates, *shards, *killShard, *killAtSec,
+			*quick, *seed, *parallel, *jsonPath); err != nil {
 			fmt.Fprintln(os.Stderr, "error:", err)
 			os.Exit(1)
 		}
@@ -245,6 +276,149 @@ func runShard(users, policies string, machines int, quick bool, seed uint64, par
 			ps.Points = append(ps.Points, fr)
 		}
 		doc.Policies = append(doc.Policies, ps)
+		fmt.Println()
+	}
+	if jsonPath != "" {
+		return writeJSON(jsonPath, doc)
+	}
+	return nil
+}
+
+func flagWasSet(name string) bool {
+	set := false
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == name {
+			set = true
+		}
+	})
+	return set
+}
+
+// churnDoc is the machine-readable dynamic-fleet result, the repo's bench
+// trajectory format (BENCH_churn.json): the turnover grid plus the
+// failover runs.
+type churnDoc struct {
+	Command    string          `json:"command"`
+	Seed       uint64          `json:"seed"`
+	SpanSec    float64         `json:"span_sec"`
+	Machines   []shard.Machine `json:"machines"`
+	Users      int             `json:"users"`
+	ChurnRates []float64       `json:"churn_rates"`
+	Policies   []policySeries  `json:"policies"`
+	Failover   []policyFail    `json:"failover,omitempty"`
+}
+
+type policyFail struct {
+	Policy string            `json:"policy"`
+	Result shard.FleetResult `json:"result"`
+}
+
+func runChurn(users, policies, churnRates string, machines, killShard int, killAtSec float64,
+	quick bool, seed uint64, parallel int, jsonPath string) error {
+	counts, err := parseCounts(users)
+	if err != nil {
+		return err
+	}
+	if len(counts) != 1 {
+		return fmt.Errorf("churn mode holds one population; give a single -users count, not %v", counts)
+	}
+	n := counts[0]
+	var rates []float64
+	for _, f := range splitList(churnRates) {
+		r, err := strconv.ParseFloat(f, 64)
+		if err != nil || r < 0 {
+			return fmt.Errorf("bad -churn rate %q", f)
+		}
+		rates = append(rates, r)
+	}
+	if len(rates) == 0 {
+		return fmt.Errorf("empty -churn list")
+	}
+	policyList := splitList(policies)
+	if len(policyList) == 0 {
+		return fmt.Errorf("empty -policy list")
+	}
+	if machines < 1 {
+		return fmt.Errorf("bad -shards count %d (want >= 1)", machines)
+	}
+	base := server.DefaultConfig()
+	base.Span = 10 * simclock.Second
+	probeSpan := 2 * simclock.Second
+	if quick {
+		base.Span = 4 * simclock.Second
+		probeSpan = simclock.Second
+	}
+	killAt := simclock.Duration(killAtSec * 1e6)
+	if killShard >= 0 && killAt <= 0 {
+		return fmt.Errorf("-killat %g: the failover kill needs a positive time (or -kill -1 to disable)", killAtSec)
+	}
+	if killShard >= 0 && killAt >= base.Span {
+		return fmt.Errorf("-killat %g: the kill must land before the %v span", killAtSec, base.Span)
+	}
+	fleet := shard.DefaultFleet(machines)
+	mk := func(policy string) shard.Config {
+		return shard.Config{
+			Base:      base,
+			Machines:  fleet,
+			Users:     n,
+			Policy:    policy,
+			ProbeSpan: probeSpan,
+			Workers:   parallel,
+			Seed:      seed,
+		}
+	}
+	doc := churnDoc{
+		Command: fmt.Sprintf("thinbench -run churn -shards %d -policy %s -users %d -churn %s -kill %d -killat %g -seed %d -quick=%v",
+			machines, policies, n, churnRates, killShard, killAtSec, seed, quick),
+		Seed:       seed,
+		SpanSec:    base.Span.Seconds(),
+		Machines:   fleet,
+		Users:      n,
+		ChurnRates: rates,
+	}
+	for _, policy := range policyList {
+		fmt.Printf("== churn: %s placement, %d users over %d machines ==\n", policy, n, machines)
+		fmt.Printf("  %8s %12s %12s %9s %9s %12s\n",
+			"rate/s", "fleet p95", "max login", "arrivals", "departs", "censored")
+		ps := policySeries{Policy: policy}
+		for _, rate := range rates {
+			cfg := mk(policy)
+			cfg.ChurnRatePerSec = rate
+			fr, err := shard.Run(cfg)
+			if err != nil {
+				return err
+			}
+			fmt.Printf("  %8.2f %10.0f ms %10.0f ms %9d %9d %12d\n",
+				rate, fr.EchoP95Ms, fr.LoginMaxMs, fr.Arrivals, fr.Departures, fr.Censored)
+			ps.Points = append(ps.Points, fr)
+		}
+		doc.Policies = append(doc.Policies, ps)
+		fmt.Println()
+	}
+	if killShard >= 0 {
+		fmt.Printf("== failover: kill machine %d at %v ==\n", killShard, killAt)
+		for _, policy := range policyList {
+			cfg := mk(policy)
+			cfg.KillShard = killShard
+			cfg.KillAt = killAt
+			fr, err := shard.Run(cfg)
+			if err != nil {
+				return err
+			}
+			recovery := "never within the run"
+			if fr.RecoveryMs >= 0 {
+				recovery = fmt.Sprintf("%.0f ms", fr.RecoveryMs)
+			}
+			fmt.Printf("  %-10s placed %v, displaced %d: p95 pre %4.0f ms, peak %5.0f ms, recovered in %s\n",
+				policy, fr.Placement, fr.Shards[killShard].Departures,
+				fr.PreKillP95Ms, fr.PeakKillP95Ms, recovery)
+			fmt.Printf("             timeline (ms):")
+			for _, p := range fr.P95TimelineMs {
+				fmt.Printf(" %5.0f", p)
+			}
+			fmt.Println()
+			doc.Failover = append(doc.Failover, policyFail{Policy: policy, Result: fr})
+		}
 		fmt.Println()
 	}
 	if jsonPath != "" {

@@ -66,7 +66,7 @@ func main() {
 	capBase.Span = 3 * simclock.Second
 	fmt.Println("fleet capacity (largest population with fleet p95 within 150 ms):")
 	for _, policy := range shard.Policies() {
-		n, at, err := shard.FleetCapacity(shard.Config{
+		cap, err := shard.FleetCapacity(shard.Config{
 			Base:      capBase,
 			Machines:  machines,
 			Policy:    policy,
@@ -77,6 +77,6 @@ func main() {
 			panic(err)
 		}
 		fmt.Printf("  %-10s %2d users (fleet p95 %5.0f ms, placement %v)\n",
-			policy, n, at.EchoP95Ms, at.Placement)
+			policy, cap.Users, cap.At.EchoP95Ms, cap.At.Placement)
 	}
 }

@@ -40,7 +40,7 @@ func seriesByLabel(t *testing.T, r *Result, label string) Series {
 func TestRegistryComplete(t *testing.T) {
 	want := []string{
 		"abl1", "abl2", "abl3", "abl4", "abl5",
-		"cap1", "cont1",
+		"cap1", "churn1", "cont1", "fail1",
 		"fig1", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9",
 		"shard1",
 		"tab1", "tab2", "tab3", "tab4", "tab5", "tab6",
@@ -394,6 +394,44 @@ func TestShard1PoliciesMonotoneAndOrdered(t *testing.T) {
 	if last := len(rr.Y) - 1; lat.Y[last] > rr.Y[last] {
 		t.Fatalf("lataware fleet p95 %.2fms above roundrobin %.2fms at the heaviest population",
 			lat.Y[last], rr.Y[last])
+	}
+}
+
+// TestChurn1TurnoverCostsLatency: every policy's fleet p95 at a nonzero
+// churn rate must be no better than its static (rate 0) p95 — arrivals
+// pay session setup, login page-ins, and process creation on the shared
+// substrates.
+func TestChurn1TurnoverCostsLatency(t *testing.T) {
+	r := mustRun(t, "churn1", quickCfg)
+	if len(r.Series) != 3 {
+		t.Fatalf("churn1 produced %d series, want one per placement policy", len(r.Series))
+	}
+	for _, s := range r.Series {
+		if s.X[0] != 0 {
+			t.Fatalf("%s: first point is rate %v, want the static baseline", s.Label, s.X[0])
+		}
+		for i := 1; i < len(s.Y); i++ {
+			if s.Y[i]+0.01 < s.Y[0] {
+				t.Fatalf("%s: churned fleet p95 %v below static %v", s.Label, s.Y[i], s.Y[0])
+			}
+		}
+	}
+}
+
+// TestFail1TimelineShowsExcursion: the failover experiment must produce a
+// full timeline per policy and report the kill's excursion in its notes.
+func TestFail1TimelineShowsExcursion(t *testing.T) {
+	r := mustRun(t, "fail1", quickCfg)
+	if len(r.Series) != 3 {
+		t.Fatalf("fail1 produced %d series, want one per placement policy", len(r.Series))
+	}
+	for _, s := range r.Series {
+		if len(s.X) == 0 || len(s.X) != len(s.Y) {
+			t.Fatalf("%s: malformed timeline: %d x, %d y", s.Label, len(s.X), len(s.Y))
+		}
+	}
+	if len(r.Notes) < 4 {
+		t.Fatalf("fail1 notes missing per-policy recovery summaries: %v", r.Notes)
 	}
 }
 

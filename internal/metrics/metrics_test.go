@@ -305,13 +305,46 @@ func TestHistogramMerge(t *testing.T) {
 	}
 }
 
+// TestHistogramMergeRejectsMismatch: the fleet layer leans on Merge to
+// combine per-shard latency counts, so silently mixing bucketings would
+// corrupt every fleet percentile. Any shape mismatch must panic — a
+// different width, a different bucket count, and the trap case where
+// width and count differ but cover the identical range (same origin and
+// extent, incompatible bucket edges).
 func TestHistogramMergeRejectsMismatch(t *testing.T) {
-	defer func() {
-		if recover() == nil {
-			t.Fatal("merging mismatched histograms did not panic")
-		}
+	mustPanic := func(name string, dst, src *Histogram) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Fatalf("%s: merging mismatched histograms did not panic", name)
+			}
+		}()
+		dst.Merge(src)
+	}
+	mustPanic("width mismatch", NewHistogram(10, 5), NewHistogram(5, 5))
+	mustPanic("count mismatch", NewHistogram(10, 5), NewHistogram(10, 6))
+	// Same [0, 50) range either way; the edges still disagree.
+	mustPanic("same range, different granularity", NewHistogram(10, 5), NewHistogram(5, 10))
+
+	// The mismatch panic must fire before any state is touched: a failed
+	// merge attempt leaves the destination's counts intact.
+	dst := NewHistogram(10, 5)
+	dst.Add(12)
+	func() {
+		defer func() { recover() }()
+		dst.Merge(NewHistogram(10, 50))
 	}()
-	NewHistogram(10, 5).Merge(NewHistogram(5, 5))
+	if dst.N() != 1 || dst.Count(1) != 1 {
+		t.Fatalf("failed merge corrupted destination: N=%d", dst.N())
+	}
+	// A merge in the legal direction still works afterward, clamped
+	// samples included.
+	src := NewHistogram(10, 5)
+	src.Add(999) // clamps into the last bucket
+	dst.Merge(src)
+	if dst.N() != 2 || dst.Clamped() != 1 || dst.Count(4) != 1 {
+		t.Fatalf("post-panic merge wrong: N=%d clamped=%d", dst.N(), dst.Clamped())
+	}
 }
 
 func TestDistMerge(t *testing.T) {

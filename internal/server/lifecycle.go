@@ -1,0 +1,126 @@
+package server
+
+import (
+	"thinbench/internal/simclock"
+)
+
+// Lifecycle is one session's presence on the server clock. The zero value
+// is the static session every run before the churn refactor assumed:
+// logged in at time zero, logged in at the end.
+type Lifecycle struct {
+	// Login is when the session arrives. Zero means present from the
+	// start: the session is logged in before the clock moves and pays no
+	// setup cost, exactly as the static model's whole population did.
+	// A later login is a real arrival — it pays the protocol's
+	// session-setup bytes on the contended link and the login page-ins on
+	// the shared memory before its first interaction counts.
+	Login simclock.Time
+	// Logout is when the session departs, freeing its memory and retiring
+	// its threads; interactions still in flight are right-censored at this
+	// instant. Zero means the session stays for the whole run.
+	Logout simclock.Time
+	// Seat, when positive, names the session's random-stream identity:
+	// its typing phase and background offsets derive from (Seed, Seat-1)
+	// instead of the plan position. Plan generators assign stable
+	// 1-based seat numbers so that a replacement keeps its slot's stream
+	// no matter how many other sessions the plan holds, and so that seat
+	// k's stream equals static session k-1's — common random numbers
+	// both across candidate populations (what capacity bisection relies
+	// on) and between a static run and the same population under churn.
+	// Zero falls back to the plan position, which keeps a static plan
+	// bit-identical to the pre-lifecycle model.
+	Seat int
+}
+
+// Churn is the synthetic arrival/departure process of a dynamic
+// population: every session's logged-in time is exponentially distributed,
+// and each departure is immediately replaced by a fresh login (the next
+// shift's user taking over the seat), so the offered population stays at
+// Config.Users while the machine continuously pays session setup and login
+// costs. All draws derive from Config.Seed, so a churned run is exactly as
+// reproducible as a static one.
+type Churn struct {
+	// RatePerSec is each session's logout hazard per second: mean
+	// logged-in time is 1/RatePerSec. Zero disables churn — the plan
+	// degenerates to the static population, bit-for-bit.
+	RatePerSec float64
+}
+
+// lifecycleSalt separates the churn process's random stream from every
+// other consumer of Config.Seed.
+const lifecycleSalt = 0x6c696665 // "life"
+
+// plan expands the configuration's population into explicit lifecycles:
+// either the caller-provided Sessions plan (normalized), or Users initial
+// sessions plus the replacements the Churn process generates. The first
+// Users entries of a generated plan are always the initial population in
+// index order, so a zero-rate churn plan is identical to the static one.
+func (c Config) plan() []Lifecycle {
+	span := simclock.Time(c.Span)
+	if c.Sessions != nil {
+		out := make([]Lifecycle, 0, len(c.Sessions))
+		for _, lc := range c.Sessions {
+			if lc.Login < 0 {
+				lc.Login = 0
+			}
+			if lc.Login >= span {
+				continue // would log in after measurement ends
+			}
+			if lc.Logout != 0 && lc.Logout <= lc.Login {
+				continue // empty interval
+			}
+			out = append(out, lc)
+		}
+		return out
+	}
+	users := c.Users
+	if users < 1 {
+		users = 1
+	}
+	out := make([]Lifecycle, users)
+	if c.Churn.RatePerSec <= 0 {
+		return out
+	}
+	mean := simclock.Duration(1e6 / c.Churn.RatePerSec)
+	// Each seat draws its shift lengths from a seat-derived stream and
+	// stamps every generated lifecycle with its seat number, so the plan
+	// for N users is a prefix of the plan for N+1 and every session's
+	// random stream survives the re-indexing replacements cause (common
+	// random numbers across candidate populations, the property capacity
+	// bisection relies on). Initial sessions occupy indices [0, users);
+	// replacements append after them in (seat, generation) order.
+	var replacements []Lifecycle
+	for seat := 0; seat < users; seat++ {
+		rng := simclock.NewRand(simclock.DeriveSeed(
+			simclock.DeriveSeed(c.Seed, lifecycleSalt), uint64(seat)))
+		at := simclock.Time(0)
+		for gen := 0; ; gen++ {
+			end := at.Add(rng.ExpDuration(mean))
+			lc := Lifecycle{Login: at, Seat: seat + 1}
+			if end < span {
+				lc.Logout = end
+			}
+			if gen == 0 {
+				out[seat] = lc
+			} else {
+				replacements = append(replacements, lc)
+			}
+			if lc.Logout == 0 {
+				break
+			}
+			at = end
+		}
+	}
+	return append(out, replacements...)
+}
+
+// initialUsers counts the sessions present from time zero.
+func initialUsers(plan []Lifecycle) int {
+	n := 0
+	for _, lc := range plan {
+		if lc.Login == 0 {
+			n++
+		}
+	}
+	return n
+}

@@ -15,6 +15,17 @@
 //     so display bytes queue behind other users' display bytes exactly as
 //     on the paper's 10 Mbps segment.
 //
+// The population is dynamic: each session has a Lifecycle. Sessions
+// present from time zero are the static population every earlier
+// experiment measured; a session that arrives mid-run pays its protocol's
+// session-setup bytes on the contended link (tab4's handshake costs) and
+// its login page-ins on the shared memory before its first echo counts,
+// and a session that departs frees its memory and retires its threads, so
+// the survivors' eviction pressure relaxes. Config.Churn generates a
+// deterministic seed-derived arrival/departure process; Config.Sessions
+// accepts an explicit plan (the fleet layer routes failover re-logins
+// through it).
+//
 // Each user runs the paper's echo probe: key-repeat input events flow
 // client → link → server, wake the session's application thread, which
 // hands the drawn echo to a display-encoder thread, whose output is
@@ -45,7 +56,7 @@ import (
 
 // Config describes one shared server and its user population.
 type Config struct {
-	// Users is the number of concurrent sessions.
+	// Users is the number of sessions present from time zero.
 	Users int
 	// Protocol selects the remote display protocol ("rdp", "x", "lbx",
 	// "vnc", "slim"). The empty string or "model" selects the size-model
@@ -54,6 +65,16 @@ type Config struct {
 	Protocol string
 	// Scheduler selects the CPU policy: "rr", "nt", or "svr4ia".
 	Scheduler string
+
+	// Churn generates a synthetic arrival/departure process over the
+	// Users initial sessions: exponential stays, immediate replacement.
+	// The zero value keeps the population static.
+	Churn Churn
+	// Sessions, when non-nil, is an explicit per-session lifecycle plan
+	// and overrides Users and Churn entirely (the fleet layer builds these
+	// to route cross-shard arrivals and failover re-logins). Entries that
+	// would log in at or after Span are dropped.
+	Sessions []Lifecycle
 
 	// PhysicalKB and SystemKB size the machine: physical memory and the
 	// pinned system baseline unavailable to sessions (§5.1.1).
@@ -85,9 +106,18 @@ type Config struct {
 	BackgroundBitsPerSec float64
 
 	// InputBytes and EchoBytes size the model codec's messages when
-	// Protocol is "model".
+	// Protocol is "model"; SetupBytes is the model codec's session-setup
+	// handshake, paid on the contended link by every mid-run arrival
+	// (real protocols pay their own SetupBytes, tab4's numbers).
 	InputBytes int
 	EchoBytes  int
+	SetupBytes int
+	// LoginCPU is the compute an arrival burns creating its §5.1.1
+	// process set (spawn, shell init, profile load), charged on the
+	// application thread after its page-ins complete — a login storm
+	// therefore steals CPU from everyone already logged in. Sessions
+	// present from time zero never pay it.
+	LoginCPU simclock.Duration
 
 	// Span is the measurement window; Seed roots all randomness.
 	Span simclock.Duration
@@ -118,10 +148,18 @@ func DefaultConfig() Config {
 		BackgroundBitsPerSec: 250_000,
 		InputBytes:           64,
 		EchoBytes:            200,
-		Span:                 10 * simclock.Second,
-		Seed:                 1,
+		// An X-handshake's worth of model-codec session setup (tab4 puts
+		// real protocols between 642 bytes and 45 KB).
+		SetupBytes: 16 * 1024,
+		LoginCPU:   DefaultLoginCPU,
+		Span:       10 * simclock.Second,
+		Seed:       1,
 	}
 }
+
+// DefaultLoginCPU is the default per-arrival login compute: a quarter
+// second of process creation and shell startup, late-90s-server scale.
+const DefaultLoginCPU = 250 * simclock.Millisecond
 
 // SessionManifest is the complete per-session process set: the login
 // manifest plus the AppKB application process. It is the single
@@ -155,29 +193,74 @@ func NewPolicy(name string) (sched.Scheduler, bool, error) {
 	}
 }
 
+// DrainSpan is the tail Run allows after the measurement window so
+// in-flight echoes can land; a censored interaction's age can reach
+// Span + DrainSpan, which is what span-sized histogram bucketing covers.
+const DrainSpan = 2 * simclock.Second
+
+// TimelineSlice is the width of one Result.P95TimelineMs bucket: echo
+// samples are grouped by completion time into one-second slices, so
+// transients — an arrival storm, a departure wave, a failover re-login
+// burst — show up at the second they happen instead of dissolving into
+// the whole-run percentile.
+const TimelineSlice = simclock.Second
+
+// TimelineSlices reports the timeline length for a measurement window:
+// one slice per TimelineSlice across the span and the drain tail.
+func TimelineSlices(span simclock.Duration) int {
+	n := int((span + DrainSpan + TimelineSlice - 1) / TimelineSlice)
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// setupRetry is the retransmit backoff when a session-setup packet is
+// dropped by the full link queue.
+const setupRetry = 20 * simclock.Millisecond
+
 // Result is the measured impact of the population on one shared server.
-// All fields are scalars so results compare with == in determinism tests
-// and serialize directly for the bench trajectory.
+// Every field is a scalar or a slice of scalars, so results compare with
+// reflect.DeepEqual in determinism tests and serialize directly for the
+// bench trajectory.
 type Result struct {
-	Users     int    `json:"users"`
-	Protocol  string `json:"protocol"`
-	Scheduler string `json:"scheduler"`
+	// Users counts the sessions present from time zero; Arrivals and
+	// Departures count mid-run logins and logouts, and PeakUsers is the
+	// largest concurrent population the machine actually held.
+	Users      int    `json:"users"`
+	Arrivals   int    `json:"arrivals"`
+	Departures int    `json:"departures"`
+	PeakUsers  int    `json:"peak_users"`
+	Protocol   string `json:"protocol"`
+	Scheduler  string `json:"scheduler"`
 
 	// Echo latency: input event to echoed display update delivered at the
 	// client, over every user's every interaction. Interactions still
 	// unanswered when the run ends (overload backlogs, packets lost to
 	// full queues) are right-censored: they contribute a sample equal to
-	// their age at run end, a lower bound on what the user experienced,
-	// so saturation cannot masquerade as low latency.
+	// their age at run end — or at their session's logout, for a user who
+	// left with echoes in flight — a lower bound on what the user
+	// experienced, so saturation cannot masquerade as low latency.
 	EchoSamples int64   `json:"echo_samples"`
 	EchoMeanMs  float64 `json:"echo_mean_ms"`
 	EchoP50Ms   float64 `json:"echo_p50_ms"`
 	EchoP95Ms   float64 `json:"echo_p95_ms"`
 	EchoMaxMs   float64 `json:"echo_max_ms"`
+	// P95TimelineMs is the p95 echo latency of samples landing in each
+	// TimelineSlice-wide slice of the run (0 for a slice with no
+	// samples), the view that makes churn and failover transients
+	// visible. Its length is TimelineSlices(Span).
+	P95TimelineMs []float64 `json:"p95_timeline_ms"`
 	// Interactions counts submitted probe events; Censored counts the
 	// ones that never completed and entered as right-censored samples.
 	Interactions int64 `json:"interactions"`
 	Censored     int64 `json:"censored"`
+	// LoginMaxMs is the slowest admission (planned login instant to first
+	// keystroke possible): completed logins contribute their duration,
+	// and an admission still incomplete at run end (or at its session's
+	// logout) contributes its age — the login-screen wait. 0 when no
+	// session arrived mid-run.
+	LoginMaxMs float64 `json:"login_max_ms"`
 
 	CPUUtilization  float64 `json:"cpu_utilization"`
 	LinkUtilization float64 `json:"link_utilization"`
@@ -193,7 +276,11 @@ type Result struct {
 
 // Server is one composed shared machine ready to run.
 type Server struct {
-	cfg    Config
+	cfg         Config
+	plan        []Lifecycle
+	man         session.Manifest
+	interactive bool
+
 	eng    *simclock.Engine
 	cpu    *sched.CPU
 	mem    *vm.Manager
@@ -201,18 +288,43 @@ type Server struct {
 	users  []*userState
 	system *vm.Process
 
+	// cur and peak track the concurrent logged-in population.
+	cur, peak            int
+	arrivals, departures int
+	loginMaxMs           float64
+
 	loginFaults int64
 	echo        *metrics.Dist
+	slices      []*metrics.Dist
 	err         error
 }
 
 // userState is one session's private wiring on the shared substrates.
 type userState struct {
 	*session.User
-	rng   *simclock.Rand
-	psrv  proto.Server // nil in model mode
-	pcli  proto.Client
-	ws    *vm.Process
+	idx  int
+	lc   Lifecycle
+	rng  *simclock.Rand
+	psrv proto.Server // nil in model mode
+	pcli proto.Client
+	ws   *vm.Process
+	bg   *sched.Thread
+	// active is true while the session is logged in; every pipeline stage
+	// checks it so a departed user's in-flight callbacks fall dead
+	// instead of submitting work to retired threads. aborted marks a
+	// session whose logout fired before its login finished (a connection
+	// dying mid-handshake): the login never completes. loginDone marks
+	// that the arrival's whole admission — handshake, page-ins, process
+	// creation — finished and typing began; an arrival that never gets
+	// there spent its time staring at the login screen, which Run counts
+	// as one censored interaction aged from the planned login instant.
+	active    bool
+	aborted   bool
+	loginDone bool
+	goneAt    simclock.Time
+	// stops cancels the session's recurring background work on logout.
+	stops []func()
+
 	wsOff int // rotating working-set offset, KB
 	col   int // echo caret position
 	lost  int64
@@ -228,9 +340,11 @@ type userState struct {
 }
 
 // New composes a shared server from the configuration. It fails on an
-// unknown protocol or scheduler rather than at run time.
+// unknown protocol or scheduler rather than at run time. Sessions planned
+// to be present from time zero are logged in here; later arrivals are
+// admitted by Run as the clock reaches them.
 func New(cfg Config) (*Server, error) {
-	if cfg.Users < 1 {
+	if cfg.Sessions == nil && cfg.Users < 1 {
 		cfg.Users = 1
 	}
 	policy, interactive, err := NewPolicy(cfg.Scheduler)
@@ -239,12 +353,19 @@ func New(cfg Config) (*Server, error) {
 	}
 	eng := simclock.NewEngine()
 	s := &Server{
-		cfg:  cfg,
-		eng:  eng,
-		cpu:  sched.NewCPU(eng, policy, simclock.Second),
-		mem:  vm.New(vmConfig(cfg)),
-		link: netsim.NewLink(eng, cfg.Link, simclock.Second),
-		echo: &metrics.Dist{},
+		cfg:         cfg,
+		plan:        cfg.plan(),
+		man:         cfg.SessionManifest(),
+		interactive: interactive,
+		eng:         eng,
+		cpu:         sched.NewCPU(eng, policy, simclock.Second),
+		mem:         vm.New(vmConfig(cfg)),
+		link:        netsim.NewLink(eng, cfg.Link, simclock.Second),
+		echo:        &metrics.Dist{},
+	}
+	s.slices = make([]*metrics.Dist, TimelineSlices(cfg.Span))
+	for i := range s.slices {
+		s.slices[i] = &metrics.Dist{}
 	}
 	// The pinned system baseline: memory no session can reclaim.
 	if cfg.SystemKB > 0 {
@@ -252,26 +373,46 @@ func New(cfg Config) (*Server, error) {
 		s.system.Pinned = true
 		s.mem.TouchAll(s.system)
 	}
-	man := cfg.SessionManifest()
-	for i := 0; i < cfg.Users; i++ {
+	initial := 0
+	for i, lc := range s.plan {
+		// Seat numbers are 1-based so the zero value means "unset"; the
+		// stream they name is the 0-based seat, which makes a generated
+		// churn plan's initial sessions (seats 1..N, streams 0..N-1)
+		// share their random streams with the static plan's sessions
+		// (plan indices 0..N-1) — common random numbers between a static
+		// run and the same population under churn.
+		stream := uint64(i)
+		if lc.Seat > 0 {
+			stream = uint64(lc.Seat - 1)
+		}
 		u := &userState{
-			User: session.AttachUser(s.cpu, s.mem, man, i, interactive),
-			rng:  simclock.NewRand(simclock.DeriveSeed(cfg.Seed, uint64(i))),
+			idx:  i,
+			lc:   lc,
+			rng:  simclock.NewRand(simclock.DeriveSeed(cfg.Seed, stream)),
 			echo: &metrics.Dist{},
 		}
-		u.ws = u.WorkingSet()
-		if cfg.Protocol != "" && cfg.Protocol != "model" {
-			psrv, pcli, _, err := protos.New(cfg.Protocol)
-			if err != nil {
-				return nil, err
-			}
-			u.psrv, u.pcli = psrv, pcli
-		}
 		s.users = append(s.users, u)
+	}
+	for _, u := range s.users {
+		if u.lc.Login != 0 {
+			continue
+		}
+		if err := s.attach(u); err != nil {
+			return nil, err
+		}
+		initial++
+	}
+	if initial == 0 && realProtocol(cfg.Protocol) {
+		// No session validated the protocol yet; fail now, not mid-run.
+		if _, _, _, err := protos.New(cfg.Protocol); err != nil {
+			return nil, err
+		}
 	}
 	s.loginFaults = s.mem.Stats().Faults
 	return s, nil
 }
+
+func realProtocol(p string) bool { return p != "" && p != "model" }
 
 func vmConfig(cfg Config) vm.Config {
 	c := vm.DefaultConfig()
@@ -279,50 +420,42 @@ func vmConfig(cfg Config) vm.Config {
 	return c
 }
 
-// Run drives every session for the configured span and reports the
+// attach logs a session into the shared substrates: manifest processes
+// resident (the login page-ins), pipeline threads registered, codec state
+// allocated. The caller pays any latency cost; attach only moves state.
+func (s *Server) attach(u *userState) error {
+	u.User = session.AttachUser(s.cpu, s.mem, s.man, u.idx, s.interactive)
+	u.ws = u.WorkingSet()
+	if realProtocol(s.cfg.Protocol) && u.psrv == nil {
+		psrv, pcli, _, err := protos.New(s.cfg.Protocol)
+		if err != nil {
+			return err
+		}
+		u.psrv, u.pcli = psrv, pcli
+	}
+	u.active = true
+	s.cur++
+	if s.cur > s.peak {
+		s.peak = s.cur
+	}
+	return nil
+}
+
+// Run drives every session through its lifecycle and reports the
 // population's measured impact. The same configuration always produces an
 // identical Result.
 func (s *Server) Run() (Result, error) {
 	cfg := s.cfg
-	period := simclock.Duration(1e6 / cfg.InteractionsPerSec)
 	for _, u := range s.users {
 		u := u
-		// Stagger users by a seed-derived phase so the population doesn't
-		// interact in lockstep bursts.
-		tr := workload.TypingTrace(workload.TypingConfig{
-			Rate: cfg.InteractionsPerSec,
-			Span: cfg.Span,
-			Code: uint16(30 + u.Index%26),
-		})
-		tr.Shift(u.rng.UniformDuration(0, period))
-		// The probe is per-keystroke: no input coalescing, so every
-		// interaction yields one latency sample.
-		workload.DriveTrace(s.eng, tr, workload.ReplayOpts{},
-			func(now simclock.Time, events []display.InputEvent) { s.keystroke(u, now, events) },
-			nil)
-
-		if cfg.BackgroundCPUFrac > 0 {
-			bg := s.cpu.NewThread(fmt.Sprintf("u%d-bg", u.Index), 4)
-			slice := simclock.Duration(cfg.BackgroundCPUFrac * 100_000)
-			phase := u.rng.UniformDuration(0, 100*simclock.Millisecond)
-			s.eng.Every(simclock.Time(phase), 100*simclock.Millisecond, func(simclock.Time) {
-				s.cpu.Submit(bg, &sched.WorkItem{Tag: "background", CPU: slice})
-			})
+		if u.lc.Login == 0 {
+			// Present from the start: no setup, exactly the static model.
+			s.start(u, 0)
+		} else {
+			s.eng.At(u.lc.Login, func(now simclock.Time) { s.admit(u, now) })
 		}
-		if cfg.BackgroundBitsPerSec > 0 {
-			// Steady display traffic (animations, tickers) offered in
-			// 50 ms ticks, packetized at the MTU.
-			bytesPerTick := int(cfg.BackgroundBitsPerSec / 8 / 20)
-			phase := u.rng.UniformDuration(0, 50*simclock.Millisecond)
-			s.eng.Every(simclock.Time(phase), 50*simclock.Millisecond, func(simclock.Time) {
-				for rem := bytesPerTick; rem > 0; rem -= netsim.EthernetMTU {
-					pkt := rem
-					if pkt > netsim.EthernetMTU {
-						pkt = netsim.EthernetMTU
-					}
-					s.link.Send(pkt+netsim.TCPIPHeaderBytes, nil)
-				}
-			})
+		if u.lc.Logout > 0 {
+			s.eng.At(u.lc.Logout, func(now simclock.Time) { s.depart(u, now) })
 		}
 	}
 
@@ -335,32 +468,58 @@ func (s *Server) Run() (Result, error) {
 		bytesAtSpan = s.link.SentBytes()
 	})
 	s.eng.RunUntil(simclock.Time(cfg.Span))
-	s.eng.RunFor(2 * simclock.Second)
+	s.eng.RunFor(DrainSpan)
 	if s.err != nil {
 		return Result{}, s.err
 	}
 
 	res := Result{
-		Users:     cfg.Users,
-		Protocol:  protocolName(cfg.Protocol),
-		Scheduler: cfg.Scheduler,
+		Users:      initialUsers(s.plan),
+		Arrivals:   s.arrivals,
+		Departures: s.departures,
+		PeakUsers:  s.peak,
+		Protocol:   protocolName(cfg.Protocol),
+		Scheduler:  cfg.Scheduler,
 
 		CPUUtilization:  float64(busyAtSpan) / float64(cfg.Span),
 		LinkUtilization: float64(bytesAtSpan*8) / (cfg.Link.RateMbps * 1e6 * cfg.Span.Seconds()),
 		LinkDrops:       s.link.Drops(),
 
-		CommittedKB:      cfg.SystemKB + cfg.Users*cfg.SessionKB(),
+		CommittedKB:      cfg.SystemKB + s.peak*cfg.SessionKB(),
 		ResidentKB:       (s.mem.TotalPages() - s.mem.FreePages()) * s.mem.Config().PageKB,
 		FaultsAfterLogin: s.mem.Stats().Faults - s.loginFaults,
 	}
 	end := s.eng.Now()
 	for _, u := range s.users {
 		// Right-censor interactions still in flight: each contributes its
-		// age at run end.
+		// age at run end — or at logout, for a session that left with
+		// echoes pending (a killed machine's users at the kill instant).
+		uend := end
+		if u.goneAt > 0 {
+			uend = u.goneAt
+		}
 		for i, at := range u.submitted {
 			if !u.completed[i] {
-				u.echo.Add(end.Sub(at).Milliseconds())
+				ms := uend.Sub(at).Milliseconds()
+				u.echo.Add(ms)
+				s.sliceAt(uend).Add(ms)
 				res.Censored++
+			}
+		}
+		// An arrival whose admission never completed — handshake drowned
+		// on the link, login starved on a saturated CPU — is a user who
+		// waited at the login screen the whole time. That is the worst
+		// latency there is, so it enters as one censored interaction aged
+		// from the planned login; otherwise a machine too overloaded to
+		// even admit its arrivals would read as lightly loaded.
+		if u.lc.Login > 0 && !u.loginDone {
+			ms := uend.Sub(u.lc.Login).Milliseconds()
+			u.echo.Add(ms)
+			s.sliceAt(uend).Add(ms)
+			res.Interactions++
+			res.Censored++
+			if ms > s.loginMaxMs {
+				s.loginMaxMs = ms
 			}
 		}
 		res.Interactions += int64(len(u.submitted))
@@ -368,23 +527,235 @@ func (s *Server) Run() (Result, error) {
 		res.PageInMs += u.pageIn.Milliseconds()
 		s.echo.Merge(u.echo)
 	}
+	res.LoginMaxMs = s.loginMaxMs
 	res.Paging = res.FaultsAfterLogin > 0
 	res.EchoSamples = int64(s.echo.N())
 	res.EchoMeanMs = s.echo.Mean()
 	res.EchoP50Ms = s.echo.Percentile(50)
 	res.EchoP95Ms = s.echo.Percentile(95)
 	res.EchoMaxMs = s.echo.Max()
+	res.P95TimelineMs = make([]float64, len(s.slices))
+	for i, d := range s.slices {
+		res.P95TimelineMs[i] = d.Percentile(95)
+	}
 	return res, nil
+}
+
+// start begins a logged-in session's interactive life at now: the typing
+// probe until its logout (or the span), plus its background CPU and
+// display-traffic load.
+func (s *Server) start(u *userState, now simclock.Time) {
+	if !u.active {
+		return // logged out while the login work was still queued
+	}
+	u.loginDone = true
+	if u.lc.Login > 0 {
+		if ms := now.Sub(u.lc.Login).Milliseconds(); ms > s.loginMaxMs {
+			s.loginMaxMs = ms
+		}
+	}
+	cfg := s.cfg
+	period := simclock.Duration(1e6 / cfg.InteractionsPerSec)
+	// Stagger users by a seed-derived phase so the population doesn't
+	// interact in lockstep bursts.
+	phase := u.rng.UniformDuration(0, period)
+	end := simclock.Time(cfg.Span)
+	if u.lc.Logout > 0 && u.lc.Logout < end {
+		end = u.lc.Logout
+	}
+	if typingSpan := end.Sub(now); typingSpan > 0 {
+		tr := workload.TypingTrace(workload.TypingConfig{
+			Rate: cfg.InteractionsPerSec,
+			Span: typingSpan,
+			Code: uint16(30 + u.idx%26),
+		})
+		tr.Shift(simclock.Duration(now) + phase)
+		// The probe is per-keystroke: no input coalescing, so every
+		// interaction yields one latency sample.
+		workload.DriveTrace(s.eng, tr, workload.ReplayOpts{},
+			func(at simclock.Time, events []display.InputEvent) { s.keystroke(u, at, events) },
+			nil)
+	}
+
+	if cfg.BackgroundCPUFrac > 0 {
+		u.bg = s.cpu.NewThread(fmt.Sprintf("u%d-bg", u.idx), 4)
+		slice := simclock.Duration(cfg.BackgroundCPUFrac * 100_000)
+		bgPhase := u.rng.UniformDuration(0, 100*simclock.Millisecond)
+		stop := s.eng.Every(now.Add(bgPhase), 100*simclock.Millisecond, func(simclock.Time) {
+			s.cpu.Submit(u.bg, &sched.WorkItem{Tag: "background", CPU: slice})
+		})
+		u.stops = append(u.stops, stop)
+	}
+	if cfg.BackgroundBitsPerSec > 0 {
+		// Steady display traffic (animations, tickers) offered in
+		// 50 ms ticks, packetized at the MTU.
+		bytesPerTick := int(cfg.BackgroundBitsPerSec / 8 / 20)
+		trPhase := u.rng.UniformDuration(0, 50*simclock.Millisecond)
+		stop := s.eng.Every(now.Add(trPhase), 50*simclock.Millisecond, func(simclock.Time) {
+			for rem := bytesPerTick; rem > 0; rem -= netsim.EthernetMTU {
+				pkt := rem
+				if pkt > netsim.EthernetMTU {
+					pkt = netsim.EthernetMTU
+				}
+				s.link.Send(pkt+netsim.TCPIPHeaderBytes, nil)
+			}
+		})
+		u.stops = append(u.stops, stop)
+	}
+}
+
+// admit begins a mid-run arrival: the session's protocol handshake
+// crosses the contended link, then its login pages the manifest in, and
+// only then does the typing probe start — an arrival on a loaded machine
+// queues behind everyone else's traffic for its own setup.
+func (s *Server) admit(u *userState, now simclock.Time) {
+	if u.aborted {
+		return
+	}
+	setup := s.cfg.SetupBytes
+	if realProtocol(s.cfg.Protocol) {
+		psrv, pcli, _, err := protos.New(s.cfg.Protocol)
+		if err != nil {
+			if s.err == nil {
+				s.err = err
+			}
+			return
+		}
+		u.psrv, u.pcli = psrv, pcli
+		setup = psrv.SetupBytes()
+	}
+	s.sendSetup(u, setup)
+}
+
+// sendSetup streams the session-setup handshake over the shared link,
+// packetized at the MTU. A packet rejected by the full queue is
+// retransmitted (with the remainder) after a backoff, as the transport
+// would; the last byte's delivery completes the login.
+func (s *Server) sendSetup(u *userState, rem int) {
+	if u.aborted {
+		return
+	}
+	if rem <= 0 {
+		s.finishLogin(u, s.eng.Now())
+		return
+	}
+	for rem > 0 {
+		pkt := rem
+		if pkt > netsim.EthernetMTU {
+			pkt = netsim.EthernetMTU
+		}
+		var onDelivered func(simclock.Time)
+		if rem == pkt {
+			onDelivered = func(now simclock.Time) { s.finishLogin(u, now) }
+		}
+		if !s.link.Send(pkt+netsim.TCPIPHeaderBytes, onDelivered) {
+			// The drop shows in LinkDrops; the retransmit below means the
+			// handshake is delayed, not lost, so LostInputs stays a count
+			// of interactions that actually vanished.
+			left := rem
+			s.eng.After(setupRetry, func(simclock.Time) { s.sendSetup(u, left) })
+			return
+		}
+		rem -= pkt
+	}
+}
+
+// finishLogin makes the arrival resident and pays its login page-ins
+// before the first interaction. The full-manifest page-in is disk time,
+// not compute: the arriving session blocks on the swap device while the
+// CPU stays schedulable for everyone else — but on an overcommitted
+// machine the login's TouchAll has already evicted survivors' working
+// sets, so their next keystrokes pay real fault latency (the §5.2
+// pathology, triggered by an arrival instead of a streaming job).
+func (s *Server) finishLogin(u *userState, now simclock.Time) {
+	if u.aborted {
+		return
+	}
+	before := s.mem.Stats().Faults
+	if err := s.attach(u); err != nil {
+		if s.err == nil {
+			s.err = err
+		}
+		return
+	}
+	faults := s.mem.Stats().Faults - before
+	s.loginFaults += faults
+	s.arrivals++
+	u.pageIn += s.mem.FaultCost(int(faults))
+	s.eng.After(s.mem.FaultCost(int(faults)), func(simclock.Time) {
+		if !u.active {
+			return // logged out while paging in
+		}
+		// Process creation is compute, not I/O: the new session's spawn
+		// work queues on the shared CPU with everyone else's echoes.
+		s.cpu.Submit(u.App, &sched.WorkItem{
+			Tag: "login", CPU: s.cfg.LoginCPU,
+			OnDone: func(at simclock.Time, _ int) { s.start(u, at) },
+		})
+	})
+}
+
+// depart logs a session out: recurring work stops, both pipeline threads
+// and the background thread retire, and the manifest's memory returns to
+// the free pool, relaxing the survivors' eviction pressure at this
+// instant. Interactions still in flight are censored at this time when
+// the run ends.
+func (s *Server) depart(u *userState, now simclock.Time) {
+	if u.goneAt > 0 {
+		return
+	}
+	u.goneAt = now
+	if !u.active {
+		// Still mid-handshake: the connection dies and the login never
+		// completes.
+		u.aborted = true
+		return
+	}
+	u.active = false
+	s.departures++
+	s.cur--
+	for _, stop := range u.stops {
+		stop()
+	}
+	u.stops = nil
+	if u.bg != nil {
+		s.cpu.Retire(u.bg)
+	}
+	session.DetachUser(s.cpu, s.mem, u.User)
 }
 
 // EchoHistogram buckets every echo-latency sample Run collected
 // (milliseconds, right-censored samples included) into a histogram of n
 // buckets each widthMs wide. Result keeps only scalar percentiles so it
-// stays ==-comparable; the histogram is the mergeable form a fleet layer
-// needs to compute percentiles across many servers, since percentiles of
-// separate machines cannot be combined after the fact.
+// stays cheaply comparable; the histogram is the mergeable form a fleet
+// layer needs to compute percentiles across many servers, since
+// percentiles of separate machines cannot be combined after the fact.
 func (s *Server) EchoHistogram(widthMs float64, n int) *metrics.Histogram {
 	return s.echo.ToHistogram(widthMs, n)
+}
+
+// SliceHistograms is the mergeable form of Result.P95TimelineMs: one
+// histogram per TimelineSlice of the run, each bucketed like
+// EchoHistogram, so a fleet layer can merge per-machine timelines into a
+// fleet-level one before taking per-slice percentiles.
+func (s *Server) SliceHistograms(widthMs float64, n int) []*metrics.Histogram {
+	out := make([]*metrics.Histogram, len(s.slices))
+	for i, d := range s.slices {
+		out[i] = d.ToHistogram(widthMs, n)
+	}
+	return out
+}
+
+// sliceAt is the timeline slice holding samples that land at t.
+func (s *Server) sliceAt(t simclock.Time) *metrics.Dist {
+	i := int(simclock.Duration(t) / TimelineSlice)
+	if i >= len(s.slices) {
+		i = len(s.slices) - 1
+	}
+	if i < 0 {
+		i = 0
+	}
+	return s.slices[i]
 }
 
 func protocolName(p string) string {
@@ -394,8 +765,24 @@ func protocolName(p string) string {
 	return p
 }
 
+// record lands one completed echo: the user's latency sample and its
+// timeline slice. A sample for a user who already departed falls dead —
+// there is no client left to deliver to.
+func (s *Server) record(u *userState, idx int, now simclock.Time) {
+	if !u.active {
+		return
+	}
+	ms := now.Sub(u.submitted[idx]).Milliseconds()
+	u.echo.Add(ms)
+	s.sliceAt(now).Add(ms)
+	u.completed[idx] = true
+}
+
 // keystroke runs one interaction through the full contended pipeline.
 func (s *Server) keystroke(u *userState, at simclock.Time, events []display.InputEvent) {
+	if !u.active {
+		return
+	}
 	idx := len(u.submitted)
 	u.submitted = append(u.submitted, at)
 	u.completed = append(u.completed, false)
@@ -413,7 +800,7 @@ func (s *Server) keystroke(u *userState, at simclock.Time, events []display.Inpu
 		if i == len(msgs)-1 {
 			onDelivered = func(now simclock.Time) {
 				if _, err := u.psrv.DecodeInput(m); err != nil && s.err == nil {
-					s.err = fmt.Errorf("server: user %d input decode: %w", u.Index, err)
+					s.err = fmt.Errorf("server: user %d input decode: %w", u.idx, err)
 				}
 				deliver(now)
 			}
@@ -429,6 +816,9 @@ func (s *Server) keystroke(u *userState, at simclock.Time, events []display.Inpu
 // working set (paying page-in cost under memory pressure), run the
 // application echo, then the display encode, then transmit the update.
 func (s *Server) serveInput(u *userState, idx int) {
+	if !u.active {
+		return
+	}
 	cost := s.cfg.EchoCPU
 	if u.ws != nil && s.cfg.WorkingSetKB > 0 {
 		wsKB := s.mem.Config().PageKB * u.ws.Pages()
@@ -454,19 +844,20 @@ func (s *Server) serveInput(u *userState, idx int) {
 // sendEcho encodes the drawn echo and transmits it; the latency sample is
 // taken when the last display message reaches the client.
 func (s *Server) sendEcho(u *userState, idx int) {
-	record := func(now simclock.Time) {
-		u.echo.Add(now.Sub(u.submitted[idx]).Milliseconds())
-		u.completed[idx] = true
+	if !u.active {
+		return
 	}
 	if u.psrv == nil {
-		if !s.link.Send(s.cfg.EchoBytes+netsim.TCPIPHeaderBytes, record) {
+		ok := s.link.Send(s.cfg.EchoBytes+netsim.TCPIPHeaderBytes,
+			func(now simclock.Time) { s.record(u, idx, now) })
+		if !ok {
 			u.lost++
 		}
 		return
 	}
 	ops := []display.Op{display.DrawText{
 		X: 56 + (u.col%70)*display.GlyphW, Y: 80 + (u.col/70%24)*16,
-		Text: string(rune('a' + u.Index%26)), Color: 0,
+		Text: string(rune('a' + u.idx%26)), Color: 0,
 	}}
 	u.col++
 	msgs := u.psrv.Update(ops)
@@ -474,11 +865,14 @@ func (s *Server) sendEcho(u *userState, idx int) {
 		m := m
 		last := i == len(msgs)-1
 		ok := s.link.Send(m.Size()+netsim.TCPIPHeaderBytes, func(now simclock.Time) {
+			if !u.active {
+				return
+			}
 			if err := u.pcli.Apply(m); err != nil && s.err == nil {
-				s.err = fmt.Errorf("server: user %d display apply: %w", u.Index, err)
+				s.err = fmt.Errorf("server: user %d display apply: %w", u.idx, err)
 			}
 			if last {
-				record(now)
+				s.record(u, idx, now)
 			}
 		})
 		if !ok {

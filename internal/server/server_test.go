@@ -35,9 +35,137 @@ func TestRunDeterministic(t *testing.T) {
 		cfg.Protocol = proto
 		a := mustRun(t, cfg)
 		b := mustRun(t, cfg)
-		if a != b {
+		if !reflect.DeepEqual(a, b) {
 			t.Fatalf("%s: identical configs diverged:\n%+v\n%+v", proto, a, b)
 		}
+	}
+}
+
+// TestChurnZeroRateIsStatic pins the refactor's compatibility contract: a
+// zero-rate churn process must degenerate to the static population
+// bit-for-bit, so every pre-churn baseline stays valid.
+func TestChurnZeroRateIsStatic(t *testing.T) {
+	cfg := quick()
+	cfg.Users = 6
+	static := mustRun(t, cfg)
+	cfg.Churn = Churn{RatePerSec: 0}
+	if got := mustRun(t, cfg); !reflect.DeepEqual(got, static) {
+		t.Fatalf("zero-rate churn diverged from static run:\n%+v\n%+v", got, static)
+	}
+}
+
+func TestChurnRunDeterministic(t *testing.T) {
+	cfg := quick()
+	cfg.Users = 6
+	cfg.Churn = Churn{RatePerSec: 0.5}
+	a := mustRun(t, cfg)
+	b := mustRun(t, cfg)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("identical churn configs diverged:\n%+v\n%+v", a, b)
+	}
+	if a.Arrivals == 0 || a.Departures == 0 {
+		t.Fatalf("0.5/s churn over 3s produced no turnover: %+v", a)
+	}
+}
+
+// TestArrivalsPaySessionSetup: a churned population must put more bytes on
+// the contended link than the same static population — every replacement
+// login pays the protocol's session-setup handshake (tab4's cost, 45 KB
+// for RDP) before its first echo counts.
+func TestArrivalsPaySessionSetup(t *testing.T) {
+	cfg := quick()
+	cfg.Users = 6
+	static := mustRun(t, cfg)
+	cfg.Churn = Churn{RatePerSec: 0.5}
+	churned := mustRun(t, cfg)
+	if churned.LinkUtilization <= static.LinkUtilization {
+		t.Fatalf("churned link load %.4f not above static %.4f despite %d setup handshakes",
+			churned.LinkUtilization, static.LinkUtilization, churned.Arrivals)
+	}
+	if churned.PeakUsers != cfg.Users {
+		t.Fatalf("replacement churn peaked at %d concurrent users, want the offered %d",
+			churned.PeakUsers, cfg.Users)
+	}
+}
+
+// TestDepartureRelaxesMemoryPressure: on an overcommitted machine, a
+// departure wave must free memory mid-run — fewer demand faults and a
+// smaller resident set than the same population staying to the end.
+func TestDepartureRelaxesMemoryPressure(t *testing.T) {
+	base := quick()
+	base.Users = 16 // past the ~13-session memory division
+	base.BackgroundCPUFrac = 0
+	base.InteractionsPerSec = 10
+	stay := mustRun(t, base)
+
+	half := base
+	half.Sessions = make([]Lifecycle, 16)
+	for i := 8; i < 16; i++ {
+		half.Sessions[i].Logout = simclock.Time(base.Span / 2)
+	}
+	leave := mustRun(t, half)
+
+	if !stay.Paging {
+		t.Fatalf("16 sessions did not overcommit the 64 MB machine: %+v", stay)
+	}
+	if leave.Departures != 8 {
+		t.Fatalf("%d departures, want 8", leave.Departures)
+	}
+	if leave.FaultsAfterLogin >= stay.FaultsAfterLogin {
+		t.Fatalf("departures did not relax eviction pressure: %d faults with churn, %d static",
+			leave.FaultsAfterLogin, stay.FaultsAfterLogin)
+	}
+	if leave.ResidentKB >= stay.ResidentKB {
+		t.Fatalf("departed sessions still resident: %d KB vs %d KB static",
+			leave.ResidentKB, stay.ResidentKB)
+	}
+}
+
+// TestExplicitLifecyclePlan drives one arrival and one departure through
+// the full admission path: setup bytes, login page-ins, typing, logout.
+func TestExplicitLifecyclePlan(t *testing.T) {
+	cfg := quick()
+	cfg.Sessions = []Lifecycle{
+		{},                                       // present throughout
+		{Logout: simclock.Time(simclock.Second)}, // departs at 1s
+		{Login: simclock.Time(simclock.Second)},  // arrives at 1s
+		{Login: simclock.Time(cfg.Span), Logout: 0}, // dropped: arrives at span
+	}
+	res := mustRun(t, cfg)
+	if res.Users != 2 || res.Arrivals != 1 || res.Departures != 1 {
+		t.Fatalf("lifecycle accounting: users=%d arrivals=%d departures=%d, want 2/1/1",
+			res.Users, res.Arrivals, res.Departures)
+	}
+	if res.PeakUsers != 2 {
+		t.Fatalf("peak %d, want 2 (the arrival's handshake lands after the departure)", res.PeakUsers)
+	}
+	if len(res.P95TimelineMs) != TimelineSlices(cfg.Span) {
+		t.Fatalf("timeline has %d slices, want %d", len(res.P95TimelineMs), TimelineSlices(cfg.Span))
+	}
+	if res.P95TimelineMs[0] <= 0 {
+		t.Fatal("first slice of an active run has no samples")
+	}
+	if res.EchoSamples != res.Interactions {
+		t.Fatalf("samples %d != interactions %d: lifecycle censoring leak",
+			res.EchoSamples, res.Interactions)
+	}
+}
+
+// TestLogoutMidHandshakeAborts: a session whose logout fires before its
+// setup handshake completes must never attach — the connection died.
+func TestLogoutMidHandshakeAborts(t *testing.T) {
+	cfg := quick()
+	cfg.Sessions = []Lifecycle{
+		{},
+		{Login: simclock.Time(simclock.Second), Logout: simclock.Time(simclock.Second + simclock.Millisecond)},
+	}
+	res := mustRun(t, cfg) // RDP setup is 45 KB: far more than 1 ms of link time
+	if res.Arrivals != 0 || res.Departures != 0 {
+		t.Fatalf("aborted handshake still counted: arrivals=%d departures=%d",
+			res.Arrivals, res.Departures)
+	}
+	if res.PeakUsers != 1 {
+		t.Fatalf("aborted session attached anyway: peak %d", res.PeakUsers)
 	}
 }
 

@@ -68,6 +68,68 @@ func TestLightVsTypicalOrdering(t *testing.T) {
 	}
 }
 
+// TestLogoutIsLoginInverse: logging out returns exactly the pages a login
+// made resident, so the memory division the capacity arithmetic relies on
+// holds across arbitrary login/logout sequences, not just a one-shot boot.
+func TestLogoutIsLoginInverse(t *testing.T) {
+	m := vm.New(vm.DefaultConfig())
+	baseline := m.FreeKB()
+	procs := Login(m, TSEManifest())
+	if m.FreeKB() >= baseline {
+		t.Fatal("login did not consume memory")
+	}
+	Logout(m, procs)
+	if got := m.FreeKB(); got != baseline {
+		t.Fatalf("logout left %d KB free, want the pre-login %d", got, baseline)
+	}
+	for _, p := range procs {
+		if p.Resident() != 0 {
+			t.Fatalf("process %s still has %d resident pages after logout", p.Name, p.Resident())
+		}
+	}
+	if err := m.CheckInvariants(); err != nil {
+		t.Fatalf("manager accounting broken after logout: %v", err)
+	}
+	// A second churn cycle lands on the same division.
+	again := Login(m, TSEManifest())
+	used := baseline - m.FreeKB()
+	want := TSEManifest().TotalKB()
+	if used < want || used > want+len(again)*m.Config().PageKB {
+		t.Fatalf("re-login consumed %d KB, want ~%d", used, want)
+	}
+}
+
+// TestDetachUserReleasesEverything: the wiring-level inverse retires both
+// pipeline threads and frees the session's memory in one call.
+func TestDetachUserReleasesEverything(t *testing.T) {
+	eng := simclock.NewEngine()
+	cpu := sched.NewCPU(eng, sched.NewRRSched(10*simclock.Millisecond), simclock.Second)
+	m := vm.New(vm.DefaultConfig())
+	baseline := m.FreeKB()
+	u := AttachUser(cpu, m, LinuxManifest(), 0, true)
+	survivor := AttachUser(cpu, m, LinuxManifest(), 1, true)
+
+	// Queue work on the departing user so Retire has something to drop.
+	cpu.Submit(u.App, &sched.WorkItem{Tag: "echo", CPU: simclock.Millisecond,
+		OnDone: func(simclock.Time, int) { t.Fatal("retired thread completed work") }})
+	DetachUser(cpu, m, u)
+	eng.RunFor(simclock.Second)
+
+	for _, p := range u.Procs {
+		if p.Resident() != 0 {
+			t.Fatalf("departed process %s still resident", p.Name)
+		}
+	}
+	// The survivor is untouched and the departed pages are free again.
+	if got := baseline - m.FreeKB(); got < LinuxManifest().TotalKB() ||
+		got > LinuxManifest().TotalKB()+len(survivor.Procs)*m.Config().PageKB {
+		t.Fatalf("after detach %d KB in use, want one login's worth", got)
+	}
+	if survivor.Procs[0].Resident() == 0 {
+		t.Fatal("detach evicted the surviving session")
+	}
+}
+
 func TestAttachUserWiresSharedSubstrates(t *testing.T) {
 	eng := simclock.NewEngine()
 	cpu := sched.NewCPU(eng, sched.NewRRSched(10*simclock.Millisecond), simclock.Second)

@@ -44,6 +44,17 @@ func AttachUser(cpu *sched.CPU, m *vm.Manager, man Manifest, index int, interact
 	return u
 }
 
+// DetachUser logs a session out of a shared server: both pipeline threads
+// retire (pending work dropped, never scheduled again) and every manifest
+// process releases its memory, so the survivors' eviction pressure relaxes
+// at the instant of departure. It is the inverse of AttachUser. Work a
+// caller put on separate background threads must be retired separately.
+func DetachUser(cpu *sched.CPU, m *vm.Manager, u *User) {
+	cpu.Retire(u.App)
+	cpu.Retire(u.Encoder)
+	Logout(m, u.Procs)
+}
+
 // WorkingSet returns the user's largest process — the application address
 // space whose pages an interaction touches — or nil for an empty manifest.
 func (u *User) WorkingSet() *vm.Process {

@@ -1,0 +1,202 @@
+package shard
+
+import (
+	"container/heap"
+
+	"thinbench/internal/server"
+	"thinbench/internal/simclock"
+)
+
+// Salts separating the fleet's churn and growth random streams from every
+// other consumer of Config.Seed.
+const (
+	fleetChurnSalt  = 0x636875726e // "churn"
+	fleetGrowthSalt = 0x67726f77   // "grow"
+)
+
+// Fleet event kinds, in tie-break priority order at an instant: a machine
+// fails before anything else scheduled at the same microsecond reacts.
+const (
+	evKill = iota
+	evDepart
+	evArrive
+)
+
+// fleetEvent is one population change awaiting its turn on the fleet
+// clock. Events order by (time, creation sequence), so the walk is fully
+// deterministic.
+type fleetEvent struct {
+	at   simclock.Time
+	seq  int
+	kind int
+	seat int // evDepart only
+	gen  int // evDepart only: stale-generation guard
+}
+
+type eventHeap []*fleetEvent
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(*fleetEvent)) }
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	*h = old[:n-1]
+	return e
+}
+
+// seat is one logical user slot across its whole history: the session
+// occupying it now, which shard that session lives on, and the slot's
+// private churn stream. A replacement (or a failover re-login) is a new
+// session in the same seat, so its stay draws from the same stream —
+// which is what gives churn plans the prefix property across candidate
+// populations.
+type seat struct {
+	id    int
+	shard int
+	idx   int // index of the current lifecycle in plans[shard]
+	gen   int // bumped per login; stale departure events are skipped
+	alive bool
+	rng   *simclock.Rand // nil when churn is off
+}
+
+// buildPlans walks the fleet's population dynamics in time order —
+// initial placement, churn departures and their replacements, growth
+// arrivals, the machine kill and its re-login storm — routing every
+// arrival through the live picker, and emits one explicit lifecycle plan
+// per shard for the server layer to execute. The walk is bookkeeping, not
+// simulation: placement decisions depend only on occupancy counts (plus
+// the lataware probe cache), so the plans are deterministic and each
+// shard's simulation still fans out independently across the farm.
+//
+// It returns the per-shard plans and the time-zero placement.
+func buildPlans(cfg Config) ([][]server.Lifecycle, []int, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, nil, err
+	}
+	pk, err := newPicker(&cfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	span := simclock.Time(cfg.Base.Span)
+	plans := make([][]server.Lifecycle, len(cfg.Machines))
+	var seats []*seat
+
+	var events eventHeap
+	seq := 0
+	push := func(at simclock.Time, kind, seatID, gen int) {
+		heap.Push(&events, &fleetEvent{at: at, seq: seq, kind: kind, seat: seatID, gen: gen})
+		seq++
+	}
+
+	var meanStay simclock.Duration
+	if cfg.ChurnRatePerSec > 0 {
+		meanStay = simclock.Duration(1e6 / cfg.ChurnRatePerSec)
+	}
+	newSeat := func() *seat {
+		st := &seat{id: len(seats), shard: -1}
+		if meanStay > 0 {
+			st.rng = simclock.NewRand(simclock.DeriveSeed(
+				simclock.DeriveSeed(cfg.Seed, fleetChurnSalt), uint64(st.id)))
+		}
+		seats = append(seats, st)
+		return st
+	}
+	login := func(st *seat, j int, at simclock.Time) {
+		st.shard, st.idx, st.alive = j, len(plans[j]), true
+		st.gen++
+		// The fleet-global seat number rides along as the session's
+		// random-stream identity, so a seat keeps its behavior wherever
+		// churn and failover move it and the plan for N users stays a
+		// prefix of the plan for N+1. (Unlike the single-server case,
+		// fleet seat streams are global while a static fleet's streams
+		// are per-shard indices, so a churned fleet is compared to its
+		// static baseline by effect size, not common random numbers.)
+		plans[j] = append(plans[j], server.Lifecycle{Login: at, Seat: st.id + 1})
+		if meanStay > 0 {
+			if end := at.Add(st.rng.ExpDuration(meanStay)); end < span {
+				push(end, evDepart, st.id, st.gen)
+			}
+		}
+	}
+	logout := func(st *seat, at simclock.Time) {
+		plans[st.shard][st.idx].Logout = at
+		st.alive = false
+		pk.release(st.shard)
+	}
+
+	// The kill is pushed first so that, at its exact instant, the machine
+	// fails before any same-instant departure or arrival is handled.
+	if cfg.KillAt > 0 {
+		push(simclock.Time(cfg.KillAt), evKill, -1, 0)
+	}
+	// Time-zero population, placed by the live policy one user at a time.
+	for u := 0; u < cfg.Users; u++ {
+		j, err := pk.pick()
+		if err != nil {
+			return nil, nil, err
+		}
+		login(newSeat(), j, 0)
+	}
+	counts := append([]int(nil), pk.occ...)
+	// Growth arrivals draw from their own stream, independent of the
+	// population size, so a growing fleet series still shares common
+	// random numbers across candidate populations.
+	if cfg.GrowthPerSec > 0 {
+		grng := simclock.NewRand(simclock.DeriveSeed(cfg.Seed, fleetGrowthSalt))
+		gap := simclock.Duration(1e6 / cfg.GrowthPerSec)
+		for at := simclock.Time(0).Add(grng.ExpDuration(gap)); at < span; at = at.Add(grng.ExpDuration(gap)) {
+			push(at, evArrive, -1, 0)
+		}
+	}
+
+	for events.Len() > 0 {
+		e := heap.Pop(&events).(*fleetEvent)
+		switch e.kind {
+		case evDepart:
+			st := seats[e.seat]
+			if e.gen != st.gen || !st.alive {
+				continue // relocated by a failover since this was scheduled
+			}
+			logout(st, e.at)
+			// The next shift's user takes the seat immediately, routed by
+			// the policy against the fleet as it stands now.
+			j, err := pk.pick()
+			if err != nil {
+				return nil, nil, err
+			}
+			login(st, j, e.at)
+		case evArrive:
+			j, err := pk.pick()
+			if err != nil {
+				return nil, nil, err
+			}
+			login(newSeat(), j, e.at)
+		case evKill:
+			pk.kill(cfg.KillShard)
+			// Every session on the dead machine logs out at the kill —
+			// in-flight echoes censor there — and re-logs-in elsewhere at
+			// the same instant: a reconnect storm of full session setups
+			// against the survivors, in seat order.
+			for _, st := range seats {
+				if !st.alive || st.shard != cfg.KillShard {
+					continue
+				}
+				logout(st, e.at)
+				j, err := pk.pick()
+				if err != nil {
+					return nil, nil, err
+				}
+				login(st, j, e.at)
+			}
+		}
+	}
+	return plans, counts, nil
+}

@@ -16,13 +16,22 @@ const (
 	HistBuckets  = 4096
 )
 
+// Recovery tolerance after a failover: the fleet has recovered in the
+// first timeline slice whose p95 is within RecoveryFactor of the pre-kill
+// p95 plus RecoverySlackMs (the slack absorbs bucket granularity on small
+// baselines).
+const (
+	RecoveryFactor  = 1.25
+	RecoverySlackMs = 5.0
+)
+
 // histBuckets sizes a run's bucketing to its measurement window. A
 // censored interaction enters as its age at run end, which can reach the
 // span plus the server's drain tail, so the range must cover that or
 // fleet percentiles would silently floor at the histogram edge exactly
 // when the fleet is most overloaded — the case they exist to expose.
 func histBuckets(span simclock.Duration) int {
-	n := int(span.Milliseconds()) + 3000
+	n := int((span + server.DrainSpan + simclock.Second).Milliseconds())
 	if n < HistBuckets {
 		n = HistBuckets
 	}
@@ -31,12 +40,14 @@ func histBuckets(span simclock.Duration) int {
 
 // ShardResult is one machine's measured slice of a fleet run: its
 // hardware, its assigned population, and the full server.Result. A shard
-// assigned zero users reports a zero Result — no machine is simulated,
-// unlike server.New which clamps an empty population up to one user.
+// that never hosts a session reports a zero Result — no machine is
+// simulated, unlike server.New which clamps an empty population up to one
+// user.
 type ShardResult struct {
 	Shard      int     `json:"shard"`
 	PhysicalKB int     `json:"physical_kb"`
 	CPUSpeed   float64 `json:"cpu_speed"`
+	Killed     bool    `json:"killed,omitempty"`
 	server.Result
 }
 
@@ -50,17 +61,39 @@ type ShardResult struct {
 type FleetResult struct {
 	Policy string `json:"policy"`
 	Users  int    `json:"users"`
-	// Placement is users per shard, in shard-index order.
-	Placement []int         `json:"placement"`
-	Shards    []ShardResult `json:"shards"`
+	// Placement is the time-zero population per shard, in shard-index
+	// order; Arrivals and Departures sum the fleet's mid-run logins and
+	// logouts (churn replacements, growth, failover re-logins).
+	Placement  []int         `json:"placement"`
+	Arrivals   int           `json:"arrivals"`
+	Departures int           `json:"departures"`
+	Shards     []ShardResult `json:"shards"`
 
 	// EchoP50Ms and EchoP95Ms are fleet-level percentiles over every
 	// user's every interaction on every shard, censored samples included.
 	EchoP50Ms float64 `json:"echo_p50_ms"`
 	EchoP95Ms float64 `json:"echo_p95_ms"`
 	// MaxShardP95Ms is the worst single machine's exact p95, the number a
-	// per-shard alert would fire on.
+	// per-shard alert would fire on; LoginMaxMs is the fleet's slowest
+	// admission (a max merges exactly across shards, unlike a
+	// percentile).
 	MaxShardP95Ms float64 `json:"max_shard_p95_ms"`
+	LoginMaxMs    float64 `json:"login_max_ms"`
+	// P95TimelineMs is the fleet-level per-slice p95 (one
+	// server.TimelineSlice per entry, merged across shards before the
+	// percentile is taken), the series that makes churn and failover
+	// transients visible fleet-wide.
+	P95TimelineMs []float64 `json:"p95_timeline_ms"`
+
+	// Failover metrics, meaningful when KilledShard >= 0: the fleet p95
+	// over the slices before the kill, the worst slice p95 at or after
+	// it (the excursion), and how long after the kill the fleet's slice
+	// p95 first returned to within tolerance of the pre-kill baseline
+	// (-1 when it never did within the run).
+	KilledShard   int     `json:"killed_shard"`
+	PreKillP95Ms  float64 `json:"pre_kill_p95_ms"`
+	PeakKillP95Ms float64 `json:"peak_kill_p95_ms"`
+	RecoveryMs    float64 `json:"recovery_ms"`
 
 	Interactions int64 `json:"interactions"`
 	Censored     int64 `json:"censored"`
@@ -78,27 +111,52 @@ func policyName(p string) string {
 	return p
 }
 
-// Run places the population, runs every shard concurrently across the
-// farm — one whole machine per farm body — and merges the per-shard
-// echo histograms into fleet-level percentiles. The same configuration
-// always produces a deeply identical FleetResult at any worker count.
+// Run places the population — one-shot for a static fleet, as a full
+// lifecycle plan when churn, growth, or a kill make it dynamic — runs
+// every shard concurrently across the farm (one whole machine per farm
+// body), and merges the per-shard echo histograms into fleet-level
+// percentiles and the per-shard timelines into a fleet-level timeline.
+// The same configuration always produces a deeply identical FleetResult
+// at any worker count.
 func Run(cfg Config) (FleetResult, error) {
-	counts, err := Place(cfg)
+	var counts []int
+	var plans [][]server.Lifecycle
+	var err error
+	if cfg.dynamic() {
+		plans, counts, err = buildPlans(cfg)
+	} else {
+		counts, err = Place(cfg)
+	}
 	if err != nil {
 		return FleetResult{}, err
 	}
 	buckets := histBuckets(cfg.Base.Span)
+	nSlices := server.TimelineSlices(cfg.Base.Span)
 	type shardOut struct {
-		res  server.Result
-		hist *metrics.Histogram
+		res    server.Result
+		hist   *metrics.Histogram
+		slices []*metrics.Histogram
+	}
+	emptyOut := func() shardOut {
+		o := shardOut{hist: metrics.NewHistogram(HistBucketMs, buckets)}
+		o.slices = make([]*metrics.Histogram, nSlices)
+		for i := range o.slices {
+			o.slices[i] = metrics.NewHistogram(HistBucketMs, buckets)
+		}
+		return o
 	}
 	outs, err := farm.Run(farm.Config{Sessions: len(cfg.Machines), Workers: cfg.Workers, Seed: cfg.Seed},
 		func(s *farm.Session) (shardOut, error) {
-			n := counts[s.Index]
-			if n == 0 {
-				return shardOut{hist: metrics.NewHistogram(HistBucketMs, buckets)}, nil
+			sc := cfg.shardConfig(s.Index, counts[s.Index])
+			if plans != nil {
+				if len(plans[s.Index]) == 0 {
+					return emptyOut(), nil
+				}
+				sc.Sessions = plans[s.Index]
+			} else if counts[s.Index] == 0 {
+				return emptyOut(), nil
 			}
-			srv, err := server.New(cfg.shardConfig(s.Index, n))
+			srv, err := server.New(sc)
 			if err != nil {
 				return shardOut{}, err
 			}
@@ -106,46 +164,136 @@ func Run(cfg Config) (FleetResult, error) {
 			if err != nil {
 				return shardOut{}, err
 			}
-			return shardOut{res: res, hist: srv.EchoHistogram(HistBucketMs, buckets)}, nil
+			return shardOut{
+				res:    res,
+				hist:   srv.EchoHistogram(HistBucketMs, buckets),
+				slices: srv.SliceHistograms(HistBucketMs, buckets),
+			}, nil
 		})
 	if err != nil {
 		return FleetResult{}, err
 	}
 
-	fleet := FleetResult{Policy: policyName(cfg.Policy), Users: cfg.Users, Placement: counts}
+	fleet := FleetResult{
+		Policy:      policyName(cfg.Policy),
+		Users:       cfg.Users,
+		Placement:   counts,
+		KilledShard: -1,
+		RecoveryMs:  -1,
+	}
 	merged := metrics.NewHistogram(HistBucketMs, buckets)
+	sliceMerged := make([]*metrics.Histogram, nSlices)
+	for i := range sliceMerged {
+		sliceMerged[i] = metrics.NewHistogram(HistBucketMs, buckets)
+	}
 	for j, o := range outs {
 		fleet.Shards = append(fleet.Shards, ShardResult{
 			Shard:      j,
 			PhysicalKB: cfg.shardConfig(j, 0).PhysicalKB,
 			CPUSpeed:   cfg.Machines[j].speed(),
+			Killed:     cfg.KillAt > 0 && j == cfg.KillShard,
 			Result:     o.res,
 		})
 		merged.Merge(o.hist)
+		for i, sh := range o.slices {
+			sliceMerged[i].Merge(sh)
+		}
+		fleet.Arrivals += o.res.Arrivals
+		fleet.Departures += o.res.Departures
 		fleet.Interactions += o.res.Interactions
 		fleet.Censored += o.res.Censored
 		fleet.LostInputs += o.res.LostInputs
 		if o.res.EchoP95Ms > fleet.MaxShardP95Ms {
 			fleet.MaxShardP95Ms = o.res.EchoP95Ms
 		}
+		if o.res.LoginMaxMs > fleet.LoginMaxMs {
+			fleet.LoginMaxMs = o.res.LoginMaxMs
+		}
 	}
 	fleet.EchoP50Ms = merged.Percentile(50)
 	fleet.EchoP95Ms = merged.Percentile(95)
 	fleet.Clamped = merged.Clamped()
+	fleet.P95TimelineMs = make([]float64, nSlices)
+	for i, h := range sliceMerged {
+		// The timeline re-buckets the same samples the whole-run histogram
+		// holds, so its clamp counts are not added to fleet.Clamped.
+		fleet.P95TimelineMs[i] = h.Percentile(95)
+	}
+	if cfg.KillAt > 0 {
+		fleet.KilledShard = cfg.KillShard
+		fleet.PreKillP95Ms, fleet.PeakKillP95Ms, fleet.RecoveryMs =
+			failoverMetrics(cfg.KillAt, sliceMerged, fleet.P95TimelineMs)
+	}
 	return fleet, nil
+}
+
+// failoverMetrics reduces the fleet timeline around a kill: the baseline
+// p95 over every pre-kill slice (merged, then one percentile), the worst
+// slice p95 at or after the kill, and the delay from the kill until the
+// first slice whose p95 is back within tolerance of the baseline. Slices
+// with no samples are skipped on the way down — an empty slice is "no
+// data", not "recovered". One caveat: a displaced user whose re-login
+// never completes contributes its login-screen wait only at the slice it
+// was censored in (run end), so RecoveryMs describes the latency of the
+// users being served; read it together with LoginMaxMs and Censored,
+// which expose re-logins the survivors starved out.
+func failoverMetrics(killAt simclock.Duration, slices []*metrics.Histogram, p95s []float64) (pre, peak, recovery float64) {
+	killSlice := int(killAt / server.TimelineSlice)
+	if killSlice > len(slices) {
+		killSlice = len(slices)
+	}
+	before := metrics.NewHistogram(HistBucketMs, slices[0].Buckets())
+	for _, h := range slices[:killSlice] {
+		before.Merge(h)
+	}
+	pre = before.Percentile(95)
+	recovery = -1
+	threshold := pre*RecoveryFactor + RecoverySlackMs
+	for i := killSlice; i < len(slices); i++ {
+		if p95s[i] > peak {
+			peak = p95s[i]
+		}
+		if recovery < 0 && slices[i].N() > 0 && p95s[i] <= threshold {
+			sliceEnd := simclock.Duration(i+1) * server.TimelineSlice
+			recovery = (sliceEnd - killAt).Milliseconds()
+		}
+	}
+	return pre, peak, recovery
+}
+
+// CapacityResult is a fleet capacity answer together with the probes that
+// bound it, so a degenerate search is diagnosable instead of a bare
+// number: At carries the full fleet result at the capacity (including its
+// Interactions and Censored counts, the way the single-server search's
+// Estimate does), and Over carries the first over-budget probe — when
+// every interaction of that probe was censored, Over.Censored ==
+// Over.Interactions says so explicitly.
+type CapacityResult struct {
+	// Users is the largest population whose fleet p95 stays within the
+	// budget; 0 when even one user blows it.
+	Users int
+	// At is the fleet result at that population. At capacity 0 it is the
+	// zero value — there is no within-budget population to report.
+	At FleetResult
+	// Over is the probe just past the capacity (population Users+1, or
+	// population 1 at capacity 0); nil when the search ran into maxUsers
+	// without ever violating the budget.
+	Over *FleetResult
 }
 
 // FleetCapacity finds the largest total population whose fleet-level p95
 // echo latency stays within the budget (0 means the sizing layer's 150 ms
 // default), bisecting over populations exactly as sizing.Capacity bisects
-// one machine's. A fleet where no interaction ever completes is over
-// budget no matter what its censored ages read. Because greedy placement
-// has the prefix property and every shard keeps its index-derived seed,
-// candidate populations share common random numbers and the fleet p95 is
-// monotone in N, which is what makes bisection valid. Returns the
-// capacity and the fleet result at that population (at population 1 when
-// even one user blows the budget).
-func FleetCapacity(cfg Config, maxUsers int, budget simclock.Duration) (int, FleetResult, error) {
+// one machine's. The configuration's churn and growth dynamics apply to
+// every probe, so the answer is churn-aware capacity: at a nonzero churn
+// rate every candidate population also pays its replacement logins'
+// setup and page-ins, which can only lower the answer. A fleet where no
+// interaction ever completes is over budget no matter what its censored
+// ages read. Because greedy placement has the prefix property and every
+// shard keeps its index-derived seed, candidate populations share common
+// random numbers and the fleet p95 is monotone in N, which is what makes
+// bisection valid.
+func FleetCapacity(cfg Config, maxUsers int, budget simclock.Duration) (CapacityResult, error) {
 	if budget <= 0 {
 		budget = sizing.DefaultLatencyBudget
 	}
@@ -166,22 +314,23 @@ func FleetCapacity(cfg Config, maxUsers int, budget simclock.Duration) (int, Fle
 		return r, err
 	}
 	within := func(r FleetResult) bool {
-		return r.Censored < r.Interactions && r.EchoP95Ms <= budget.Milliseconds()
+		return r.Censored < r.Interactions && r.EchoP95Ms <= budget.Milliseconds() &&
+			r.LoginMaxMs <= sizing.LoginBudget.Milliseconds()
 	}
 
 	first, err := eval(1)
 	if err != nil {
-		return 0, FleetResult{}, err
+		return CapacityResult{}, err
 	}
 	if !within(first) {
-		return 0, first, nil
+		return CapacityResult{Users: 0, Over: &first}, nil
 	}
 	lo, hi := 1, maxUsers
 	for lo < hi {
 		mid := (lo + hi + 1) / 2
 		r, err := eval(mid)
 		if err != nil {
-			return 0, FleetResult{}, err
+			return CapacityResult{}, err
 		}
 		if within(r) {
 			lo = mid
@@ -191,7 +340,15 @@ func FleetCapacity(cfg Config, maxUsers int, budget simclock.Duration) (int, Fle
 	}
 	at, err := eval(lo)
 	if err != nil {
-		return 0, FleetResult{}, err
+		return CapacityResult{}, err
 	}
-	return lo, at, nil
+	out := CapacityResult{Users: lo, At: at}
+	if lo < maxUsers {
+		over, err := eval(lo + 1)
+		if err != nil {
+			return CapacityResult{}, err
+		}
+		out.Over = &over
+	}
+	return out, nil
 }

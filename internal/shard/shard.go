@@ -9,7 +9,7 @@
 // A Config names a base machine, a fleet of per-shard hardware overrides,
 // a total population, and a placement policy:
 //
-//   - roundrobin deals users out in index order, the policy of a fleet
+//   - roundrobin deals users out in machine order, the policy of a fleet
 //     that knows nothing about its machines;
 //   - memaware greedily bin-packs against each machine's §5.1.1 memory
 //     division (session.Capacity over the session manifest), the policy of
@@ -18,6 +18,14 @@
 //     echo latency — measured by a short sizing.EvaluateConfig run of that
 //     shard at its would-be population — is lowest, the policy of a fleet
 //     that measures what the paper says to measure.
+//
+// Placement is live, not one-shot: every arrival — the initial population
+// at time zero, a churn replacement mid-run, a displaced user re-logging
+// in after its machine dies — routes through the same picker, which sees
+// the fleet's current occupancy and which machines are still alive. A
+// fleet that has churned for a while is therefore placed by its history,
+// not by the initial plan (Config.ChurnRatePerSec, GrowthPerSec, and
+// KillAt/KillShard drive the dynamics; see churn.go).
 //
 // Shards are independent machines, so whole shards fan out across
 // farm.Run; each shard's seed derives from the fleet seed and its index,
@@ -94,18 +102,42 @@ func DefaultFleet(m int) []Machine {
 	return out
 }
 
-// Config describes a fleet and its total population.
+// Config describes a fleet, its population, and the population's
+// dynamics.
 type Config struct {
 	// Base is the per-machine baseline. Base.Users is ignored (placement
-	// decides each shard's population) and Base.Seed is ignored
-	// (per-shard seeds derive from Seed and the shard index).
+	// decides each shard's population), Base.Seed is ignored (per-shard
+	// seeds derive from Seed and the shard index), and Base.Sessions and
+	// Base.Churn are ignored (the fleet layer owns session lifecycles and
+	// routes them through the placement policy).
 	Base server.Config
 	// Machines is the fleet, one hardware override per shard.
 	Machines []Machine
-	// Users is the total population placed across the fleet.
+	// Users is the population placed across the fleet at time zero.
 	Users int
 	// Policy selects the placement policy; empty means roundrobin.
 	Policy string
+
+	// ChurnRatePerSec is each session's logout hazard per second (mean
+	// logged-in time 1/rate). A departure frees its shard's seat at that
+	// instant and is immediately replaced by a fresh login routed through
+	// the live policy — the replacement pays session-setup bytes and
+	// login page-ins wherever it lands. Zero keeps the population static.
+	ChurnRatePerSec float64
+	// GrowthPerSec adds a fleet-level Poisson arrival stream of new
+	// sessions on top of the initial population (a ramp), also routed
+	// live. Zero means no growth.
+	GrowthPerSec float64
+	// KillAt, when positive, fails machine KillShard at that instant:
+	// every session on it logs out there (in-flight echoes censored at
+	// the kill) and immediately re-logs-in elsewhere through the live
+	// policy, paying full session setup on the surviving machines. The
+	// dead machine takes no further arrivals. KillAt must leave at least
+	// one timeline slice before it (the pre-kill baseline) and land
+	// before the span ends.
+	KillAt    simclock.Duration
+	KillShard int
+
 	// ProbeSpan is the lataware placement probe window; 0 means 2 s.
 	// Probes only rank shards, so they run far shorter than Base.Span.
 	ProbeSpan simclock.Duration
@@ -114,6 +146,12 @@ type Config struct {
 	Workers int
 	// Seed roots all fleet randomness.
 	Seed uint64
+}
+
+// dynamic reports whether the population changes mid-run — whether the
+// fleet needs a lifecycle plan rather than a one-shot placement.
+func (c Config) dynamic() bool {
+	return c.ChurnRatePerSec > 0 || c.GrowthPerSec > 0 || c.KillAt > 0
 }
 
 func (c Config) validate() error {
@@ -126,6 +164,26 @@ func (c Config) validate() error {
 	for j, m := range c.Machines {
 		if m.MemoryMB < 0 || m.CPUSpeed < 0 {
 			return fmt.Errorf("shard: machine %d has negative hardware override %+v", j, m)
+		}
+	}
+	if c.ChurnRatePerSec < 0 || c.GrowthPerSec < 0 {
+		return fmt.Errorf("shard: negative churn or growth rate")
+	}
+	if c.KillAt < 0 {
+		return fmt.Errorf("shard: negative kill time")
+	}
+	if c.KillAt > 0 {
+		if c.KillShard < 0 || c.KillShard >= len(c.Machines) {
+			return fmt.Errorf("shard: kill shard %d outside fleet of %d", c.KillShard, len(c.Machines))
+		}
+		if len(c.Machines) < 2 {
+			return fmt.Errorf("shard: cannot fail over a one-machine fleet")
+		}
+		if c.KillAt >= c.Base.Span {
+			return fmt.Errorf("shard: kill at %v is not before the span %v", c.KillAt, c.Base.Span)
+		}
+		if c.KillAt < server.TimelineSlice {
+			return fmt.Errorf("shard: kill at %v leaves no pre-kill baseline slice", c.KillAt)
 		}
 	}
 	return nil
@@ -147,6 +205,8 @@ func (c Config) shardConfig(j, users int) server.Config {
 		sc.BackgroundCPUFrac /= speed
 	}
 	sc.Users = users
+	sc.Sessions = nil
+	sc.Churn = server.Churn{}
 	sc.Seed = simclock.DeriveSeed(c.Seed, uint64(j))
 	return sc
 }
@@ -171,60 +231,52 @@ func (c Config) memoryCapacity(j int) int {
 	return session.Capacity(sc.PhysicalKB, sc.SystemKB, sc.SessionManifest())
 }
 
-// Place distributes the fleet's population across its machines under the
-// configured policy and returns the per-shard populations. Placement is
-// greedy one user at a time, which gives every policy the prefix
-// property: the placement for N users is a prefix of the placement for
-// N+1, so fleet series over growing populations share common random
-// numbers per shard and degrade monotonically.
-func Place(cfg Config) ([]int, error) {
-	if err := cfg.validate(); err != nil {
-		return nil, err
-	}
+// picker routes arrivals onto the fleet one at a time under the live
+// placement policy. Unlike the one-shot placement loop it replaced, a
+// picker carries the fleet's running state — current occupancy per shard
+// and which machines are alive — so the same instance places the initial
+// population, churn replacements, growth arrivals, and failover
+// re-logins, each against the fleet as it is at that moment.
+type picker struct {
+	cfg  *Config
+	occ  []int
+	dead []bool
+	rr   int   // roundrobin cursor
+	caps []int // memaware §5.1.1 divisions
+	// probe is the lataware marginal-p95 estimator, cached per
+	// (shard, population).
+	probe func(j, users int) (float64, error)
+}
+
+func newPicker(cfg *Config) (*picker, error) {
 	m := len(cfg.Machines)
-	counts := make([]int, m)
+	p := &picker{cfg: cfg, occ: make([]int, m), dead: make([]bool, m)}
 	switch cfg.Policy {
 	case PolicyRoundRobin, "":
-		for u := 0; u < cfg.Users; u++ {
-			counts[u%m]++
-		}
 	case PolicyMemAware:
-		// Greedy bin-pack against each machine's memory division: the
-		// next user lands on the machine with the most free session
-		// slots; an overcommitted fleet keeps filling the least
-		// overcommitted machine. Ties break to the lowest index.
-		caps := make([]int, m)
-		for j := range caps {
-			caps[j] = cfg.memoryCapacity(j)
-		}
-		for u := 0; u < cfg.Users; u++ {
-			best := 0
-			for j := 1; j < m; j++ {
-				if caps[j]-counts[j] > caps[best]-counts[best] {
-					best = j
-				}
-			}
-			counts[best]++
+		p.caps = make([]int, m)
+		for j := range p.caps {
+			p.caps[j] = cfg.memoryCapacity(j)
 		}
 	case PolicyLatAware:
-		return placeLatAware(cfg)
+		if err := p.initProbes(); err != nil {
+			return nil, err
+		}
 	default:
 		return nil, fmt.Errorf("shard: unknown placement policy %q", cfg.Policy)
 	}
-	return counts, nil
+	return p, nil
 }
 
-// placeLatAware places each user on the shard whose marginal p95 — the
-// measured p95 echo latency of that shard running its current population
-// plus this user — is lowest. Marginals come from short
-// sizing.EvaluateConfig probes of the real shard configuration (same
+// initProbes builds the lataware marginal estimator: short
+// sizing.EvaluateConfig runs of the real shard configuration (same
 // protocol, same hardware overrides, same index-derived seed as the final
-// run, only the span shortened), cached per (shard, population): placing
-// a user invalidates exactly one shard's marginal, so placement costs
-// about M+N probes, with the M first-round probes fanned out across the
-// farm.
-func placeLatAware(cfg Config) ([]int, error) {
-	m := len(cfg.Machines)
+// run, only the span shortened), cached per (shard, population) — placing
+// a user invalidates exactly one shard's marginal, so a full placement
+// costs about M+N probes. The M first-round probes fan out across the
+// farm; the cache is filled single-threaded from the ordered results.
+func (p *picker) initProbes() error {
+	cfg := p.cfg
 	probeSpan := cfg.ProbeSpan
 	if probeSpan <= 0 {
 		probeSpan = 2 * simclock.Second
@@ -245,42 +297,104 @@ func placeLatAware(cfg Config) ([]int, error) {
 
 	type key struct{ shard, users int }
 	cache := map[key]float64{}
-	// First-round marginals (every shard at population 1) fan out across
-	// the farm; the cache is filled single-threaded from the ordered
-	// results.
+	m := len(cfg.Machines)
 	firsts, err := farm.Run(farm.Config{Sessions: m, Workers: cfg.Workers, Seed: cfg.Seed},
 		func(s *farm.Session) (float64, error) { return raw(s.Index, 1) })
 	if err != nil {
-		return nil, err
+		return err
 	}
-	for j, p := range firsts {
-		cache[key{j, 1}] = p
+	for j, v := range firsts {
+		cache[key{j, 1}] = v
 	}
-	probe := func(j, users int) (float64, error) {
-		if p, ok := cache[key{j, users}]; ok {
-			return p, nil
+	p.probe = func(j, users int) (float64, error) {
+		if v, ok := cache[key{j, users}]; ok {
+			return v, nil
 		}
-		p, err := raw(j, users)
+		v, err := raw(j, users)
 		if err != nil {
 			return 0, err
 		}
-		cache[key{j, users}] = p
-		return p, nil
+		cache[key{j, users}] = v
+		return v, nil
 	}
+	return nil
+}
 
-	counts := make([]int, m)
-	for u := 0; u < cfg.Users; u++ {
-		best, bestP95 := -1, 0.0
-		for j := 0; j < m; j++ {
-			p, err := probe(j, counts[j]+1)
-			if err != nil {
-				return nil, err
-			}
-			if best < 0 || p < bestP95 {
-				best, bestP95 = j, p
+// pick places one arrival on the fleet as it currently stands and returns
+// its shard. Ties break to the lowest index, so placement is
+// deterministic.
+func (p *picker) pick() (int, error) {
+	m := len(p.cfg.Machines)
+	best := -1
+	switch p.cfg.Policy {
+	case PolicyRoundRobin, "":
+		for t := 0; t < m; t++ {
+			j := (p.rr + t) % m
+			if !p.dead[j] {
+				best = j
+				p.rr = (j + 1) % m
+				break
 			}
 		}
-		counts[best]++
+	case PolicyMemAware:
+		// Greedy bin-pack against each machine's memory division: the
+		// next user lands on the machine with the most free session
+		// slots; an overcommitted fleet keeps filling the least
+		// overcommitted machine.
+		for j := 0; j < m; j++ {
+			if p.dead[j] {
+				continue
+			}
+			if best < 0 || p.caps[j]-p.occ[j] > p.caps[best]-p.occ[best] {
+				best = j
+			}
+		}
+	case PolicyLatAware:
+		bestP95 := 0.0
+		for j := 0; j < m; j++ {
+			if p.dead[j] {
+				continue
+			}
+			v, err := p.probe(j, p.occ[j]+1)
+			if err != nil {
+				return -1, err
+			}
+			if best < 0 || v < bestP95 {
+				best, bestP95 = j, v
+			}
+		}
 	}
-	return counts, nil
+	if best < 0 {
+		return -1, fmt.Errorf("shard: no machine alive to place a session on")
+	}
+	p.occ[best]++
+	return best, nil
+}
+
+// release returns a departed session's seat on shard j.
+func (p *picker) release(j int) { p.occ[j]-- }
+
+// kill marks machine j dead: it takes no further arrivals.
+func (p *picker) kill(j int) { p.dead[j] = true }
+
+// Place distributes the time-zero population across the fleet under the
+// configured policy and returns the per-shard populations. Placement is
+// greedy one user at a time through the live picker, which gives every
+// policy the prefix property: the placement for N users is a prefix of
+// the placement for N+1, so fleet series over growing populations share
+// common random numbers per shard and degrade monotonically.
+func Place(cfg Config) ([]int, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	p, err := newPicker(&cfg)
+	if err != nil {
+		return nil, err
+	}
+	for u := 0; u < cfg.Users; u++ {
+		if _, err := p.pick(); err != nil {
+			return nil, err
+		}
+	}
+	return p.occ, nil
 }

@@ -228,8 +228,10 @@ func TestEmptyShardContributesNothing(t *testing.T) {
 }
 
 // TestFleetCapacity: the fleet-level sizing answer must sit within the
-// budget at N and violate it at N+1, and measurement-driven placement
-// must never size a heterogeneous fleet below blind round-robin.
+// budget at N and violate it at N+1 — and the over-budget probe must
+// travel with the answer so the violation is diagnosable — and
+// measurement-driven placement must never size a heterogeneous fleet
+// below blind round-robin.
 func TestFleetCapacity(t *testing.T) {
 	mk := func(policy string) shard.Config {
 		cfg := fleetCfg(policy, 1)
@@ -240,32 +242,259 @@ func TestFleetCapacity(t *testing.T) {
 	const maxUsers = 40
 	caps := map[string]int{}
 	for _, policy := range []string{shard.PolicyRoundRobin, shard.PolicyLatAware} {
-		n, at, err := shard.FleetCapacity(mk(policy), maxUsers, 0)
+		cap, err := shard.FleetCapacity(mk(policy), maxUsers, 0)
 		if err != nil {
 			t.Fatal(err)
 		}
-		if n < 1 {
+		if cap.Users < 1 {
 			t.Fatalf("%s: fleet of three machines admits nobody", policy)
 		}
-		if at.Users != n {
-			t.Fatalf("%s: returned result is for %d users, capacity %d", policy, at.Users, n)
+		if cap.At.Users != cap.Users {
+			t.Fatalf("%s: returned result is for %d users, capacity %d", policy, cap.At.Users, cap.Users)
 		}
-		if at.EchoP95Ms > 150 || at.Censored >= at.Interactions {
-			t.Fatalf("%s: result at capacity already violates the budget: %+v", policy, at)
+		if cap.At.EchoP95Ms > 150 || cap.At.Censored >= cap.At.Interactions {
+			t.Fatalf("%s: result at capacity already violates the budget: %+v", policy, cap.At)
 		}
-		if n < maxUsers {
-			over := mk(policy)
-			over.Users = n + 1
-			res := mustRun(t, over)
-			if res.EchoP95Ms <= 150 && res.Censored < res.Interactions {
+		if cap.Users < maxUsers {
+			if cap.Over == nil {
+				t.Fatalf("%s: capacity %d below maxUsers but no over-budget probe surfaced", policy, cap.Users)
+			}
+			if cap.Over.Users != cap.Users+1 {
+				t.Fatalf("%s: over-budget probe ran %d users, want %d", policy, cap.Over.Users, cap.Users+1)
+			}
+			if cap.Over.EchoP95Ms <= 150 && cap.Over.Censored < cap.Over.Interactions {
 				t.Fatalf("%s: capacity %d but %d users still within budget (p95 %.2fms)",
-					policy, n, n+1, res.EchoP95Ms)
+					policy, cap.Users, cap.Users+1, cap.Over.EchoP95Ms)
 			}
 		}
-		caps[policy] = n
+		caps[policy] = cap.Users
 	}
 	if caps[shard.PolicyLatAware] < caps[shard.PolicyRoundRobin] {
 		t.Fatalf("lataware capacity %d below roundrobin %d on a heterogeneous fleet",
 			caps[shard.PolicyLatAware], caps[shard.PolicyRoundRobin])
+	}
+}
+
+// TestFleetCapacityAllCensoredDiagnosable: a fleet whose every probe
+// interaction is censored must report capacity 0 with the failing probe
+// attached, its Censored count equal to its Interactions — the
+// explicit "nothing ever completed" diagnosis, not a bare zero.
+func TestFleetCapacityAllCensoredDiagnosable(t *testing.T) {
+	cfg := fleetCfg(shard.PolicyRoundRobin, 1)
+	cfg.Base.Protocol = "model"
+	cfg.Base.Span = 2 * simclock.Second
+	// A link so slow no echo ever returns within the window.
+	cfg.Base.Link.RateMbps = 0.001
+	cap, err := shard.FleetCapacity(cfg, 8, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cap.Users != 0 {
+		t.Fatalf("unreachable fleet reports capacity %d", cap.Users)
+	}
+	if cap.Over == nil {
+		t.Fatal("capacity 0 without the failing probe attached")
+	}
+	if cap.Over.Interactions == 0 || cap.Over.Censored < cap.Over.Interactions {
+		t.Fatalf("failing probe not diagnosably all-censored: %d censored of %d interactions",
+			cap.Over.Censored, cap.Over.Interactions)
+	}
+}
+
+// churnCfg is the dynamic-fleet test configuration: the canonical
+// heterogeneous fleet under per-session turnover.
+func churnCfg(policy string, users int, rate float64) shard.Config {
+	cfg := fleetCfg(policy, users)
+	cfg.Base.Span = 4 * simclock.Second
+	cfg.ChurnRatePerSec = rate
+	return cfg
+}
+
+// TestFleetChurnZeroRateIsStatic: a fleet with no churn, growth, or kill
+// must take the static one-shot path and reproduce the pre-refactor
+// results exactly.
+func TestFleetChurnZeroRateIsStatic(t *testing.T) {
+	static := mustRun(t, fleetCfg(shard.PolicyMemAware, 10))
+	zero := fleetCfg(shard.PolicyMemAware, 10)
+	zero.ChurnRatePerSec = 0
+	if got := mustRun(t, zero); !reflect.DeepEqual(got, static) {
+		t.Fatalf("zero-rate fleet churn diverged from static run:\n%+v\n%+v", got, static)
+	}
+}
+
+// TestFleetChurnRoutesReplacements: churn must produce fleet-wide
+// arrivals and departures, keep every lifecycle on some shard, and stay
+// deterministic.
+func TestFleetChurnRoutesReplacements(t *testing.T) {
+	for _, policy := range shard.Policies() {
+		cfg := churnCfg(policy, 12, 0.5)
+		a := mustRun(t, cfg)
+		if a.Arrivals == 0 || a.Departures == 0 {
+			t.Fatalf("%s: 0.5/s churn over 4s produced no turnover: %+v", policy, a)
+		}
+		if sum(a.Placement) != cfg.Users {
+			t.Fatalf("%s: time-zero placement %v loses users", policy, a.Placement)
+		}
+		if b := mustRun(t, cfg); !reflect.DeepEqual(a, b) {
+			t.Fatalf("%s: identical churn configs diverged", policy)
+		}
+	}
+}
+
+// TestFleetGrowthRampsPopulation: a growth stream must raise the fleet's
+// peak concurrent population above the initial placement.
+func TestFleetGrowthRampsPopulation(t *testing.T) {
+	cfg := fleetCfg(shard.PolicyMemAware, 6)
+	cfg.Base.Span = 4 * simclock.Second
+	cfg.GrowthPerSec = 2
+	res := mustRun(t, cfg)
+	peak := 0
+	for _, sr := range res.Shards {
+		peak += sr.PeakUsers
+	}
+	if res.Arrivals < 4 {
+		t.Fatalf("2/s growth over 4s produced only %d arrivals", res.Arrivals)
+	}
+	if peak <= cfg.Users {
+		t.Fatalf("fleet peak %d not above initial %d under growth", peak, cfg.Users)
+	}
+}
+
+// failCfg is the failover scenario the acceptance criteria name: the
+// heterogeneous DefaultFleet, the weak machine killed mid-span, its users
+// re-logging in through the live policy.
+func failCfg(policy string) shard.Config {
+	cfg := fleetCfg(policy, 22)
+	cfg.Base.Span = 8 * simclock.Second
+	cfg.KillShard = 2
+	cfg.KillAt = 4 * simclock.Second
+	return cfg
+}
+
+// TestFailoverExcursionAndRecovery is the failover contract: killing a
+// machine mid-span must show up as a positive fleet p95 excursion at the
+// kill, the fleet must recover (post-recovery slice p95 back within
+// tolerance of the pre-kill baseline) under lataware placement, and
+// measurement-driven re-placement must recover no slower than blind
+// round-robin on the heterogeneous fleet.
+func TestFailoverExcursionAndRecovery(t *testing.T) {
+	results := map[string]shard.FleetResult{}
+	for _, policy := range []string{shard.PolicyRoundRobin, shard.PolicyLatAware} {
+		res := mustRun(t, failCfg(policy))
+		if res.KilledShard != 2 || !res.Shards[2].Killed {
+			t.Fatalf("%s: killed shard not marked: %+v", policy, res.KilledShard)
+		}
+		if res.Shards[2].Departures != res.Placement[2] {
+			t.Fatalf("%s: kill logged out %d of the weak machine's %d users",
+				policy, res.Shards[2].Departures, res.Placement[2])
+		}
+		if res.Arrivals < res.Placement[2] {
+			t.Fatalf("%s: only %d re-logins for %d displaced users", policy, res.Arrivals, res.Placement[2])
+		}
+		if res.PeakKillP95Ms <= res.PreKillP95Ms {
+			t.Fatalf("%s: no p95 excursion at the kill: peak %.1fms vs pre %.1fms",
+				policy, res.PeakKillP95Ms, res.PreKillP95Ms)
+		}
+		results[policy] = res
+	}
+	lat := results[shard.PolicyLatAware]
+	if lat.RecoveryMs < 0 {
+		t.Fatalf("lataware fleet never recovered: timeline %v (pre %.1fms)",
+			lat.P95TimelineMs, lat.PreKillP95Ms)
+	}
+	rr := results[shard.PolicyRoundRobin]
+	rrRecovery := rr.RecoveryMs
+	if rrRecovery < 0 {
+		// Round-robin never recovering within the run counts as slower
+		// than any measured lataware recovery.
+		rrRecovery = float64((rr.Shards[0].Users + 1) * 1e9)
+	}
+	if lat.RecoveryMs > rrRecovery {
+		t.Fatalf("lataware recovery %.0fms slower than roundrobin %.0fms",
+			lat.RecoveryMs, rrRecovery)
+	}
+}
+
+// TestFleetChurnCapacity: capacity under churn can never exceed static
+// capacity — every replacement login costs setup bytes and page-ins —
+// and at rate zero the two searches are the same search.
+func TestFleetChurnCapacity(t *testing.T) {
+	mk := func(rate float64) shard.Config {
+		cfg := fleetCfg(shard.PolicyMemAware, 1)
+		cfg.Base.Protocol = "model"
+		cfg.Base.Span = 3 * simclock.Second
+		cfg.ChurnRatePerSec = rate
+		return cfg
+	}
+	const maxUsers = 40
+	static, err := shard.FleetCapacity(mk(0), maxUsers, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	zero, err := shard.FleetCapacity(mk(0), maxUsers, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(zero, static) {
+		t.Fatal("zero-rate churn capacity diverged from static capacity")
+	}
+	for _, rate := range []float64{0.25, 1.0} {
+		churned, err := shard.FleetCapacity(mk(rate), maxUsers, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if churned.Users > static.Users {
+			t.Fatalf("rate %.2f/s: churn-aware capacity %d above static %d",
+				rate, churned.Users, static.Users)
+		}
+	}
+}
+
+// TestDynamicFleetWorkerInvariant: lifecycle plans are computed before any
+// simulation runs, so a churned, growing, failing fleet must still be
+// bit-identical at any worker count, for every policy.
+func TestDynamicFleetWorkerInvariant(t *testing.T) {
+	for _, policy := range shard.Policies() {
+		cfg := failCfg(policy)
+		cfg.Base.Span = 5 * simclock.Second
+		cfg.KillAt = 2 * simclock.Second
+		cfg.ChurnRatePerSec = 0.3
+		cfg.GrowthPerSec = 1
+		cfg.Workers = 1
+		ref := mustRun(t, cfg)
+		for _, workers := range []int{2, 8} {
+			cfg.Workers = workers
+			if got := mustRun(t, cfg); !reflect.DeepEqual(got, ref) {
+				t.Fatalf("%s: workers=%d diverged from sequential dynamic fleet", policy, workers)
+			}
+		}
+	}
+}
+
+// TestKillValidation pins the failover configuration contract.
+func TestKillValidation(t *testing.T) {
+	cfg := fleetCfg(shard.PolicyRoundRobin, 6)
+	cfg.KillAt = cfg.Base.Span // not before the span ends
+	cfg.KillShard = 0
+	if _, err := shard.Run(cfg); err == nil {
+		t.Fatal("kill at span end accepted")
+	}
+	cfg = fleetCfg(shard.PolicyRoundRobin, 6)
+	cfg.KillAt = 2 * simclock.Second
+	cfg.KillShard = 7
+	if _, err := shard.Run(cfg); err == nil {
+		t.Fatal("kill of a machine outside the fleet accepted")
+	}
+	cfg = fleetCfg(shard.PolicyRoundRobin, 2)
+	cfg.Machines = cfg.Machines[:1]
+	cfg.KillAt = 2 * simclock.Second
+	cfg.KillShard = 0
+	if _, err := shard.Run(cfg); err == nil {
+		t.Fatal("failover on a one-machine fleet accepted")
+	}
+	cfg = fleetCfg(shard.PolicyRoundRobin, 6)
+	cfg.ChurnRatePerSec = -1
+	if _, err := shard.Run(cfg); err == nil {
+		t.Fatal("negative churn rate accepted")
 	}
 }

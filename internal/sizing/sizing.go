@@ -99,6 +99,13 @@ type Server struct {
 // operator's "users are complaining" line.
 const DefaultLatencyBudget = 150 * simclock.Millisecond
 
+// LoginBudget caps the login-screen wait a capacity answer may impose on
+// arrivals: a healthy login (handshake bytes, full-manifest page-in,
+// process creation) runs on the order of 1.5 s, so a 3 s ceiling flags a
+// machine whose admissions are starving — the overload mode specific to
+// churn, where stuck logins can hide in an echo percentile's tail.
+const LoginBudget = 3 * simclock.Second
+
 // DefaultServer is the paper's testbed class: 64 MB, 10 Mbps shared
 // Ethernet, round-robin scheduling, 150 ms p95 budget.
 func DefaultServer() Server {
@@ -148,6 +155,12 @@ func probeConfig(srv Server, p Profile, users int, span simclock.Duration, seed 
 
 		InputBytes: 64,
 		EchoBytes:  200,
+		// The model codec's session-setup handshake, paid on the link by
+		// every churn replacement login (tab4-scale, X-handshake class),
+		// and the process-creation compute each replacement charges the
+		// shared CPU.
+		SetupBytes: 16 * 1024,
+		LoginCPU:   server.DefaultLoginCPU,
 
 		Span: span,
 		Seed: seed,
@@ -177,6 +190,10 @@ type Estimate struct {
 	// how small the numbers read.
 	Interactions int64
 	Censored     int64
+	// LoginMaxMs is the slowest mid-run admission (0 on a static run);
+	// violation checks it against LoginBudget so a churned machine whose
+	// arrivals starve at the login screen cannot read as acceptable.
+	LoginMaxMs float64
 }
 
 // Evaluate simulates the population on one shared server for the span and
@@ -219,6 +236,7 @@ func EvaluateConfig(cfg server.Config) (Estimate, error) {
 		Paging:          res.Paging,
 		Interactions:    res.Interactions,
 		Censored:        res.Censored,
+		LoginMaxMs:      res.LoginMaxMs,
 	}, nil
 }
 
@@ -262,6 +280,38 @@ func Capacity(srv Server, p Profile, maxUsers int, span simclock.Duration, seed 
 // under any worker count; fan-out only buys wall-clock time, cutting
 // rounds from log2(maxUsers) to log(k+1)(maxUsers).
 func CapacityParallel(srv Server, p Profile, maxUsers int, span simclock.Duration, seed uint64, workers int) (int, Estimate, Limit) {
+	return capacitySearch(srv, maxUsers, workers, seed,
+		func(users int) Estimate { return Evaluate(srv, p, users, span, seed) })
+}
+
+// ChurnCapacity is the capacity question asked of a machine that never
+// reaches steady state: the largest population whose p95 echo latency
+// stays within the budget while sessions churn — each logs out with the
+// given per-second hazard and is immediately replaced by a fresh login
+// that pays session-setup bytes on the contended link and login page-ins
+// on the shared memory. At rate 0 it is exactly CapacityParallel; at any
+// positive rate the churn load can only subtract capacity, never add it.
+func ChurnCapacity(srv Server, p Profile, ratePerSec float64, maxUsers int, span simclock.Duration, seed uint64, workers int) (int, Estimate, Limit) {
+	return capacitySearch(srv, maxUsers, workers, seed, func(users int) Estimate {
+		if users < 1 {
+			users = 1
+		}
+		cfg := probeConfig(srv, p, users, span, seed)
+		cfg.Churn = server.Churn{RatePerSec: ratePerSec}
+		est, err := EvaluateConfig(cfg)
+		if err != nil {
+			// Profiles and servers are validated values; a bad scheduler
+			// name is a programming error.
+			panic(err)
+		}
+		return est
+	})
+}
+
+// capacitySearch is the k-ary bracket narrowing shared by every capacity
+// entry point: eval must be deterministic in the user count alone, and the
+// violation constraints monotone in it.
+func capacitySearch(srv Server, maxUsers, workers int, seed uint64, eval func(users int) Estimate) (int, Estimate, Limit) {
 	if maxUsers < 1 {
 		maxUsers = 1
 	}
@@ -276,10 +326,10 @@ func CapacityParallel(srv Server, p Profile, maxUsers int, span simclock.Duratio
 		if len(fresh) == 0 {
 			return
 		}
-		// Evaluate never fails, so the farm error is always nil.
+		// eval never fails, so the farm error is always nil.
 		ests, _ := farm.Run(farm.Config{Sessions: len(fresh), Workers: workers, Seed: seed},
 			func(s *farm.Session) (Estimate, error) {
-				return Evaluate(srv, p, fresh[s.Index], span, seed), nil
+				return eval(fresh[s.Index]), nil
 			})
 		for i, c := range fresh {
 			cache[c] = ests[i]
@@ -335,7 +385,8 @@ func violation(srv Server, e Estimate) Limit {
 	if e.LinkUtilization > 0.8 {
 		return LimitNetwork
 	}
-	if e.Censored >= e.Interactions || e.P95EchoMs > srv.budget().Milliseconds() {
+	if e.Censored >= e.Interactions || e.P95EchoMs > srv.budget().Milliseconds() ||
+		e.LoginMaxMs > LoginBudget.Milliseconds() {
 		return LimitCPU
 	}
 	return LimitNone

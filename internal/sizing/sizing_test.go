@@ -168,6 +168,63 @@ func TestEvaluateConfigMatchesEvaluate(t *testing.T) {
 	}
 }
 
+// TestChurnCapacityZeroRateIsStatic: at rate 0 the churn-aware search must
+// reproduce the static answer exactly — same capacity, same estimate, same
+// binding resource — because a zero-rate plan is the static population
+// bit-for-bit.
+func TestChurnCapacityZeroRateIsStatic(t *testing.T) {
+	span := 3 * simclock.Second
+	srv := DefaultServer()
+	for _, p := range []Profile{LightAdmin(), Developer()} {
+		wantN, wantEst, wantLimit := CapacityParallel(srv, p, 30, span, 1, 1)
+		n, est, limit := ChurnCapacity(srv, p, 0, 30, span, 1, 1)
+		if n != wantN || est != wantEst || limit != wantLimit {
+			t.Fatalf("%s: zero-rate churn capacity (%d,%+v,%s) diverged from static (%d,%+v,%s)",
+				p.Name, n, est, limit, wantN, wantEst, wantLimit)
+		}
+	}
+}
+
+// TestChurnCapacityNeverExceedsStatic: turnover only adds load — setup
+// bytes on the link, login page-ins on the memory, cold arrivals on the
+// CPU — so capacity under churn can never exceed steady-state capacity,
+// and under a heavy rate it should strictly shrink.
+func TestChurnCapacityNeverExceedsStatic(t *testing.T) {
+	span := 5 * simclock.Second
+	srv := DefaultServer()
+	srv.PhysicalKB = 512 * 1024 // keep memory slack so churn load, not the division, binds
+	p := Developer()
+	static, _, _ := CapacityParallel(srv, p, 60, span, 1, 0)
+	for _, rate := range []float64{0.1, 0.5} {
+		churned, est, _ := ChurnCapacity(srv, p, rate, 60, span, 1, 0)
+		if churned > static {
+			t.Fatalf("rate %.1f/s: churn capacity %d above static %d", rate, churned, static)
+		}
+		if churned > 0 && est.Users != churned {
+			t.Fatalf("rate %.1f/s: estimate for %d users at capacity %d", rate, est.Users, churned)
+		}
+	}
+	heavy, _, _ := ChurnCapacity(srv, p, 1.0, 60, span, 1, 0)
+	if heavy >= static {
+		t.Fatalf("1/s churn (mean stay 1s) capacity %d not below static %d", heavy, static)
+	}
+}
+
+// TestChurnCapacityWorkerInvariant: the churn probes fan out across the
+// farm like every other search; the answer must not depend on pool size.
+func TestChurnCapacityWorkerInvariant(t *testing.T) {
+	span := 3 * simclock.Second
+	srv := DefaultServer()
+	refN, refEst, refLimit := ChurnCapacity(srv, Developer(), 0.3, 30, span, 42, 1)
+	for _, workers := range []int{2, 8} {
+		n, est, limit := ChurnCapacity(srv, Developer(), 0.3, 30, span, 42, workers)
+		if n != refN || est != refEst || limit != refLimit {
+			t.Fatalf("workers=%d diverged: (%d,%+v,%s) vs (%d,%+v,%s)",
+				workers, n, est, limit, refN, refEst, refLimit)
+		}
+	}
+}
+
 // linearCapacity is the brute-force reference: walk user counts upward
 // until the first violation.
 func linearCapacity(srv Server, p Profile, maxUsers int, span simclock.Duration, seed uint64) (int, Limit) {
