@@ -34,6 +34,16 @@
 //	thinbench -run churn
 //	thinbench -run churn -users 22 -churn 0,0.15,0.3 -kill 2 -killat 4
 //	thinbench -run churn -users 22 -policy roundrobin,lataware -json BENCH_churn.json
+//
+// Schedule mode drives the fleet from a time-varying arrival profile — a
+// 9 AM login storm, a lunch dip, shift changes — instead of memoryless
+// churn, then kills a machine in the middle of the morning ramp so
+// failover is measured under a surge. Profiles are built-ins or @files in
+// the schedule text format (see internal/schedule):
+//
+//	thinbench -run schedule
+//	thinbench -run schedule -profile officeday,flat -users 15 -kill 2 -killat 2
+//	thinbench -run schedule -profile @myday.profile -policy lataware -json BENCH_schedule.json
 package main
 
 import (
@@ -41,18 +51,15 @@ import (
 	"flag"
 	"fmt"
 	"os"
-	"strconv"
-	"strings"
 
 	"thinbench"
-	"thinbench/internal/server"
+	"thinbench/internal/benchdoc"
 	"thinbench/internal/shard"
-	"thinbench/internal/simclock"
 )
 
 func main() {
 	var (
-		runID    = flag.String("run", "", "experiment ID to run (fig1..fig9, tab1..tab6, abl1..abl5, cap1, cont1, shard1, 'contention', 'shard', or 'all')")
+		runID    = flag.String("run", "", "experiment ID to run (fig1..fig9, tab1..tab6, abl1..abl5, cap1, cont1, shard1, 'contention', 'shard', 'churn', 'schedule', or 'all')")
 		list     = flag.Bool("list", false, "list registered experiments")
 		quick    = flag.Bool("quick", false, "shorten measurement windows (same shapes, more noise)")
 		seed     = flag.Uint64("seed", 1999, "random seed; identical seeds reproduce identical results")
@@ -63,12 +70,13 @@ func main() {
 		protos = flag.String("proto", "rdp,x,lbx", "contention mode: comma list of protocols (rdp,x,lbx,vnc,slim)")
 		scheds = flag.String("sched", "rr,nt", "contention mode: comma list of schedulers (rr,nt,svr4ia)")
 
-		shards   = flag.Int("shards", 3, "shard/churn mode: machine count of the heterogeneous fleet (hardware classes cycle big/base/weak)")
-		policies = flag.String("policy", "roundrobin,memaware,lataware", "shard/churn mode: comma list of placement policies")
+		shards   = flag.Int("shards", 3, "shard/churn/schedule mode: machine count of the heterogeneous fleet (hardware classes cycle big/base/weak)")
+		policies = flag.String("policy", "roundrobin,memaware,lataware", "shard/churn/schedule mode: comma list of placement policies")
 
 		churnRates = flag.String("churn", "0,0.15,0.3", "churn mode: comma list of per-session logout rates (1/s); each rate is one fleet run per policy")
-		killShard  = flag.Int("kill", 2, "churn mode: machine to kill mid-span for the failover section (-1 disables)")
-		killAtSec  = flag.Float64("killat", 4, "churn mode: kill time in seconds")
+		killShard  = flag.Int("kill", 2, "churn/schedule mode: machine to kill mid-span for the failover section (-1 disables)")
+		killAtSec  = flag.Float64("killat", 4, "churn/schedule mode: kill time in seconds (schedule mode defaults to 2, inside the morning ramp)")
+		profiles   = flag.String("profile", "officeday,flat", "schedule mode: comma list of arrival profiles (flat, officeday, shiftchange, or @file)")
 	)
 	flag.Parse()
 
@@ -83,41 +91,63 @@ func main() {
 		fmt.Println("        fleet-level p95 vs total users across M shared servers per placement policy; see -shards, -policy, -users")
 		fmt.Println("  churn")
 		fmt.Println("        fleet p95 vs session turnover rate plus a machine-kill failover, per placement policy; see -churn, -kill, -killat")
+		fmt.Println("  schedule")
+		fmt.Println("        fleet driven by a time-varying arrival profile (login storm, lunch dip) plus a mid-ramp machine kill; see -profile, -kill, -killat")
 		if *runID == "" && !*list {
 			fmt.Println("\nrun one with: thinbench -run <id>   (or -run all, -run contention, -run shard)")
 		}
 		return
 	}
 
-	if *runID == "contention" {
-		if err := runContention(*users, *protos, *scheds, *quick, *seed, *parallel, *jsonPath); err != nil {
-			fmt.Fprintln(os.Stderr, "error:", err)
-			os.Exit(1)
-		}
+	switch *runID {
+	case "contention":
+		doc, err := benchdoc.Contention(*users, *protos, *scheds, *quick, *seed, *parallel)
+		exitOn(err)
+		printContention(doc)
+		writeDoc(*jsonPath, doc)
 		return
-	}
-
-	if *runID == "shard" {
-		if err := runShard(*users, *policies, *shards, *quick, *seed, *parallel, *jsonPath); err != nil {
-			fmt.Fprintln(os.Stderr, "error:", err)
-			os.Exit(1)
-		}
+	case "shard":
+		doc, err := benchdoc.Shard(*users, *policies, *shards, *quick, *seed, *parallel)
+		exitOn(err)
+		printShard(doc)
+		writeDoc(*jsonPath, doc)
 		return
-	}
-
-	if *runID == "churn" {
+	case "churn":
 		// Churn mode holds one population; the range default of -users is
 		// a sweep axis, so substitute the canonical churn population when
-		// the flag was left untouched.
+		// the flag was left untouched. Quick mode shrinks the span to 4 s,
+		// which the default kill time would land exactly on, so re-default
+		// it to mid-span.
 		churnUsers := *users
 		if !flagWasSet("users") {
 			churnUsers = "22"
 		}
-		if err := runChurn(churnUsers, *policies, *churnRates, *shards, *killShard, *killAtSec,
-			*quick, *seed, *parallel, *jsonPath); err != nil {
-			fmt.Fprintln(os.Stderr, "error:", err)
-			os.Exit(1)
+		churnKillAt := *killAtSec
+		if !flagWasSet("killat") && *quick {
+			churnKillAt = 2
 		}
+		doc, err := benchdoc.Churn(churnUsers, *policies, *churnRates, *shards, *killShard, churnKillAt,
+			*quick, *seed, *parallel)
+		exitOn(err)
+		printChurn(doc)
+		writeDoc(*jsonPath, doc)
+		return
+	case "schedule":
+		// Schedule mode also holds one population, and its kill belongs
+		// inside the morning ramp rather than at churn mode's default.
+		schedUsers := *users
+		if !flagWasSet("users") {
+			schedUsers = "15"
+		}
+		killAt := *killAtSec
+		if !flagWasSet("killat") {
+			killAt = 2
+		}
+		doc, err := benchdoc.Schedule(schedUsers, *profiles, *policies, *shards, *killShard, killAt,
+			*quick, *seed, *parallel)
+		exitOn(err)
+		printSchedule(doc)
+		writeDoc(*jsonPath, doc)
 		return
 	}
 
@@ -150,41 +180,22 @@ func main() {
 	}
 }
 
-// contentionDoc is the machine-readable contention result, the repo's
-// bench trajectory format (BENCH_contention.json).
-type contentionDoc struct {
-	Command   string            `json:"command"`
-	Seed      uint64            `json:"seed"`
-	SpanSec   float64           `json:"span_sec"`
-	Users     []int             `json:"users"`
-	Scenarios []server.Scenario `json:"scenarios"`
+func exitOn(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "error:", err)
+		os.Exit(1)
+	}
 }
 
-func runContention(users, protos, scheds string, quick bool, seed uint64, parallel int, jsonPath string) error {
-	counts, err := parseCounts(users)
-	if err != nil {
-		return err
+func writeDoc(path string, doc any) {
+	if path == "" {
+		return
 	}
-	base := server.DefaultConfig()
-	base.Span = 10 * simclock.Second
-	if quick {
-		base.Span = 3 * simclock.Second
-	}
-	protoList := splitList(protos)
-	schedList := splitList(scheds)
-	// An empty axis would legally produce an empty grid; at the CLI that
-	// is always a mistyped flag, so fail instead of printing zero rows.
-	if len(protoList) == 0 {
-		return fmt.Errorf("empty -proto list")
-	}
-	if len(schedList) == 0 {
-		return fmt.Errorf("empty -sched list")
-	}
-	grid, err := server.Grid(base, protoList, schedList, counts, parallel, seed)
-	if err != nil {
-		return err
-	}
-	for _, sc := range grid {
+	exitOn(writeJSON(path, doc))
+}
+
+func printContention(doc benchdoc.ContentionDoc) {
+	for _, sc := range doc.Scenarios {
 		fmt.Printf("== contention: %s over %s ==\n", sc.Protocol, sc.Scheduler)
 		fmt.Printf("  %6s %12s %12s %12s %8s %8s %8s %s\n",
 			"users", "mean ms", "p95 ms", "max ms", "cpu", "link", "censored", "paging")
@@ -195,93 +206,85 @@ func runContention(users, protos, scheds string, quick bool, seed uint64, parall
 		}
 		fmt.Println()
 	}
-	if jsonPath != "" {
-		doc := contentionDoc{
-			Command: fmt.Sprintf("thinbench -run contention -users %s -proto %s -sched %s -seed %d -quick=%v",
-				users, protos, scheds, seed, quick),
-			Seed:      seed,
-			SpanSec:   base.Span.Seconds(),
-			Users:     counts,
-			Scenarios: grid,
-		}
-		return writeJSON(jsonPath, doc)
-	}
-	return nil
 }
 
-// shardDoc is the machine-readable fleet result, the repo's bench
-// trajectory format (BENCH_shard.json).
-type shardDoc struct {
-	Command  string          `json:"command"`
-	Seed     uint64          `json:"seed"`
-	SpanSec  float64         `json:"span_sec"`
-	Machines []shard.Machine `json:"machines"`
-	Users    []int           `json:"users"`
-	Policies []policySeries  `json:"policies"`
-}
-
-type policySeries struct {
-	Policy string              `json:"policy"`
-	Points []shard.FleetResult `json:"points"`
-}
-
-func runShard(users, policies string, machines int, quick bool, seed uint64, parallel int, jsonPath string) error {
-	counts, err := parseCounts(users)
-	if err != nil {
-		return err
-	}
-	policyList := splitList(policies)
-	if len(policyList) == 0 {
-		return fmt.Errorf("empty -policy list")
-	}
-	if machines < 1 {
-		return fmt.Errorf("bad -shards count %d (want >= 1)", machines)
-	}
-	base := server.DefaultConfig()
-	base.Span = 10 * simclock.Second
-	probeSpan := 2 * simclock.Second
-	if quick {
-		base.Span = 3 * simclock.Second
-		probeSpan = simclock.Second
-	}
-	fleet := shard.DefaultFleet(machines)
-	doc := shardDoc{
-		Command: fmt.Sprintf("thinbench -run shard -shards %d -policy %s -users %s -seed %d -quick=%v",
-			machines, policies, users, seed, quick),
-		Seed:     seed,
-		SpanSec:  base.Span.Seconds(),
-		Machines: fleet,
-		Users:    counts,
-	}
-	for _, policy := range policyList {
-		fmt.Printf("== shard: %s placement over %d machines ==\n", policy, machines)
+func printShard(doc benchdoc.ShardDoc) {
+	for _, ps := range doc.Policies {
+		fmt.Printf("== shard: %s placement over %d machines ==\n", ps.Policy, len(doc.Machines))
 		fmt.Printf("  %6s %12s %12s %14s %8s %-s\n",
 			"users", "fleet p50", "fleet p95", "max shard p95", "censored", "placement")
-		ps := policySeries{Policy: policy}
-		for _, n := range counts {
-			fr, err := shard.Run(shard.Config{
-				Base:      base,
-				Machines:  fleet,
-				Users:     n,
-				Policy:    policy,
-				ProbeSpan: probeSpan,
-				Workers:   parallel,
-				Seed:      seed,
-			})
-			if err != nil {
-				return err
-			}
+		for _, fr := range ps.Points {
 			fmt.Printf("  %6d %10.0f ms %10.0f ms %12.0f ms %8d %v\n",
 				fr.Users, fr.EchoP50Ms, fr.EchoP95Ms, fr.MaxShardP95Ms, fr.Censored, fr.Placement)
-			ps.Points = append(ps.Points, fr)
 		}
-		doc.Policies = append(doc.Policies, ps)
 		fmt.Println()
 	}
-	if jsonPath != "" {
-		return writeJSON(jsonPath, doc)
+}
+
+func printChurn(doc benchdoc.ChurnDoc) {
+	for _, ps := range doc.Policies {
+		fmt.Printf("== churn: %s placement, %d users over %d machines ==\n",
+			ps.Policy, doc.Users, len(doc.Machines))
+		fmt.Printf("  %8s %12s %12s %9s %9s %12s\n",
+			"rate/s", "fleet p95", "max login", "arrivals", "departs", "censored")
+		for i, fr := range ps.Points {
+			fmt.Printf("  %8.2f %10.0f ms %10.0f ms %9d %9d %12d\n",
+				doc.ChurnRates[i], fr.EchoP95Ms, fr.LoginMaxMs, fr.Arrivals, fr.Departures, fr.Censored)
+		}
+		fmt.Println()
 	}
-	return nil
+	if len(doc.Failover) == 0 {
+		return
+	}
+	fmt.Println("== failover: machine kill mid-span ==")
+	for _, pf := range doc.Failover {
+		printFailover(pf.Policy, pf.Result)
+	}
+	fmt.Println()
+}
+
+func printSchedule(doc benchdoc.ScheduleDoc) {
+	for _, pr := range doc.Profiles {
+		fmt.Printf("== schedule: %s profile, %d users over %d machines ==\n",
+			pr.Profile, doc.Users, len(doc.Machines))
+		fmt.Printf("  %-10s %12s %14s %12s %9s %9s %9s\n",
+			"policy", "fleet p95", "peak slice", "max login", "arrivals", "departs", "censored")
+		for _, pp := range pr.Policies {
+			peak := 0.0
+			for _, v := range pp.Result.P95TimelineMs {
+				if v > peak {
+					peak = v
+				}
+			}
+			fmt.Printf("  %-10s %10.0f ms %11.0f ms %10.0f ms %9d %9d %9d\n",
+				pp.Policy, pp.Result.EchoP95Ms, peak, pp.Result.LoginMaxMs,
+				pp.Result.Arrivals, pp.Result.Departures, pp.Result.Censored)
+		}
+		fmt.Println()
+	}
+	if len(doc.Failover) == 0 {
+		return
+	}
+	fmt.Printf("== failover: machine kill at %gs, inside the ramp ==\n", doc.KillAt)
+	for _, pf := range doc.Failover {
+		printFailover(pf.Profile+"/"+pf.Policy, pf.Result)
+	}
+	fmt.Println()
+}
+
+func printFailover(label string, fr shard.FleetResult) {
+	recovery := "never within the run"
+	if fr.RecoveryMs >= 0 {
+		recovery = fmt.Sprintf("%.0f ms", fr.RecoveryMs)
+	}
+	fmt.Printf("  %-20s placed %v, displaced %d: p95 pre %4.0f ms, peak %5.0f ms, recovered in %s\n",
+		label, fr.Placement, fr.Shards[fr.KilledShard].Departures,
+		fr.PreKillP95Ms, fr.PeakKillP95Ms, recovery)
+	fmt.Printf("             timeline (ms):")
+	for _, p := range fr.P95TimelineMs {
+		fmt.Printf(" %5.0f", p)
+	}
+	fmt.Println()
 }
 
 func flagWasSet(name string) bool {
@@ -292,139 +295,6 @@ func flagWasSet(name string) bool {
 		}
 	})
 	return set
-}
-
-// churnDoc is the machine-readable dynamic-fleet result, the repo's bench
-// trajectory format (BENCH_churn.json): the turnover grid plus the
-// failover runs.
-type churnDoc struct {
-	Command    string          `json:"command"`
-	Seed       uint64          `json:"seed"`
-	SpanSec    float64         `json:"span_sec"`
-	Machines   []shard.Machine `json:"machines"`
-	Users      int             `json:"users"`
-	ChurnRates []float64       `json:"churn_rates"`
-	Policies   []policySeries  `json:"policies"`
-	Failover   []policyFail    `json:"failover,omitempty"`
-}
-
-type policyFail struct {
-	Policy string            `json:"policy"`
-	Result shard.FleetResult `json:"result"`
-}
-
-func runChurn(users, policies, churnRates string, machines, killShard int, killAtSec float64,
-	quick bool, seed uint64, parallel int, jsonPath string) error {
-	counts, err := parseCounts(users)
-	if err != nil {
-		return err
-	}
-	if len(counts) != 1 {
-		return fmt.Errorf("churn mode holds one population; give a single -users count, not %v", counts)
-	}
-	n := counts[0]
-	var rates []float64
-	for _, f := range splitList(churnRates) {
-		r, err := strconv.ParseFloat(f, 64)
-		if err != nil || r < 0 {
-			return fmt.Errorf("bad -churn rate %q", f)
-		}
-		rates = append(rates, r)
-	}
-	if len(rates) == 0 {
-		return fmt.Errorf("empty -churn list")
-	}
-	policyList := splitList(policies)
-	if len(policyList) == 0 {
-		return fmt.Errorf("empty -policy list")
-	}
-	if machines < 1 {
-		return fmt.Errorf("bad -shards count %d (want >= 1)", machines)
-	}
-	base := server.DefaultConfig()
-	base.Span = 10 * simclock.Second
-	probeSpan := 2 * simclock.Second
-	if quick {
-		base.Span = 4 * simclock.Second
-		probeSpan = simclock.Second
-	}
-	killAt := simclock.Duration(killAtSec * 1e6)
-	if killShard >= 0 && killAt <= 0 {
-		return fmt.Errorf("-killat %g: the failover kill needs a positive time (or -kill -1 to disable)", killAtSec)
-	}
-	if killShard >= 0 && killAt >= base.Span {
-		return fmt.Errorf("-killat %g: the kill must land before the %v span", killAtSec, base.Span)
-	}
-	fleet := shard.DefaultFleet(machines)
-	mk := func(policy string) shard.Config {
-		return shard.Config{
-			Base:      base,
-			Machines:  fleet,
-			Users:     n,
-			Policy:    policy,
-			ProbeSpan: probeSpan,
-			Workers:   parallel,
-			Seed:      seed,
-		}
-	}
-	doc := churnDoc{
-		Command: fmt.Sprintf("thinbench -run churn -shards %d -policy %s -users %d -churn %s -kill %d -killat %g -seed %d -quick=%v",
-			machines, policies, n, churnRates, killShard, killAtSec, seed, quick),
-		Seed:       seed,
-		SpanSec:    base.Span.Seconds(),
-		Machines:   fleet,
-		Users:      n,
-		ChurnRates: rates,
-	}
-	for _, policy := range policyList {
-		fmt.Printf("== churn: %s placement, %d users over %d machines ==\n", policy, n, machines)
-		fmt.Printf("  %8s %12s %12s %9s %9s %12s\n",
-			"rate/s", "fleet p95", "max login", "arrivals", "departs", "censored")
-		ps := policySeries{Policy: policy}
-		for _, rate := range rates {
-			cfg := mk(policy)
-			cfg.ChurnRatePerSec = rate
-			fr, err := shard.Run(cfg)
-			if err != nil {
-				return err
-			}
-			fmt.Printf("  %8.2f %10.0f ms %10.0f ms %9d %9d %12d\n",
-				rate, fr.EchoP95Ms, fr.LoginMaxMs, fr.Arrivals, fr.Departures, fr.Censored)
-			ps.Points = append(ps.Points, fr)
-		}
-		doc.Policies = append(doc.Policies, ps)
-		fmt.Println()
-	}
-	if killShard >= 0 {
-		fmt.Printf("== failover: kill machine %d at %v ==\n", killShard, killAt)
-		for _, policy := range policyList {
-			cfg := mk(policy)
-			cfg.KillShard = killShard
-			cfg.KillAt = killAt
-			fr, err := shard.Run(cfg)
-			if err != nil {
-				return err
-			}
-			recovery := "never within the run"
-			if fr.RecoveryMs >= 0 {
-				recovery = fmt.Sprintf("%.0f ms", fr.RecoveryMs)
-			}
-			fmt.Printf("  %-10s placed %v, displaced %d: p95 pre %4.0f ms, peak %5.0f ms, recovered in %s\n",
-				policy, fr.Placement, fr.Shards[killShard].Departures,
-				fr.PreKillP95Ms, fr.PeakKillP95Ms, recovery)
-			fmt.Printf("             timeline (ms):")
-			for _, p := range fr.P95TimelineMs {
-				fmt.Printf(" %5.0f", p)
-			}
-			fmt.Println()
-			doc.Failover = append(doc.Failover, policyFail{Policy: policy, Result: fr})
-		}
-		fmt.Println()
-	}
-	if jsonPath != "" {
-		return writeJSON(jsonPath, doc)
-	}
-	return nil
 }
 
 // experimentDoc projects experiment results into their serializable parts
@@ -453,51 +323,4 @@ func writeJSON(path string, doc any) error {
 		return err
 	}
 	return os.WriteFile(path, append(b, '\n'), 0o644)
-}
-
-// parseCounts accepts "A..B" ranges and comma lists of user counts.
-func parseCounts(s string) ([]int, error) {
-	if lo, hi, ok := strings.Cut(s, ".."); ok {
-		a, err1 := strconv.Atoi(strings.TrimSpace(lo))
-		b, err2 := strconv.Atoi(strings.TrimSpace(hi))
-		if err1 != nil || err2 != nil || a < 1 || b < a {
-			return nil, fmt.Errorf("bad -users range %q (want e.g. 1..16)", s)
-		}
-		// Wide ranges step so the sweep stays a handful of points per
-		// scenario; narrow ranges probe every count.
-		step := 1
-		if n := b - a + 1; n > 8 {
-			step = (n + 7) / 8
-		}
-		var out []int
-		for c := a; c <= b; c += step {
-			out = append(out, c)
-		}
-		if out[len(out)-1] != b {
-			out = append(out, b)
-		}
-		return out, nil
-	}
-	var out []int
-	for _, f := range splitList(s) {
-		c, err := strconv.Atoi(f)
-		if err != nil || c < 1 {
-			return nil, fmt.Errorf("bad -users entry %q", f)
-		}
-		out = append(out, c)
-	}
-	if len(out) == 0 {
-		return nil, fmt.Errorf("empty -users list")
-	}
-	return out, nil
-}
-
-func splitList(s string) []string {
-	var out []string
-	for _, f := range strings.Split(s, ",") {
-		if f = strings.TrimSpace(f); f != "" {
-			out = append(out, f)
-		}
-	}
-	return out
 }

@@ -1,0 +1,129 @@
+package thinbench_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"testing"
+
+	"thinbench/internal/benchdoc"
+)
+
+// TestBenchBaselinesBitIdentical regenerates every checked-in BENCH
+// document in-process, with the exact parameters its command line
+// records, and golden-diffs the result against the file. Every field
+// present in the checked-in baseline must be byte-for-byte unchanged —
+// this is the repo-local version of CI's regenerate-and-diff jobs, and
+// the proof that a refactor (like churn compiling through the schedule
+// layer) preserved every number it inherited.
+//
+// The helper tolerates fields ADDED by newer code, so a future PR that
+// extends a result type reuses this test unchanged: it regenerates the
+// baselines, checks them in, and the old fields must still match.
+func TestBenchBaselinesBitIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("bench regeneration in -short mode")
+	}
+	regen := map[string]func() (any, error){
+		"BENCH_contention.json": func() (any, error) {
+			return benchdoc.Contention("1..16", "rdp,x,lbx", "rr,nt", false, 1999, 0)
+		},
+		"BENCH_shard.json": func() (any, error) {
+			return benchdoc.Shard("6..30", "roundrobin,memaware,lataware", 3, false, 1999, 0)
+		},
+		"BENCH_churn.json": func() (any, error) {
+			return benchdoc.Churn("22", "roundrobin,memaware,lataware", "0,0.15,0.3", 3, 2, 4, false, 1999, 0)
+		},
+		"BENCH_schedule.json": func() (any, error) {
+			return benchdoc.Schedule("15", "officeday,flat", "roundrobin,lataware", 3, 2, 2, false, 1999, 0)
+		},
+	}
+	for path, build := range regen {
+		t.Run(path, func(t *testing.T) {
+			t.Parallel()
+			doc, err := build()
+			if err != nil {
+				t.Fatal(err)
+			}
+			assertGoldenSubset(t, path, doc)
+		})
+	}
+}
+
+// assertGoldenSubset checks that every field of the checked-in JSON
+// baseline at path appears, with an identical value, in the regenerated
+// document. Numbers compare by their JSON token text, so a drift of one
+// ulp fails. Fields present only in the regenerated document are allowed
+// (they are what a future PR checks in); fields missing from it are not.
+func assertGoldenSubset(t *testing.T, path string, doc any) {
+	t.Helper()
+	baseline, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fresh, err := json.Marshal(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want, got any
+	if err := decodeNumbers(baseline, &want); err != nil {
+		t.Fatalf("%s: %v", path, err)
+	}
+	if err := decodeNumbers(fresh, &got); err != nil {
+		t.Fatal(err)
+	}
+	if diff := subsetDiff("", want, got); diff != "" {
+		t.Fatalf("%s drifted from the checked-in baseline:\n%s", path, diff)
+	}
+}
+
+func decodeNumbers(data []byte, v *any) error {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.UseNumber()
+	return dec.Decode(v)
+}
+
+// subsetDiff reports the first place the baseline's fields are missing or
+// changed in the regenerated tree; empty means the baseline is a subset.
+func subsetDiff(at string, want, got any) string {
+	switch w := want.(type) {
+	case map[string]any:
+		g, ok := got.(map[string]any)
+		if !ok {
+			return fmt.Sprintf("%s: baseline has an object, regenerated has %T", at, got)
+		}
+		for k, wv := range w {
+			gv, ok := g[k]
+			if !ok {
+				return fmt.Sprintf("%s.%s: present in baseline, missing from regenerated", at, k)
+			}
+			if d := subsetDiff(at+"."+k, wv, gv); d != "" {
+				return d
+			}
+		}
+	case []any:
+		g, ok := got.([]any)
+		if !ok {
+			return fmt.Sprintf("%s: baseline has an array, regenerated has %T", at, got)
+		}
+		if len(w) != len(g) {
+			return fmt.Sprintf("%s: baseline array has %d elements, regenerated %d", at, len(w), len(g))
+		}
+		for i := range w {
+			if d := subsetDiff(fmt.Sprintf("%s[%d]", at, i), w[i], g[i]); d != "" {
+				return d
+			}
+		}
+	case json.Number:
+		g, ok := got.(json.Number)
+		if !ok || w.String() != g.String() {
+			return fmt.Sprintf("%s: baseline %v, regenerated %v", at, want, got)
+		}
+	default:
+		if want != got {
+			return fmt.Sprintf("%s: baseline %v, regenerated %v", at, want, got)
+		}
+	}
+	return ""
+}

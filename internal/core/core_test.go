@@ -1,6 +1,7 @@
 package core
 
 import (
+	"fmt"
 	"sort"
 	"strings"
 	"testing"
@@ -40,9 +41,9 @@ func seriesByLabel(t *testing.T, r *Result, label string) Series {
 func TestRegistryComplete(t *testing.T) {
 	want := []string{
 		"abl1", "abl2", "abl3", "abl4", "abl5",
-		"cap1", "churn1", "cont1", "fail1",
+		"cap1", "churn1", "cont1", "day1", "fail1",
 		"fig1", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9",
-		"shard1",
+		"shard1", "storm1",
 		"tab1", "tab2", "tab3", "tab4", "tab5", "tab6",
 	}
 	got := make([]string, 0, len(want))
@@ -433,6 +434,87 @@ func TestFail1TimelineShowsExcursion(t *testing.T) {
 	if len(r.Notes) < 4 {
 		t.Fatalf("fail1 notes missing per-policy recovery summaries: %v", r.Notes)
 	}
+}
+
+// TestDay1TimelineFollowsTheDay: the office-day experiment reports the
+// offered arrivals alongside per-policy latency timelines, and the day
+// actually churns — arrivals land, sessions leave, logins cost.
+func TestDay1TimelineFollowsTheDay(t *testing.T) {
+	r := mustRun(t, "day1", quickCfg)
+	if len(r.Series) != 3 {
+		t.Fatalf("day1 produced %d series, want arrivals + one per policy", len(r.Series))
+	}
+	arrivals := seriesByLabel(t, r, "arrivals")
+	total := 0.0
+	for _, y := range arrivals.Y {
+		total += y
+	}
+	if total < 10 {
+		t.Fatalf("office day offered only %.0f mid-run logins", total)
+	}
+	for _, label := range []string{"roundrobin", "lataware"} {
+		s := seriesByLabel(t, r, label)
+		if len(s.X) != len(arrivals.X) || len(s.X) != len(s.Y) {
+			t.Fatalf("%s: timeline length %d/%d does not match the arrival series %d",
+				label, len(s.X), len(s.Y), len(arrivals.X))
+		}
+	}
+}
+
+// TestStorm1KillDuringRampIsWorse pins the acceptance ordering: the fleet
+// p95 timeline peaks during the 9 AM ramp, and a kill in the middle of
+// the storm recovers no faster — at the canonical seed, strictly slower —
+// than the same kill under flat load.
+func TestStorm1KillDuringRampIsWorse(t *testing.T) {
+	r := mustRun(t, "storm1", quickCfg)
+	base := seriesByLabel(t, r, "officeday")
+	peak := 0
+	for i, v := range base.Y {
+		if v > base.Y[peak] {
+			peak = i
+		}
+	}
+	// The storm window ends at 0.19 of the span and its logins land
+	// within a couple of slices; the peak must sit there, not in the
+	// afternoon.
+	rampEnd := int(0.19*float64(len(base.Y))) + 3
+	if peak < 1 || peak > rampEnd {
+		t.Fatalf("no-kill p95 timeline peaked in slice %d of %v, want the ramp slices [1, %d]",
+			peak, base.Y, rampEnd)
+	}
+
+	stormRec, flatRec := stormRecoveries(t, r)
+	if flatRec < 0 {
+		t.Fatalf("flat-load kill never recovered: notes %v", r.Notes)
+	}
+	if stormRec >= 0 && stormRec < flatRec {
+		t.Fatalf("storm-time kill recovered in %.0f ms, faster than flat load's %.0f ms", stormRec, flatRec)
+	}
+}
+
+// stormRecoveries reads the two kills' recovery times out of storm1's
+// comparison note (the timelines alone cannot reconstruct RecoveryMs —
+// the tolerance is against the merged pre-kill histogram, not the p95s).
+// A negative recovery is "never within the run".
+func stormRecoveries(t *testing.T, r *Result) (storm, flat float64) {
+	t.Helper()
+	for _, note := range r.Notes {
+		var a, b float64
+		if n, _ := fmt.Sscanf(note, "the storm-time kill never recovered within the run; the flat-load kill recovered in %f ms", &b); n == 1 {
+			return -1, b
+		}
+		if n, _ := fmt.Sscanf(note, "recovery: %f ms after a storm-time kill vs %f ms under flat load", &a, &b); n == 2 {
+			return a, b
+		}
+		if n, _ := fmt.Sscanf(note, "the flat-load kill never recovered within the run; the storm-time kill recovered in %f ms", &a); n == 1 {
+			return a, -1
+		}
+		if note == "neither kill recovered within the run" {
+			return -1, -1
+		}
+	}
+	t.Fatalf("storm1 notes carry no recovery comparison: %v", r.Notes)
+	return 0, 0
 }
 
 // TestCont1LatencyDegradesMonotonically: every protocol x scheduler series

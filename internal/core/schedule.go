@@ -1,0 +1,181 @@
+package core
+
+import (
+	"thinbench/internal/schedule"
+	"thinbench/internal/server"
+	"thinbench/internal/shard"
+	"thinbench/internal/simclock"
+)
+
+func init() {
+	register(Experiment{
+		ID:    "day1",
+		Title: "An office day: fleet arrivals and p95 timeline under the OfficeDay schedule",
+		Paper: "Beyond the paper's steady state and PR 4's memoryless churn: §5 argues interactive load is bursty and correlated, so the lifecycle is driven by an empirical-shaped day — 9 AM login storm, lunch dip, close-of-day exodus — replayed across the fleet, every arrival routed through the live placement policy.",
+		Run:   runDay1,
+	})
+	register(Experiment{
+		ID:    "storm1",
+		Title: "Login storm failover: a machine kill during the 9 AM ramp versus under flat load",
+		Paper: "Beyond the paper, echoing SLIM's stateless-client claim (PAPERS.md) that re-login storms are the thin-client stress case: the weak machine dies in the middle of the morning ramp, so its displaced users re-login into the surge. Compared against the same kill under flat (memoryless) churn at equal population.",
+		Run:   runStorm1,
+	})
+}
+
+// scheduleFleet is the canonical heterogeneous three-machine fleet the
+// schedule experiments run on, spanned long enough for a whole compressed
+// office day.
+func scheduleFleet(cfg Config) shard.Config {
+	base := server.DefaultConfig()
+	base.Span = 10 * simclock.Second
+	if cfg.Quick {
+		base.Span = 6 * simclock.Second
+	}
+	return shard.Config{
+		Base:     base,
+		Machines: shard.DefaultFleet(3),
+		Seed:     cfg.Seed,
+	}
+}
+
+// runDay1 replays the OfficeDay profile across the fleet, one series per
+// placement policy, plus the compiled arrival counts per second so the
+// latency timeline can be read against the storm that causes it.
+func runDay1(cfg Config) (*Result, error) {
+	res := &Result{ID: "day1", Title: "Fleet p95 timeline through an office day, by placement policy"}
+	fleet := scheduleFleet(cfg)
+	day := schedule.OfficeDay()
+	const users = 18
+
+	// The offered load: arrivals per timeline slice, from the same
+	// compiled plan the fleet executes (the fleet stream differs per
+	// policy only in placement, never in arrival times).
+	planCfg := fleet
+	planCfg.Users = users
+	planCfg.Schedule = &day
+	plan, err := planCfg.SchedulePlan()
+	if err != nil {
+		return nil, err
+	}
+	nSlices := server.TimelineSlices(fleet.Base.Span)
+	arrivals := Series{Label: "arrivals", XLabel: "time (s, slice end)", YLabel: "logins in slice"}
+	counts := make([]float64, nSlices)
+	for _, s := range plan {
+		if s.Login > 0 {
+			counts[int(simclock.Duration(s.Login)/server.TimelineSlice)]++
+		}
+	}
+	for i, c := range counts {
+		arrivals.X = append(arrivals.X, float64(i+1))
+		arrivals.Y = append(arrivals.Y, c)
+	}
+	res.Series = append(res.Series, arrivals)
+
+	for _, policy := range []string{shard.PolicyRoundRobin, shard.PolicyLatAware} {
+		fc := fleet
+		fc.Users = users
+		fc.Policy = policy
+		fc.Schedule = &day
+		fr, err := shard.Run(fc)
+		if err != nil {
+			return nil, err
+		}
+		s := Series{
+			Label:  policy,
+			XLabel: "time (s, slice end)",
+			YLabel: "fleet p95 echo latency (ms)",
+		}
+		for i, p95 := range fr.P95TimelineMs {
+			s.X = append(s.X, float64(i+1))
+			s.Y = append(s.Y, p95)
+		}
+		res.Series = append(res.Series, s)
+		res.Notef("%s: %d at open %v, %d arrivals, %d departures, slowest login %.0f ms",
+			policy, sum(fr.Placement), fr.Placement, fr.Arrivals, fr.Departures, fr.LoginMaxMs)
+	}
+	res.Notef("%d seats under OfficeDay: the span maps 7:30-18:00, the 9 AM storm lands at 0.13-0.19 of it, arrivals stop after the 17:00 close", users)
+	res.Notef("every arrival pays its protocol handshake on the shard's contended link, full-manifest page-ins, and login process creation before the first echo counts")
+	return res, nil
+}
+
+func sum(counts []int) int {
+	n := 0
+	for _, c := range counts {
+		n += c
+	}
+	return n
+}
+
+// runStorm1 kills the weak machine in the middle of the 9 AM ramp and
+// compares the fleet's excursion and recovery against the same kill under
+// flat load: the displaced users re-login into a surge in one case and a
+// trickle in the other.
+func runStorm1(cfg Config) (*Result, error) {
+	res := &Result{ID: "storm1", Title: "Fleet p95 timeline through a machine kill, storm versus flat arrivals"}
+	fleet := scheduleFleet(cfg)
+	killAt := 2 * simclock.Second
+	const users = 15
+	day := schedule.OfficeDay()
+	flat := schedule.Flat(schedule.DefaultFlatRate)
+
+	type run struct {
+		label string
+		prof  *schedule.Profile
+		kill  bool
+	}
+	runs := []run{
+		{"officeday", &day, false},
+		{"officeday+kill", &day, true},
+		{"flat+kill", &flat, true},
+	}
+	var recovery = map[string]float64{}
+	for _, r := range runs {
+		fc := fleet
+		fc.Users = users
+		fc.Policy = shard.PolicyRoundRobin
+		fc.Schedule = r.prof
+		if r.kill {
+			fc.KillShard = 2 // the weak 48 MB, 0.6x machine
+			fc.KillAt = killAt
+		}
+		fr, err := shard.Run(fc)
+		if err != nil {
+			return nil, err
+		}
+		s := Series{
+			Label:  r.label,
+			XLabel: "time (s, slice end)",
+			YLabel: "fleet p95 echo latency (ms)",
+		}
+		for i, p95 := range fr.P95TimelineMs {
+			s.X = append(s.X, float64(i+1))
+			s.Y = append(s.Y, p95)
+		}
+		res.Series = append(res.Series, s)
+		if r.kill {
+			recovery[r.label] = fr.RecoveryMs
+			rec := "never within the run"
+			if fr.RecoveryMs >= 0 {
+				rec = simclock.Millis(fr.RecoveryMs).String()
+			}
+			res.Notef("%s: kill displaced %d users at %v; p95 pre-kill %.0f ms, peak %.0f ms, recovered in %s",
+				r.label, fr.Shards[2].Departures, killAt, fr.PreKillP95Ms, fr.PeakKillP95Ms, rec)
+		} else {
+			res.Notef("%s: no kill; %d arrivals, slowest login %.0f ms — the baseline ramp", r.label, fr.Arrivals, fr.LoginMaxMs)
+		}
+	}
+	storm, flatRec := recovery["officeday+kill"], recovery["flat+kill"]
+	switch {
+	case storm < 0 && flatRec >= 0:
+		res.Notef("the storm-time kill never recovered within the run; the flat-load kill recovered in %.0f ms", flatRec)
+	case storm >= 0 && flatRec >= 0:
+		res.Notef("recovery: %.0f ms after a storm-time kill vs %.0f ms under flat load", storm, flatRec)
+	case storm >= 0:
+		res.Notef("the flat-load kill never recovered within the run; the storm-time kill recovered in %.0f ms", storm)
+	default:
+		res.Notef("neither kill recovered within the run")
+	}
+	res.Notef("%d users, roundrobin placement; machine 2 (48 MB, 0.6x) killed at %v of %v, mid-ramp, so its users re-login into the surge",
+		users, killAt, fleet.Base.Span)
+	return res, nil
+}

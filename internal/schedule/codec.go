@@ -1,0 +1,226 @@
+package schedule
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+
+	"thinbench/internal/simclock"
+)
+
+// Format renders the profile in the schedule text format, one directive
+// per line:
+//
+//	profile officeday
+//	start 0
+//	replace off
+//	segment 0.127 8
+//	segment 0.19 1.1
+//	stay lognorm median=3200000us sigma=0.45
+//
+// Durations are integer microseconds; floats use the shortest exact
+// decimal form, so Parse(Format(p)) reproduces p field-for-field — the
+// round-trip property the fuzz test drives.
+func Format(p Profile) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "profile %s\n", p.Name)
+	fmt.Fprintf(&b, "start %s\n", fmtFloat(p.StartFrac))
+	if p.Replace {
+		b.WriteString("replace on\n")
+	} else {
+		b.WriteString("replace off\n")
+	}
+	for _, s := range p.Timeline {
+		fmt.Fprintf(&b, "segment %s %s\n", fmtFloat(s.From), fmtFloat(s.Rate))
+	}
+	switch p.Stay.Kind {
+	case StayExp:
+		fmt.Fprintf(&b, "stay exp mean=%s\n", fmtDur(p.Stay.Mean))
+	case StayLognorm:
+		fmt.Fprintf(&b, "stay lognorm median=%s sigma=%s\n", fmtDur(p.Stay.Median), fmtFloat(p.Stay.Sigma))
+	case StayQuantiles:
+		b.WriteString("stay quantiles")
+		for _, q := range p.Stay.Quantiles {
+			b.WriteByte(' ')
+			b.WriteString(fmtDur(q))
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+func fmtFloat(f float64) string { return strconv.FormatFloat(f, 'g', -1, 64) }
+
+func fmtDur(d simclock.Duration) string { return strconv.FormatInt(int64(d), 10) + "us" }
+
+// Parse reads the schedule text format: directives one per line, blank
+// lines and #-comments ignored. The parsed profile is validated, so a
+// malformed timeline (negative rates, unsorted breakpoints, zero total
+// weight) is an error here, not a mis-compile later.
+func Parse(text string) (Profile, error) {
+	var p Profile
+	var haveProfile, haveStart, haveReplace, haveStay bool
+	for ln, raw := range strings.Split(text, "\n") {
+		if i := strings.IndexByte(raw, '#'); i >= 0 {
+			raw = raw[:i] // trailing comment
+		}
+		line := strings.TrimSpace(raw)
+		if line == "" {
+			continue
+		}
+		fields := strings.Fields(line)
+		bad := func(format string, args ...any) (Profile, error) {
+			return Profile{}, fmt.Errorf("schedule: line %d: %s", ln+1, fmt.Sprintf(format, args...))
+		}
+		switch fields[0] {
+		case "profile":
+			if haveProfile {
+				return bad("duplicate profile directive")
+			}
+			if len(fields) != 2 {
+				return bad("want 'profile <name>'")
+			}
+			haveProfile, p.Name = true, fields[1]
+		case "start":
+			if haveStart {
+				return bad("duplicate start directive")
+			}
+			if len(fields) != 2 {
+				return bad("want 'start <fraction>'")
+			}
+			f, err := parseFloat(fields[1])
+			if err != nil {
+				return bad("bad start fraction %q", fields[1])
+			}
+			haveStart, p.StartFrac = true, f
+		case "replace":
+			if haveReplace {
+				return bad("duplicate replace directive")
+			}
+			if len(fields) != 2 || (fields[1] != "on" && fields[1] != "off") {
+				return bad("want 'replace on' or 'replace off'")
+			}
+			haveReplace, p.Replace = true, fields[1] == "on"
+		case "segment":
+			if len(fields) != 3 {
+				return bad("want 'segment <from> <rate>'")
+			}
+			from, err1 := parseFloat(fields[1])
+			rate, err2 := parseFloat(fields[2])
+			if err1 != nil || err2 != nil {
+				return bad("bad segment numbers %q %q", fields[1], fields[2])
+			}
+			p.Timeline = append(p.Timeline, Segment{From: from, Rate: rate})
+		case "stay":
+			if haveStay {
+				return bad("duplicate stay directive")
+			}
+			if len(fields) < 2 {
+				return bad("want 'stay exp|lognorm|quantiles ...'")
+			}
+			haveStay = true
+			switch fields[1] {
+			case StayExp:
+				p.Stay.Kind = StayExp
+				if err := parseKV(fields[2:], map[string]func(string) error{
+					"mean": func(v string) (err error) { p.Stay.Mean, err = parseDur(v); return },
+				}); err != nil {
+					return bad("%v", err)
+				}
+			case StayLognorm:
+				p.Stay.Kind = StayLognorm
+				if err := parseKV(fields[2:], map[string]func(string) error{
+					"median": func(v string) (err error) { p.Stay.Median, err = parseDur(v); return },
+					"sigma":  func(v string) (err error) { p.Stay.Sigma, err = parseFloat(v); return },
+				}); err != nil {
+					return bad("%v", err)
+				}
+			case StayQuantiles:
+				p.Stay.Kind = StayQuantiles
+				for _, f := range fields[2:] {
+					q, err := parseDur(f)
+					if err != nil {
+						return bad("bad stay quantile %q", f)
+					}
+					p.Stay.Quantiles = append(p.Stay.Quantiles, q)
+				}
+			default:
+				return bad("unknown stay kind %q", fields[1])
+			}
+		default:
+			return bad("unknown directive %q", fields[0])
+		}
+	}
+	if !haveProfile {
+		return Profile{}, fmt.Errorf("schedule: missing profile directive")
+	}
+	if !haveStay {
+		return Profile{}, fmt.Errorf("schedule: missing stay directive")
+	}
+	if err := p.Validate(); err != nil {
+		return Profile{}, err
+	}
+	return p, nil
+}
+
+// parseKV consumes strictly "key=value" fields, each key exactly once.
+func parseKV(fields []string, keys map[string]func(string) error) error {
+	seen := map[string]bool{}
+	for _, f := range fields {
+		k, v, ok := strings.Cut(f, "=")
+		set := keys[k]
+		if !ok || set == nil {
+			return fmt.Errorf("bad argument %q", f)
+		}
+		if seen[k] {
+			return fmt.Errorf("duplicate argument %q", k)
+		}
+		seen[k] = true
+		if err := set(v); err != nil {
+			return fmt.Errorf("bad %s %q", k, v)
+		}
+	}
+	for k := range keys {
+		if !seen[k] {
+			return fmt.Errorf("missing argument %q", k)
+		}
+	}
+	return nil
+}
+
+func parseFloat(s string) (float64, error) {
+	f, err := strconv.ParseFloat(s, 64)
+	if err != nil || math.IsNaN(f) {
+		return 0, fmt.Errorf("bad number %q", s)
+	}
+	return f, nil
+}
+
+// parseDur reads a duration with a us/ms/s suffix. The value must land
+// inside the int64 microsecond range: the explicit bound keeps the
+// float-to-integer conversion well-defined instead of leaning on the
+// platform's out-of-range behavior.
+func parseDur(s string) (simclock.Duration, error) {
+	mult := 1.0
+	switch {
+	case strings.HasSuffix(s, "us"):
+		s = strings.TrimSuffix(s, "us")
+	case strings.HasSuffix(s, "ms"):
+		s, mult = strings.TrimSuffix(s, "ms"), 1e3
+	case strings.HasSuffix(s, "s"):
+		s, mult = strings.TrimSuffix(s, "s"), 1e6
+	default:
+		return 0, fmt.Errorf("duration %q needs a us, ms, or s suffix", s)
+	}
+	f, err := parseFloat(s)
+	if err != nil {
+		return 0, err
+	}
+	v := f * mult
+	const bound = float64(int64(1) << 62)
+	if !(v >= -bound && v <= bound) {
+		return 0, fmt.Errorf("duration %q outside the representable range", s)
+	}
+	return simclock.Duration(v), nil
+}

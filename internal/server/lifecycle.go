@@ -1,6 +1,7 @@
 package server
 
 import (
+	"thinbench/internal/schedule"
 	"thinbench/internal/simclock"
 )
 
@@ -39,6 +40,10 @@ type Lifecycle struct {
 // Config.Users while the machine continuously pays session setup and login
 // costs. All draws derive from Config.Seed, so a churned run is exactly as
 // reproducible as a static one.
+//
+// Churn is the memoryless special case of a schedule: the plan it
+// generates is schedule.Flat's, draw for draw, which is what keeps every
+// pre-schedule churn baseline bit-identical.
 type Churn struct {
 	// RatePerSec is each session's logout hazard per second: mean
 	// logged-in time is 1/RatePerSec. Zero disables churn — the plan
@@ -46,15 +51,12 @@ type Churn struct {
 	RatePerSec float64
 }
 
-// lifecycleSalt separates the churn process's random stream from every
-// other consumer of Config.Seed.
-const lifecycleSalt = 0x6c696665 // "life"
-
 // plan expands the configuration's population into explicit lifecycles:
-// either the caller-provided Sessions plan (normalized), or Users initial
-// sessions plus the replacements the Churn process generates. The first
-// Users entries of a generated plan are always the initial population in
-// index order, so a zero-rate churn plan is identical to the static one.
+// the caller-provided Sessions plan (normalized), the compiled Schedule
+// profile, or Users initial sessions plus the replacements the Churn
+// process generates. The first Users entries of a generated churn plan are
+// always the initial population in index order, so a zero-rate churn plan
+// is identical to the static one.
 func (c Config) plan() []Lifecycle {
 	span := simclock.Time(c.Span)
 	if c.Sessions != nil {
@@ -77,41 +79,30 @@ func (c Config) plan() []Lifecycle {
 	if users < 1 {
 		users = 1
 	}
-	out := make([]Lifecycle, users)
-	if c.Churn.RatePerSec <= 0 {
-		return out
-	}
-	mean := simclock.Duration(1e6 / c.Churn.RatePerSec)
-	// Each seat draws its shift lengths from a seat-derived stream and
-	// stamps every generated lifecycle with its seat number, so the plan
-	// for N users is a prefix of the plan for N+1 and every session's
-	// random stream survives the re-indexing replacements cause (common
-	// random numbers across candidate populations, the property capacity
-	// bisection relies on). Initial sessions occupy indices [0, users);
-	// replacements append after them in (seat, generation) order.
-	var replacements []Lifecycle
-	for seat := 0; seat < users; seat++ {
-		rng := simclock.NewRand(simclock.DeriveSeed(
-			simclock.DeriveSeed(c.Seed, lifecycleSalt), uint64(seat)))
-		at := simclock.Time(0)
-		for gen := 0; ; gen++ {
-			end := at.Add(rng.ExpDuration(mean))
-			lc := Lifecycle{Login: at, Seat: seat + 1}
-			if end < span {
-				lc.Logout = end
-			}
-			if gen == 0 {
-				out[seat] = lc
-			} else {
-				replacements = append(replacements, lc)
-			}
-			if lc.Logout == 0 {
-				break
-			}
-			at = end
+	prof := c.Schedule
+	if prof == nil {
+		if c.Churn.RatePerSec <= 0 {
+			return make([]Lifecycle, users)
 		}
+		p := schedule.Flat(c.Churn.RatePerSec)
+		prof = &p
 	}
-	return append(out, replacements...)
+	// The schedule compiler owns seat streams: each seat draws from a
+	// (Seed, schedule.Salt, seat)-derived stream and stamps its seat
+	// number on every episode, so the plan for N users is a prefix of the
+	// plan for N+1 and a replacement keeps its slot's stream (common
+	// random numbers across candidate populations, the property capacity
+	// bisection relies on). New validated the profile, so compilation
+	// cannot fail here.
+	ss, err := schedule.Compile(*prof, users, c.Span, c.Seed)
+	if err != nil {
+		panic("server: plan on unvalidated schedule: " + err.Error())
+	}
+	out := make([]Lifecycle, 0, len(ss))
+	for _, s := range ss {
+		out = append(out, Lifecycle{Login: s.Login, Logout: s.Logout, Seat: s.Seat})
+	}
+	return out
 }
 
 // initialUsers counts the sessions present from time zero.

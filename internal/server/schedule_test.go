@@ -1,0 +1,207 @@
+package server
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"thinbench/internal/schedule"
+	"thinbench/internal/simclock"
+)
+
+// TestFlatScheduleEqualsChurn is the behavior-preservation property test:
+// a Flat profile compiled at rate r must produce runs whose Results are
+// identical — every field, every timeline slice — to the legacy
+// Config.Churn process at the same rate, across rates, seeds, and
+// protocols. The churn path now compiles through the schedule layer, and
+// this pins the two entry points together forever.
+func TestFlatScheduleEqualsChurn(t *testing.T) {
+	for _, rate := range []float64{0.2, 0.5, 1.0} {
+		for _, seed := range []uint64{1, 42} {
+			for _, proto := range []string{"model", "rdp"} {
+				cfg := quick()
+				cfg.Users = 6
+				cfg.Seed = seed
+				cfg.Protocol = proto
+				churn := cfg
+				churn.Churn = Churn{RatePerSec: rate}
+				sched := cfg
+				flat := schedule.Flat(rate)
+				sched.Schedule = &flat
+
+				a := mustRun(t, churn)
+				b := mustRun(t, sched)
+				if !reflect.DeepEqual(a, b) {
+					t.Fatalf("rate %v seed %d proto %s: Flat schedule diverged from Churn\nchurn    %+v\nschedule %+v",
+						rate, seed, proto, a, b)
+				}
+			}
+		}
+	}
+}
+
+func TestScheduleChurnMutuallyExclusive(t *testing.T) {
+	cfg := quick()
+	flat := schedule.Flat(0.5)
+	cfg.Schedule = &flat
+	cfg.Churn = Churn{RatePerSec: 0.5}
+	if _, err := New(cfg); err == nil || !strings.Contains(err.Error(), "mutually exclusive") {
+		t.Fatalf("Schedule+Churn accepted: %v", err)
+	}
+	cfg.Churn = Churn{}
+	bad := schedule.OfficeDay()
+	bad.Timeline[0].Rate = -1
+	cfg.Schedule = &bad
+	if _, err := New(cfg); err == nil {
+		t.Fatal("malformed profile accepted by server.New")
+	}
+	// The churn path compiles through schedule.Flat, so a rate implying
+	// sub-millisecond mean stays must error cleanly at New, not panic in
+	// plan generation.
+	cfg = quick()
+	cfg.Churn = Churn{RatePerSec: 5000}
+	if _, err := New(cfg); err == nil {
+		t.Fatal("5000/s churn (200µs mean stay) accepted")
+	}
+}
+
+func TestOfficeDayScheduleRuns(t *testing.T) {
+	cfg := quick()
+	cfg.Span = 6 * simclock.Second
+	cfg.Users = 10
+	day := schedule.OfficeDay()
+	cfg.Schedule = &day
+	res := mustRun(t, cfg)
+	if res.Arrivals == 0 {
+		t.Fatalf("office day produced no mid-run logins: %+v", res)
+	}
+	if res.EchoSamples != res.Interactions {
+		t.Fatalf("samples %d != interactions %d: schedule censoring leak", res.EchoSamples, res.Interactions)
+	}
+	again := mustRun(t, cfg)
+	if !reflect.DeepEqual(res, again) {
+		t.Fatal("identical schedule configs diverged")
+	}
+}
+
+// TestLifecycleEdgeCases drives the admission/departure machinery through
+// its corners with explicit plans, asserting the metrics each corner must
+// produce — not just the absence of a panic.
+func TestLifecycleEdgeCases(t *testing.T) {
+	base := quick() // rdp protocol: a 45 KB setup handshake, far over 1 ms of link time
+	sec := simclock.Time(simclock.Second)
+	span := simclock.Time(base.Span)
+	cases := []struct {
+		name     string
+		sessions []Lifecycle
+		check    func(t *testing.T, res Result)
+	}{
+		{
+			// The logout beats the 45 KB handshake: the connection dies at
+			// the login screen. Nothing attaches, but the wait is still an
+			// (immediately censored) interaction aged login->logout — an
+			// overloaded machine must not hide its failed admissions.
+			name: "departure before login completes",
+			sessions: []Lifecycle{
+				{},
+				{Login: sec, Logout: sec + simclock.Time(simclock.Millisecond)},
+			},
+			check: func(t *testing.T, res Result) {
+				if res.Arrivals != 0 || res.Departures != 0 {
+					t.Fatalf("aborted handshake counted: arrivals=%d departures=%d", res.Arrivals, res.Departures)
+				}
+				if res.PeakUsers != 1 {
+					t.Fatalf("aborted session attached: peak %d", res.PeakUsers)
+				}
+				if res.Censored < 1 {
+					t.Fatal("the login-screen wait was not censored")
+				}
+				if res.LoginMaxMs != 1 {
+					t.Fatalf("login wait %v ms, want the 1 ms login->logout age", res.LoginMaxMs)
+				}
+			},
+		},
+		{
+			// A zero-length stay is an empty interval: normalized away
+			// before the clock moves, leaving the static user alone.
+			name: "zero-length stay",
+			sessions: []Lifecycle{
+				{},
+				{Login: sec, Logout: sec},
+			},
+			check: func(t *testing.T, res Result) {
+				if res.Arrivals != 0 || res.Departures != 0 || res.Censored != 0 {
+					t.Fatalf("empty interval left traces: %+v", res)
+				}
+				if res.PeakUsers != 1 || res.LoginMaxMs != 0 {
+					t.Fatalf("empty interval affected the population: peak=%d login=%v",
+						res.PeakUsers, res.LoginMaxMs)
+				}
+			},
+		},
+		{
+			// An arrival in the final second: its handshake and page-ins
+			// land inside the drain tail, so the login completes and is
+			// measured, but it types for (at most) a sliver of the span.
+			name: "arrival in the final second",
+			sessions: []Lifecycle{
+				{},
+				{Login: span - simclock.Time(500*simclock.Millisecond)},
+			},
+			check: func(t *testing.T, res Result) {
+				if res.Arrivals != 1 {
+					t.Fatalf("late arrival never admitted: %+v", res)
+				}
+				if res.LoginMaxMs <= 0 {
+					t.Fatal("late arrival's admission latency unmeasured")
+				}
+				if res.PeakUsers != 2 {
+					t.Fatalf("peak %d, want 2", res.PeakUsers)
+				}
+				if res.EchoSamples != res.Interactions {
+					t.Fatalf("samples %d != interactions %d", res.EchoSamples, res.Interactions)
+				}
+			},
+		},
+		{
+			// Two arrivals on the same seat in one tick: a zero-gap
+			// handover. Both admissions run in full (two setups, two login
+			// waits), the seat's random stream is shared, and the
+			// departure frees the first session's memory the instant the
+			// second's handshake starts.
+			name: "two arrivals on the same seat in one tick",
+			sessions: []Lifecycle{
+				{},
+				{Login: sec, Logout: 2 * sec, Seat: 5},
+				{Login: 2 * sec, Seat: 5},
+			},
+			check: func(t *testing.T, res Result) {
+				if res.Arrivals != 2 || res.Departures != 1 {
+					t.Fatalf("handover accounting: arrivals=%d departures=%d, want 2/1",
+						res.Arrivals, res.Departures)
+				}
+				if res.PeakUsers != 2 {
+					t.Fatalf("peak %d, want 2 (the seat holds one session at a time)", res.PeakUsers)
+				}
+				if res.LoginMaxMs <= 0 {
+					t.Fatal("handover logins unmeasured")
+				}
+				if res.EchoSamples != res.Interactions {
+					t.Fatalf("samples %d != interactions %d: handover censoring leak",
+						res.EchoSamples, res.Interactions)
+				}
+			},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := base
+			cfg.Sessions = tc.sessions
+			res := mustRun(t, cfg)
+			tc.check(t, res)
+			if again := mustRun(t, cfg); !reflect.DeepEqual(res, again) {
+				t.Fatal("identical configs diverged")
+			}
+		})
+	}
+}

@@ -22,9 +22,11 @@
 // its login page-ins on the shared memory before its first echo counts,
 // and a session that departs frees its memory and retires its threads, so
 // the survivors' eviction pressure relaxes. Config.Churn generates a
-// deterministic seed-derived arrival/departure process; Config.Sessions
-// accepts an explicit plan (the fleet layer routes failover re-logins
-// through it).
+// deterministic seed-derived memoryless arrival/departure process;
+// Config.Schedule compiles a time-varying arrival profile (login storms,
+// lunch dips, shift changes — see internal/schedule) over the same seats;
+// Config.Sessions accepts an explicit plan (the fleet layer routes
+// failover re-logins through it).
 //
 // Each user runs the paper's echo probe: key-repeat input events flow
 // client → link → server, wake the session's application thread, which
@@ -48,6 +50,7 @@ import (
 	"thinbench/internal/proto"
 	"thinbench/internal/proto/protos"
 	"thinbench/internal/sched"
+	"thinbench/internal/schedule"
 	"thinbench/internal/session"
 	"thinbench/internal/simclock"
 	"thinbench/internal/vm"
@@ -70,10 +73,16 @@ type Config struct {
 	// Users initial sessions: exponential stays, immediate replacement.
 	// The zero value keeps the population static.
 	Churn Churn
+	// Schedule, when non-nil, drives the population's lifecycles from a
+	// time-varying arrival profile — a 9 AM login storm, a lunch dip, a
+	// shift change — compiled over Users seats across the Span. It
+	// generalizes Churn (schedule.Flat is the same process) and is
+	// mutually exclusive with it: New rejects a config setting both.
+	Schedule *schedule.Profile
 	// Sessions, when non-nil, is an explicit per-session lifecycle plan
-	// and overrides Users and Churn entirely (the fleet layer builds these
-	// to route cross-shard arrivals and failover re-logins). Entries that
-	// would log in at or after Span are dropped.
+	// and overrides Users, Churn, and Schedule entirely (the fleet layer
+	// builds these to route cross-shard arrivals and failover re-logins).
+	// Entries that would log in at or after Span are dropped.
 	Sessions []Lifecycle
 
 	// PhysicalKB and SystemKB size the machine: physical memory and the
@@ -346,6 +355,21 @@ type userState struct {
 func New(cfg Config) (*Server, error) {
 	if cfg.Sessions == nil && cfg.Users < 1 {
 		cfg.Users = 1
+	}
+	if cfg.Schedule != nil {
+		if cfg.Churn.RatePerSec > 0 {
+			return nil, fmt.Errorf("server: Schedule and Churn are mutually exclusive (schedule.Flat is the churn process)")
+		}
+		if err := cfg.Schedule.Validate(); err != nil {
+			return nil, err
+		}
+	} else if cfg.Churn.RatePerSec > 0 {
+		// The churn plan compiles through schedule.Flat; validate the
+		// implied profile here so a nonsense rate (sub-millisecond mean
+		// stays) errors cleanly instead of panicking in plan().
+		if err := schedule.Flat(cfg.Churn.RatePerSec).Validate(); err != nil {
+			return nil, err
+		}
 	}
 	policy, interactive, err := NewPolicy(cfg.Scheduler)
 	if err != nil {

@@ -3,15 +3,17 @@ package shard
 import (
 	"container/heap"
 
+	"thinbench/internal/schedule"
 	"thinbench/internal/server"
 	"thinbench/internal/simclock"
 )
 
-// Salts separating the fleet's churn and growth random streams from every
-// other consumer of Config.Seed.
+// Salts separating the fleet's churn, growth, and schedule random streams
+// from every other consumer of Config.Seed.
 const (
-	fleetChurnSalt  = 0x636875726e // "churn"
-	fleetGrowthSalt = 0x67726f77   // "grow"
+	fleetChurnSalt    = 0x636875726e // "churn"
+	fleetGrowthSalt   = 0x67726f77   // "grow"
+	fleetScheduleSalt = 0x7363686564 // "sched"
 )
 
 // Fleet event kinds, in tie-break priority order at an instant: a machine
@@ -29,8 +31,10 @@ type fleetEvent struct {
 	at   simclock.Time
 	seq  int
 	kind int
-	seat int // evDepart only
-	gen  int // evDepart only: stale-generation guard
+	seat int // evDepart, and evArrive under a schedule
+	// gen is the stale-generation guard on evDepart; on a schedule's
+	// evArrive it is the seat's episode index instead.
+	gen int
 }
 
 type eventHeap []*fleetEvent
@@ -57,7 +61,9 @@ func (h *eventHeap) Pop() any {
 // private churn stream. A replacement (or a failover re-login) is a new
 // session in the same seat, so its stay draws from the same stream —
 // which is what gives churn plans the prefix property across candidate
-// populations.
+// populations. Under a schedule the seat instead carries its precompiled
+// episode list: arrival times are fixed by the profile, and only the
+// placement of each arrival is decided live.
 type seat struct {
 	id    int
 	shard int
@@ -65,16 +71,43 @@ type seat struct {
 	gen   int // bumped per login; stale departure events are skipped
 	alive bool
 	rng   *simclock.Rand // nil when churn is off
+	// end is the current session's scheduled logout (0 = stays to the
+	// end); a failover re-login carries it to the new machine, since a
+	// displaced user's shift does not get longer for having moved.
+	end simclock.Time
+	// episodes are the seat's schedule-compiled sessions; epi indexes the
+	// episode an evArrive event refers to.
+	episodes []schedule.Session
+}
+
+// SchedulePlan compiles the fleet's schedule into its seats' episodes —
+// the arrival and departure times the fleet will execute, before any
+// placement decision. Experiments use it to report the offered load (the
+// storm itself) alongside the measured latency. It returns nil when the
+// configuration has no schedule.
+func (c Config) SchedulePlan() ([]schedule.Session, error) {
+	if c.Schedule == nil {
+		return nil, nil
+	}
+	return schedule.Compile(*c.Schedule, c.Users, c.Base.Span,
+		simclock.DeriveSeed(c.Seed, fleetScheduleSalt))
 }
 
 // buildPlans walks the fleet's population dynamics in time order —
-// initial placement, churn departures and their replacements, growth
-// arrivals, the machine kill and its re-login storm — routing every
-// arrival through the live picker, and emits one explicit lifecycle plan
-// per shard for the server layer to execute. The walk is bookkeeping, not
-// simulation: placement decisions depend only on occupancy counts (plus
-// the lataware probe cache), so the plans are deterministic and each
-// shard's simulation still fans out independently across the farm.
+// initial placement, churn departures and their replacements, growth and
+// schedule arrivals, the machine kill and its re-login storm — routing
+// every arrival through the live picker, and emits one explicit lifecycle
+// plan per shard for the server layer to execute. The walk is
+// bookkeeping, not simulation: placement decisions depend only on
+// occupancy counts (plus the lataware probe cache), so the plans are
+// deterministic and each shard's simulation still fans out independently
+// across the farm.
+//
+// Under a schedule, every seat's episodes are compiled up front (their
+// times are the profile's business), but each episode's arrival is placed
+// live at its instant — so a 9 AM storm floods the picker exactly as it
+// floods the machines, and a kill during the ramp forces the displaced
+// users to re-login into the middle of the surge.
 //
 // It returns the per-shard plans and the time-zero placement.
 func buildPlans(cfg Config) ([][]server.Lifecycle, []int, error) {
@@ -109,8 +142,19 @@ func buildPlans(cfg Config) ([][]server.Lifecycle, []int, error) {
 		seats = append(seats, st)
 		return st
 	}
-	login := func(st *seat, j int, at simclock.Time) {
-		st.shard, st.idx, st.alive = j, len(plans[j]), true
+	// churnEnd draws the seat's next exponential stay; zero means the
+	// session lives to the end of the span.
+	churnEnd := func(st *seat, at simclock.Time) simclock.Time {
+		if meanStay <= 0 {
+			return 0
+		}
+		if end := at.Add(st.rng.ExpDuration(meanStay)); end < span {
+			return end
+		}
+		return 0
+	}
+	login := func(st *seat, j int, at, end simclock.Time) {
+		st.shard, st.idx, st.alive, st.end = j, len(plans[j]), true, end
 		st.gen++
 		// The fleet-global seat number rides along as the session's
 		// random-stream identity, so a seat keeps its behavior wherever
@@ -120,10 +164,8 @@ func buildPlans(cfg Config) ([][]server.Lifecycle, []int, error) {
 		// are per-shard indices, so a churned fleet is compared to its
 		// static baseline by effect size, not common random numbers.)
 		plans[j] = append(plans[j], server.Lifecycle{Login: at, Seat: st.id + 1})
-		if meanStay > 0 {
-			if end := at.Add(st.rng.ExpDuration(meanStay)); end < span {
-				push(end, evDepart, st.id, st.gen)
-			}
+		if end > 0 {
+			push(end, evDepart, st.id, st.gen)
 		}
 	}
 	logout := func(st *seat, at simclock.Time) {
@@ -137,13 +179,47 @@ func buildPlans(cfg Config) ([][]server.Lifecycle, []int, error) {
 	if cfg.KillAt > 0 {
 		push(simclock.Time(cfg.KillAt), evKill, -1, 0)
 	}
-	// Time-zero population, placed by the live policy one user at a time.
-	for u := 0; u < cfg.Users; u++ {
-		j, err := pk.pick()
-		if err != nil {
-			return nil, nil, err
+	if cfg.Schedule != nil {
+		// Compile every seat's episodes from the fleet's schedule stream,
+		// log the time-zero occupants in first (seat order, exactly how a
+		// static placement deals them), then queue each later episode as
+		// an arrival to be placed live when its time comes.
+		sseed := simclock.DeriveSeed(cfg.Seed, fleetScheduleSalt)
+		for u := 0; u < cfg.Users; u++ {
+			st := newSeat()
+			st.episodes, err = schedule.SeatSessions(*cfg.Schedule, u, cfg.Users, cfg.Base.Span, sseed)
+			if err != nil {
+				return nil, nil, err
+			}
 		}
-		login(newSeat(), j, 0)
+		for _, st := range seats {
+			if len(st.episodes) == 0 || st.episodes[0].Login != 0 {
+				continue
+			}
+			j, err := pk.pick()
+			if err != nil {
+				return nil, nil, err
+			}
+			login(st, j, 0, st.episodes[0].Logout)
+		}
+		for _, st := range seats {
+			for k, ep := range st.episodes {
+				if ep.Login > 0 {
+					push(ep.Login, evArrive, st.id, k)
+				}
+			}
+		}
+	} else {
+		// Time-zero population, placed by the live policy one user at a
+		// time.
+		for u := 0; u < cfg.Users; u++ {
+			j, err := pk.pick()
+			if err != nil {
+				return nil, nil, err
+			}
+			st := newSeat()
+			login(st, j, 0, churnEnd(st, 0))
+		}
 	}
 	counts := append([]int(nil), pk.occ...)
 	// Growth arrivals draw from their own stream, independent of the
@@ -166,35 +242,62 @@ func buildPlans(cfg Config) ([][]server.Lifecycle, []int, error) {
 				continue // relocated by a failover since this was scheduled
 			}
 			logout(st, e.at)
+			if cfg.Schedule != nil {
+				continue // the seat re-arrives on the profile's clock, or not at all
+			}
 			// The next shift's user takes the seat immediately, routed by
 			// the policy against the fleet as it stands now.
 			j, err := pk.pick()
 			if err != nil {
 				return nil, nil, err
 			}
-			login(st, j, e.at)
+			login(st, j, e.at, churnEnd(st, e.at))
 		case evArrive:
+			if cfg.Schedule != nil {
+				st := seats[e.seat]
+				if st.alive {
+					// A zero-gap handover: the seat's previous episode ends
+					// at this very instant, and its departure event (pushed
+					// later, so sequenced after this arrival) has not fired
+					// yet.
+					logout(st, e.at)
+				}
+				j, err := pk.pick()
+				if err != nil {
+					return nil, nil, err
+				}
+				login(st, j, e.at, st.episodes[e.gen].Logout)
+				continue
+			}
 			j, err := pk.pick()
 			if err != nil {
 				return nil, nil, err
 			}
-			login(newSeat(), j, e.at)
+			st := newSeat()
+			login(st, j, e.at, churnEnd(st, e.at))
 		case evKill:
 			pk.kill(cfg.KillShard)
 			// Every session on the dead machine logs out at the kill —
 			// in-flight echoes censor there — and re-logs-in elsewhere at
 			// the same instant: a reconnect storm of full session setups
-			// against the survivors, in seat order.
+			// against the survivors, in seat order. Under a schedule the
+			// displaced session keeps its episode's logout; under churn the
+			// seat draws a fresh stay, as it always has.
 			for _, st := range seats {
 				if !st.alive || st.shard != cfg.KillShard {
 					continue
 				}
+				end := st.end
 				logout(st, e.at)
 				j, err := pk.pick()
 				if err != nil {
 					return nil, nil, err
 				}
-				login(st, j, e.at)
+				if cfg.Schedule != nil {
+					login(st, j, e.at, end)
+				} else {
+					login(st, j, e.at, churnEnd(st, e.at))
+				}
 			}
 		}
 	}

@@ -43,6 +43,7 @@ import (
 	"math"
 
 	"thinbench/internal/farm"
+	"thinbench/internal/schedule"
 	"thinbench/internal/server"
 	"thinbench/internal/session"
 	"thinbench/internal/simclock"
@@ -107,9 +108,10 @@ func DefaultFleet(m int) []Machine {
 type Config struct {
 	// Base is the per-machine baseline. Base.Users is ignored (placement
 	// decides each shard's population), Base.Seed is ignored (per-shard
-	// seeds derive from Seed and the shard index), and Base.Sessions and
-	// Base.Churn are ignored (the fleet layer owns session lifecycles and
-	// routes them through the placement policy).
+	// seeds derive from Seed and the shard index), and Base.Sessions,
+	// Base.Churn, and Base.Schedule are ignored (the fleet layer owns
+	// session lifecycles and routes them through the placement policy —
+	// set Config.Schedule for a fleet-wide arrival profile).
 	Base server.Config
 	// Machines is the fleet, one hardware override per shard.
 	Machines []Machine
@@ -124,6 +126,14 @@ type Config struct {
 	// the live policy — the replacement pays session-setup bytes and
 	// login page-ins wherever it lands. Zero keeps the population static.
 	ChurnRatePerSec float64
+	// Schedule, when non-nil, drives the fleet's Users seats from a
+	// time-varying arrival profile instead of memoryless churn: every
+	// episode's arrival — the 9 AM storm, the post-lunch return, a shift
+	// wave — routes through the live placement policy at its instant, so
+	// a KillAt during the ramp measures failover under a surge rather
+	// than a trickle. Mutually exclusive with ChurnRatePerSec and
+	// GrowthPerSec (a profile's timeline already expresses ramps).
+	Schedule *schedule.Profile
 	// GrowthPerSec adds a fleet-level Poisson arrival stream of new
 	// sessions on top of the initial population (a ramp), also routed
 	// live. Zero means no growth.
@@ -151,7 +161,7 @@ type Config struct {
 // dynamic reports whether the population changes mid-run — whether the
 // fleet needs a lifecycle plan rather than a one-shot placement.
 func (c Config) dynamic() bool {
-	return c.ChurnRatePerSec > 0 || c.GrowthPerSec > 0 || c.KillAt > 0
+	return c.ChurnRatePerSec > 0 || c.GrowthPerSec > 0 || c.KillAt > 0 || c.Schedule != nil
 }
 
 func (c Config) validate() error {
@@ -168,6 +178,14 @@ func (c Config) validate() error {
 	}
 	if c.ChurnRatePerSec < 0 || c.GrowthPerSec < 0 {
 		return fmt.Errorf("shard: negative churn or growth rate")
+	}
+	if c.Schedule != nil {
+		if c.ChurnRatePerSec > 0 || c.GrowthPerSec > 0 {
+			return fmt.Errorf("shard: Schedule is mutually exclusive with ChurnRatePerSec and GrowthPerSec")
+		}
+		if err := c.Schedule.Validate(); err != nil {
+			return err
+		}
 	}
 	if c.KillAt < 0 {
 		return fmt.Errorf("shard: negative kill time")
@@ -207,6 +225,7 @@ func (c Config) shardConfig(j, users int) server.Config {
 	sc.Users = users
 	sc.Sessions = nil
 	sc.Churn = server.Churn{}
+	sc.Schedule = nil
 	sc.Seed = simclock.DeriveSeed(c.Seed, uint64(j))
 	return sc
 }

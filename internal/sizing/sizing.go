@@ -18,6 +18,7 @@ package sizing
 import (
 	"thinbench/internal/farm"
 	"thinbench/internal/netsim"
+	"thinbench/internal/schedule"
 	"thinbench/internal/server"
 	"thinbench/internal/session"
 	"thinbench/internal/simclock"
@@ -194,6 +195,12 @@ type Estimate struct {
 	// violation checks it against LoginBudget so a churned machine whose
 	// arrivals starve at the login screen cannot read as acceptable.
 	LoginMaxMs float64
+	// WorstSliceP95Ms is the highest per-slice p95 of the run's latency
+	// timeline — the worst minute of the day, the number ScheduleCapacity
+	// budgets against. A bursty schedule can keep its whole-run p95 inside
+	// budget while its storm minute is far outside; this field is what
+	// keeps that machine from being declared adequately sized.
+	WorstSliceP95Ms float64
 }
 
 // Evaluate simulates the population on one shared server for the span and
@@ -225,6 +232,12 @@ func EvaluateConfig(cfg server.Config) (Estimate, error) {
 	if err != nil {
 		return Estimate{}, err
 	}
+	worst := 0.0
+	for _, p := range res.P95TimelineMs {
+		if p > worst {
+			worst = p
+		}
+	}
 	return Estimate{
 		Users:           res.Users,
 		MeanEchoMs:      res.EchoMeanMs,
@@ -237,6 +250,7 @@ func EvaluateConfig(cfg server.Config) (Estimate, error) {
 		Interactions:    res.Interactions,
 		Censored:        res.Censored,
 		LoginMaxMs:      res.LoginMaxMs,
+		WorstSliceP95Ms: worst,
 	}, nil
 }
 
@@ -308,10 +322,47 @@ func ChurnCapacity(srv Server, p Profile, ratePerSec float64, maxUsers int, span
 	})
 }
 
+// ScheduleCapacity sizes a machine for the shape of its day rather than
+// its steady state: the largest seat count for which, with arrivals
+// driven by the schedule profile (the 9 AM storm, the lunch dip, the
+// shift wave), the WORST timeline slice's p95 stays within the budget and
+// no admission waits at the login screen past LoginBudget. Budgeting the
+// worst minute instead of the whole-run percentile is the point — a storm
+// is brief by definition, so averaging it away is exactly how a fleet
+// ends up under-provisioned at nine o'clock. A Flat profile's answer can
+// only be at or below ChurnCapacity's at the same rate, since the worst
+// slice bounds the whole-run p95 from above.
+func ScheduleCapacity(srv Server, p Profile, prof schedule.Profile, maxUsers int, span simclock.Duration, seed uint64, workers int) (int, Estimate, Limit, error) {
+	if err := prof.Validate(); err != nil {
+		return 0, Estimate{}, LimitNone, err
+	}
+	users, est, lim := capacitySearchFn(srv, maxUsers, workers, seed, func(users int) Estimate {
+		if users < 1 {
+			users = 1
+		}
+		cfg := probeConfig(srv, p, users, span, seed)
+		cfg.Schedule = &prof
+		est, err := EvaluateConfig(cfg)
+		if err != nil {
+			// The profile was validated above; anything else is a
+			// programming error, as in every other capacity probe.
+			panic(err)
+		}
+		return est
+	}, scheduleViolation)
+	return users, est, lim, nil
+}
+
 // capacitySearch is the k-ary bracket narrowing shared by every capacity
-// entry point: eval must be deterministic in the user count alone, and the
-// violation constraints monotone in it.
+// entry point, under the default steady-state violation rule.
 func capacitySearch(srv Server, maxUsers, workers int, seed uint64, eval func(users int) Estimate) (int, Estimate, Limit) {
+	return capacitySearchFn(srv, maxUsers, workers, seed, eval, violation)
+}
+
+// capacitySearchFn is capacitySearch with an explicit violation rule:
+// eval must be deterministic in the user count alone, and the rule's
+// constraints monotone in it.
+func capacitySearchFn(srv Server, maxUsers, workers int, seed uint64, eval func(users int) Estimate, violation func(Server, Estimate) Limit) (int, Estimate, Limit) {
 	if maxUsers < 1 {
 		maxUsers = 1
 	}
@@ -387,6 +438,19 @@ func violation(srv Server, e Estimate) Limit {
 	}
 	if e.Censored >= e.Interactions || e.P95EchoMs > srv.budget().Milliseconds() ||
 		e.LoginMaxMs > LoginBudget.Milliseconds() {
+		return LimitCPU
+	}
+	return LimitNone
+}
+
+// scheduleViolation is violation with the latency constraint tightened to
+// the worst timeline slice: a machine sized for a schedule must survive
+// its storm minute, not just its whole-run percentile.
+func scheduleViolation(srv Server, e Estimate) Limit {
+	if v := violation(srv, e); v != LimitNone {
+		return v
+	}
+	if e.WorstSliceP95Ms > srv.budget().Milliseconds() {
 		return LimitCPU
 	}
 	return LimitNone

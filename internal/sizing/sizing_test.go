@@ -3,6 +3,7 @@ package sizing
 import (
 	"testing"
 
+	"thinbench/internal/schedule"
 	"thinbench/internal/simclock"
 )
 
@@ -276,5 +277,78 @@ func TestCapacityWorkerCountInvariant(t *testing.T) {
 			t.Fatalf("workers=%d diverged: (%d,%+v,%s) vs (%d,%+v,%s)",
 				workers, n, est, limit, refN, refEst, refLimit)
 		}
+	}
+}
+
+// TestScheduleCapacityFlatNeverExceedsChurn: the Flat profile is the
+// churn process plus a stricter budget (the worst slice instead of the
+// whole-run p95), so its capacity can never exceed ChurnCapacity's at the
+// same rate.
+func TestScheduleCapacityFlatNeverExceedsChurn(t *testing.T) {
+	span := 4 * simclock.Second
+	srv := DefaultServer()
+	p := Developer()
+	const rate = 0.3
+	churned, _, _ := ChurnCapacity(srv, p, rate, 40, span, 1, 0)
+	n, est, limit, err := ScheduleCapacity(srv, p, schedule.Flat(rate), 40, span, 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n > churned {
+		t.Fatalf("worst-slice capacity %d above whole-run churn capacity %d", n, churned)
+	}
+	if n > 0 && est.WorstSliceP95Ms > DefaultLatencyBudget.Milliseconds() {
+		t.Fatalf("capacity %d has worst slice %.0f ms past the budget (limit %s)",
+			n, est.WorstSliceP95Ms, limit)
+	}
+}
+
+// TestScheduleCapacitySurvivesTheStorm: a machine sized for OfficeDay
+// must hold its budget through the 9 AM ramp; the search answers and the
+// estimate's worst slice reflects the storm, not the quiet mean.
+func TestScheduleCapacityOfficeDay(t *testing.T) {
+	span := 5 * simclock.Second
+	srv := DefaultServer()
+	srv.PhysicalKB = 512 * 1024 // let the storm's CPU/link load bind, not the division
+	n, est, limit, err := ScheduleCapacity(srv, Developer(), schedule.OfficeDay(), 60, span, 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n < 1 {
+		t.Fatalf("no seats fit under OfficeDay: limit %s, est %+v", limit, est)
+	}
+	if est.WorstSliceP95Ms <= 0 {
+		t.Fatal("capacity estimate carries no worst-slice latency")
+	}
+	if est.WorstSliceP95Ms < est.P95EchoMs {
+		t.Fatalf("worst slice %.1f ms below whole-run p95 %.1f ms", est.WorstSliceP95Ms, est.P95EchoMs)
+	}
+}
+
+func TestScheduleCapacityWorkerInvariant(t *testing.T) {
+	span := 3 * simclock.Second
+	srv := DefaultServer()
+	day := schedule.OfficeDay()
+	refN, refEst, refLimit, err := ScheduleCapacity(srv, Developer(), day, 30, span, 42, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{2, 8} {
+		n, est, limit, err := ScheduleCapacity(srv, Developer(), day, 30, span, 42, workers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if n != refN || est != refEst || limit != refLimit {
+			t.Fatalf("workers=%d diverged: (%d,%+v,%s) vs (%d,%+v,%s)",
+				workers, n, est, limit, refN, refEst, refLimit)
+		}
+	}
+}
+
+func TestScheduleCapacityRejectsMalformedProfile(t *testing.T) {
+	bad := schedule.OfficeDay()
+	bad.Timeline[0].Rate = -1
+	if _, _, _, err := ScheduleCapacity(DefaultServer(), Developer(), bad, 10, simclock.Second, 1, 0); err == nil {
+		t.Fatal("malformed profile accepted")
 	}
 }
