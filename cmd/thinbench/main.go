@@ -44,6 +44,16 @@
 //	thinbench -run schedule
 //	thinbench -run schedule -profile officeday,flat -users 15 -kill 2 -killat 2
 //	thinbench -run schedule -profile @myday.profile -policy lataware -json BENCH_schedule.json
+//
+// Speed mode benchmarks the simulator itself: canonical workloads timed
+// for sim-events/sec, wall-clock per simulated user-hour, and allocations
+// per event. Event and allocation counts are deterministic (at -parallel
+// 1) and golden-diffed in CI; wall-clock numbers are machine-dependent:
+//
+//	thinbench -run speed
+//	thinbench -run speed -parallel 1 -json BENCH_speed.json
+//	thinbench -run speed -cpuprofile cpu.pprof -memprofile mem.pprof
+//	thinbench -run speed -eventq heap       # reference scheduler, same numbers
 package main
 
 import (
@@ -51,15 +61,18 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 
 	"thinbench"
 	"thinbench/internal/benchdoc"
 	"thinbench/internal/shard"
+	"thinbench/internal/simclock"
 )
 
 func main() {
 	var (
-		runID    = flag.String("run", "", "experiment ID to run (fig1..fig9, tab1..tab6, abl1..abl5, cap1, cont1, shard1, 'contention', 'shard', 'churn', 'schedule', or 'all')")
+		runID    = flag.String("run", "", "experiment ID to run (fig1..fig9, tab1..tab6, abl1..abl5, cap1, cont1, shard1, 'contention', 'shard', 'churn', 'schedule', 'speed', or 'all')")
 		list     = flag.Bool("list", false, "list registered experiments")
 		quick    = flag.Bool("quick", false, "shorten measurement windows (same shapes, more noise)")
 		seed     = flag.Uint64("seed", 1999, "random seed; identical seeds reproduce identical results")
@@ -77,8 +90,33 @@ func main() {
 		killShard  = flag.Int("kill", 2, "churn/schedule mode: machine to kill mid-span for the failover section (-1 disables)")
 		killAtSec  = flag.Float64("killat", 4, "churn/schedule mode: kill time in seconds (schedule mode defaults to 2, inside the morning ramp)")
 		profiles   = flag.String("profile", "officeday,flat", "schedule mode: comma list of arrival profiles (flat, officeday, shiftchange, or @file)")
+
+		eventq     = flag.String("eventq", "", "event queue implementation: calendar (default) or heap; any mode, results are identical either way")
+		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
+		memProfile = flag.String("memprofile", "", "write a heap profile at exit to this file")
 	)
 	flag.Parse()
+
+	if *eventq != "" {
+		kind, err := simclock.ParseQueueKind(*eventq)
+		exitOn(err)
+		simclock.DefaultQueue = kind
+	}
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		exitOn(err)
+		exitOn(pprof.StartCPUProfile(f))
+		defer pprof.StopCPUProfile()
+	}
+	if *memProfile != "" {
+		defer func() {
+			f, err := os.Create(*memProfile)
+			exitOn(err)
+			runtime.GC()
+			exitOn(pprof.WriteHeapProfile(f))
+			exitOn(f.Close())
+		}()
+	}
 
 	if *list || *runID == "" {
 		fmt.Println("experiments:")
@@ -93,6 +131,8 @@ func main() {
 		fmt.Println("        fleet p95 vs session turnover rate plus a machine-kill failover, per placement policy; see -churn, -kill, -killat")
 		fmt.Println("  schedule")
 		fmt.Println("        fleet driven by a time-varying arrival profile (login storm, lunch dip) plus a mid-ramp machine kill; see -profile, -kill, -killat")
+		fmt.Println("  speed")
+		fmt.Println("        benchmark the simulator itself: events/sec, wall per user-hour, allocs/event on canonical workloads; see -eventq, -cpuprofile, -memprofile")
 		if *runID == "" && !*list {
 			fmt.Println("\nrun one with: thinbench -run <id>   (or -run all, -run contention, -run shard)")
 		}
@@ -147,6 +187,12 @@ func main() {
 			*quick, *seed, *parallel)
 		exitOn(err)
 		printSchedule(doc)
+		writeDoc(*jsonPath, doc)
+		return
+	case "speed":
+		doc, err := benchdoc.Speed(*quick, *seed, *parallel)
+		exitOn(err)
+		printSpeed(doc)
 		writeDoc(*jsonPath, doc)
 		return
 	}
@@ -283,6 +329,17 @@ func printFailover(label string, fr shard.FleetResult) {
 	fmt.Printf("             timeline (ms):")
 	for _, p := range fr.P95TimelineMs {
 		fmt.Printf(" %5.0f", p)
+	}
+	fmt.Println()
+}
+
+func printSpeed(doc benchdoc.SpeedDoc) {
+	fmt.Printf("== simulator speed: %s queue, workers=%d ==\n", doc.Queue, doc.Workers)
+	fmt.Printf("  %-10s %6s %10s %12s %10s %14s %14s\n",
+		"workload", "users", "events", "events/sec", "wall ms", "allocs/event", "us/user-hour")
+	for _, r := range doc.Workloads {
+		fmt.Printf("  %-10s %6d %10d %12.0f %10.2f %14.4f %14.0f\n",
+			r.Name, r.Users, r.SimEvents, r.EventsPerSec, r.WallMs, r.AllocsPerEvent, r.UsPerUserHour)
 	}
 	fmt.Println()
 }

@@ -8,15 +8,91 @@ import (
 	"testing"
 
 	"thinbench/internal/benchdoc"
+	"thinbench/internal/speed"
 )
+
+// baseline registers one checked-in BENCH document with the shared golden
+// harness: how to regenerate it, which fields are machine-dependent
+// (ignored), and which are ratcheted rather than diffed exactly. A future
+// PR adding a sixth baseline appends one entry here.
+type baseline struct {
+	path  string
+	build func() (any, error)
+	// volatile names leaf fields that vary between machines or runs
+	// (wall-clock rates, raw allocation counts): present in the baseline
+	// for the record, never diffed.
+	volatile []string
+	// ratchet names numeric leaf fields gated against regression instead
+	// of diffed exactly: the regenerated value may be at most ratchetTol
+	// above the baseline (lower always passes — that is an improvement to
+	// check in).
+	ratchet []string
+	// serial marks a baseline whose regeneration must not share the
+	// process with concurrent tests (allocation counting reads the
+	// process-global MemStats).
+	serial bool
+}
+
+// ratchetTol is the allowed relative regression on ratcheted fields: wide
+// enough to absorb the few-alloc jitter the farm's worker goroutines add,
+// tight enough that a real allocation regression fails.
+const ratchetTol = 0.02
+
+func baselines() []baseline {
+	volatileSpeed := benchdoc.SpeedVolatileFields()
+	ratchetSpeed := []string{"allocs_per_event"}
+	// The race detector changes allocation counts wholesale; under -race
+	// only the event counts stay comparable.
+	volatileSpeed = append(volatileSpeed, "allocs")
+	if speed.RaceEnabled {
+		volatileSpeed = append(volatileSpeed, "allocs_per_event")
+		ratchetSpeed = nil
+	}
+	return []baseline{
+		{
+			path: "BENCH_contention.json",
+			build: func() (any, error) {
+				return benchdoc.Contention("1..16", "rdp,x,lbx", "rr,nt", false, 1999, 0)
+			},
+		},
+		{
+			path: "BENCH_shard.json",
+			build: func() (any, error) {
+				return benchdoc.Shard("6..30", "roundrobin,memaware,lataware", 3, false, 1999, 0)
+			},
+		},
+		{
+			path: "BENCH_churn.json",
+			build: func() (any, error) {
+				return benchdoc.Churn("22", "roundrobin,memaware,lataware", "0,0.15,0.3", 3, 2, 4, false, 1999, 0)
+			},
+		},
+		{
+			path: "BENCH_schedule.json",
+			build: func() (any, error) {
+				return benchdoc.Schedule("15", "officeday,flat", "roundrobin,lataware", 3, 2, 2, false, 1999, 0)
+			},
+		},
+		{
+			path: "BENCH_speed.json",
+			build: func() (any, error) {
+				return benchdoc.Speed(false, 1999, 1)
+			},
+			volatile: volatileSpeed,
+			ratchet:  ratchetSpeed,
+			serial:   true,
+		},
+	}
+}
 
 // TestBenchBaselinesBitIdentical regenerates every checked-in BENCH
 // document in-process, with the exact parameters its command line
 // records, and golden-diffs the result against the file. Every field
-// present in the checked-in baseline must be byte-for-byte unchanged —
-// this is the repo-local version of CI's regenerate-and-diff jobs, and
-// the proof that a refactor (like churn compiling through the schedule
-// layer) preserved every number it inherited.
+// present in the checked-in baseline must be byte-for-byte unchanged
+// (volatile fields excepted, ratcheted fields gated) — this is the
+// repo-local version of CI's regenerate-and-diff jobs, and the proof that
+// a refactor (like the calendar-queue event scheduler) preserved every
+// number it inherited.
 //
 // The helper tolerates fields ADDED by newer code, so a future PR that
 // extends a result type reuses this test unchanged: it regenerates the
@@ -25,40 +101,32 @@ func TestBenchBaselinesBitIdentical(t *testing.T) {
 	if testing.Short() {
 		t.Skip("bench regeneration in -short mode")
 	}
-	regen := map[string]func() (any, error){
-		"BENCH_contention.json": func() (any, error) {
-			return benchdoc.Contention("1..16", "rdp,x,lbx", "rr,nt", false, 1999, 0)
-		},
-		"BENCH_shard.json": func() (any, error) {
-			return benchdoc.Shard("6..30", "roundrobin,memaware,lataware", 3, false, 1999, 0)
-		},
-		"BENCH_churn.json": func() (any, error) {
-			return benchdoc.Churn("22", "roundrobin,memaware,lataware", "0,0.15,0.3", 3, 2, 4, false, 1999, 0)
-		},
-		"BENCH_schedule.json": func() (any, error) {
-			return benchdoc.Schedule("15", "officeday,flat", "roundrobin,lataware", 3, 2, 2, false, 1999, 0)
-		},
-	}
-	for path, build := range regen {
-		t.Run(path, func(t *testing.T) {
-			t.Parallel()
-			doc, err := build()
+	for _, b := range baselines() {
+		b := b
+		t.Run(b.path, func(t *testing.T) {
+			if !b.serial {
+				// Serial entries run to completion inline, before any
+				// parallel sibling starts, keeping the process quiet for
+				// their allocation counting.
+				t.Parallel()
+			}
+			doc, err := b.build()
 			if err != nil {
 				t.Fatal(err)
 			}
-			assertGoldenSubset(t, path, doc)
+			assertGoldenSubset(t, b, doc)
 		})
 	}
 }
 
 // assertGoldenSubset checks that every field of the checked-in JSON
-// baseline at path appears, with an identical value, in the regenerated
-// document. Numbers compare by their JSON token text, so a drift of one
-// ulp fails. Fields present only in the regenerated document are allowed
-// (they are what a future PR checks in); fields missing from it are not.
-func assertGoldenSubset(t *testing.T, path string, doc any) {
+// baseline appears, with an identical value, in the regenerated document.
+// Numbers compare by their JSON token text, so a drift of one ulp fails.
+// Fields present only in the regenerated document are allowed (they are
+// what a future PR checks in); fields missing from it are not.
+func assertGoldenSubset(t *testing.T, b baseline, doc any) {
 	t.Helper()
-	baseline, err := os.ReadFile(path)
+	raw, err := os.ReadFile(b.path)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -67,15 +135,27 @@ func assertGoldenSubset(t *testing.T, path string, doc any) {
 		t.Fatal(err)
 	}
 	var want, got any
-	if err := decodeNumbers(baseline, &want); err != nil {
-		t.Fatalf("%s: %v", path, err)
+	if err := decodeNumbers(raw, &want); err != nil {
+		t.Fatalf("%s: %v", b.path, err)
 	}
 	if err := decodeNumbers(fresh, &got); err != nil {
 		t.Fatal(err)
 	}
-	if diff := subsetDiff("", want, got); diff != "" {
-		t.Fatalf("%s drifted from the checked-in baseline:\n%s", path, diff)
+	d := differ{volatile: toSet(b.volatile), ratchet: toSet(b.ratchet)}
+	if diff := d.subsetDiff("", want, got); diff != "" {
+		t.Fatalf("%s drifted from the checked-in baseline:\n%s", b.path, diff)
 	}
+}
+
+func toSet(fields []string) map[string]bool {
+	if len(fields) == 0 {
+		return nil
+	}
+	m := make(map[string]bool, len(fields))
+	for _, f := range fields {
+		m[f] = true
+	}
+	return m
 }
 
 func decodeNumbers(data []byte, v *any) error {
@@ -84,9 +164,17 @@ func decodeNumbers(data []byte, v *any) error {
 	return dec.Decode(v)
 }
 
+// differ walks baseline and regenerated trees in lockstep. Field-name
+// classification applies at any depth, so "wall_ms" is volatile wherever a
+// workload entry nests.
+type differ struct {
+	volatile map[string]bool
+	ratchet  map[string]bool
+}
+
 // subsetDiff reports the first place the baseline's fields are missing or
 // changed in the regenerated tree; empty means the baseline is a subset.
-func subsetDiff(at string, want, got any) string {
+func (d differ) subsetDiff(at string, want, got any) string {
 	switch w := want.(type) {
 	case map[string]any:
 		g, ok := got.(map[string]any)
@@ -98,8 +186,17 @@ func subsetDiff(at string, want, got any) string {
 			if !ok {
 				return fmt.Sprintf("%s.%s: present in baseline, missing from regenerated", at, k)
 			}
-			if d := subsetDiff(at+"."+k, wv, gv); d != "" {
-				return d
+			if d.volatile[k] {
+				continue
+			}
+			if d.ratchet[k] {
+				if diff := ratchetDiff(at+"."+k, wv, gv); diff != "" {
+					return diff
+				}
+				continue
+			}
+			if diff := d.subsetDiff(at+"."+k, wv, gv); diff != "" {
+				return diff
 			}
 		}
 	case []any:
@@ -111,8 +208,8 @@ func subsetDiff(at string, want, got any) string {
 			return fmt.Sprintf("%s: baseline array has %d elements, regenerated %d", at, len(w), len(g))
 		}
 		for i := range w {
-			if d := subsetDiff(fmt.Sprintf("%s[%d]", at, i), w[i], g[i]); d != "" {
-				return d
+			if diff := d.subsetDiff(fmt.Sprintf("%s[%d]", at, i), w[i], g[i]); diff != "" {
+				return diff
 			}
 		}
 	case json.Number:
@@ -124,6 +221,28 @@ func subsetDiff(at string, want, got any) string {
 		if want != got {
 			return fmt.Sprintf("%s: baseline %v, regenerated %v", at, want, got)
 		}
+	}
+	return ""
+}
+
+// ratchetDiff gates a numeric field against regression: the regenerated
+// value may exceed the baseline by at most ratchetTol (relatively). A
+// lower value passes — improvements are checked in by regenerating the
+// baseline.
+func ratchetDiff(at string, want, got any) string {
+	wn, wok := want.(json.Number)
+	gn, gok := got.(json.Number)
+	if !wok || !gok {
+		return fmt.Sprintf("%s: ratchet field is not numeric (baseline %T, regenerated %T)", at, want, got)
+	}
+	wf, err1 := wn.Float64()
+	gf, err2 := gn.Float64()
+	if err1 != nil || err2 != nil {
+		return fmt.Sprintf("%s: ratchet field parse (%v, %v)", at, err1, err2)
+	}
+	if gf > wf*(1+ratchetTol) {
+		return fmt.Sprintf("%s: regression past the ratchet: baseline %v, regenerated %v (tolerance %g%%)",
+			at, wn, gn, ratchetTol*100)
 	}
 	return ""
 }

@@ -1,6 +1,6 @@
 // Package benchdoc builds the repo's machine-readable bench trajectory
 // documents (BENCH_contention.json, BENCH_shard.json, BENCH_churn.json,
-// BENCH_schedule.json). The cmd/thinbench CLI renders these documents to
+// BENCH_schedule.json, BENCH_speed.json). The cmd/thinbench CLI renders these documents to
 // the terminal and serializes them; tests regenerate them in-process and
 // golden-diff the numeric fields against the checked-in baselines, so a
 // refactor that drifts a single number fails before CI does.
@@ -20,6 +20,7 @@ import (
 	"thinbench/internal/server"
 	"thinbench/internal/shard"
 	"thinbench/internal/simclock"
+	"thinbench/internal/speed"
 )
 
 // ContentionDoc is the latency-vs-users grid on one shared server per
@@ -400,6 +401,46 @@ func Schedule(users, profiles, policies string, machines, killShard int, killAtS
 				doc.Failover = append(doc.Failover, ProfileFail{Profile: prof.Name, Policy: policy, Result: fr})
 			}
 		}
+	}
+	return doc, nil
+}
+
+// SpeedDoc is the simulator-speed trajectory (BENCH_speed.json): the
+// canonical workloads' event counts and allocation rates, which are
+// deterministic and golden-diffed, plus their wall-clock throughput
+// numbers, which vary with the machine and must be excluded from any diff
+// (see SpeedVolatileFields).
+type SpeedDoc struct {
+	Command   string         `json:"command"`
+	Seed      uint64         `json:"seed"`
+	Queue     string         `json:"queue"`
+	Workers   int            `json:"workers"`
+	Workloads []speed.Report `json:"workloads"`
+}
+
+// SpeedVolatileFields names the machine-dependent SpeedDoc fields every
+// golden diff must ignore.
+func SpeedVolatileFields() []string {
+	return []string{"wall_ms", "events_per_sec", "us_per_user_hour"}
+}
+
+// Speed measures the canonical speed workloads. Allocation counts are
+// exact only at workers=1 with no concurrent activity in the process; the
+// checked-in baseline is always regenerated that way.
+func Speed(quick bool, seed uint64, workers int) (SpeedDoc, error) {
+	doc := SpeedDoc{
+		Command: fmt.Sprintf("thinbench -run speed -parallel %d -seed %d -quick=%v",
+			workers, seed, quick),
+		Seed:    seed,
+		Queue:   simclock.DefaultQueue.String(),
+		Workers: workers,
+	}
+	for _, w := range speed.Workloads(quick) {
+		r, err := speed.Measure(w, seed, workers)
+		if err != nil {
+			return SpeedDoc{}, err
+		}
+		doc.Workloads = append(doc.Workloads, r)
 	}
 	return doc, nil
 }

@@ -110,6 +110,18 @@ func (d *Dist) Add(v float64) {
 	d.sorted = false
 }
 
+// Grow reserves capacity for n further samples, so a collector that knows
+// its sample budget up front (one echo per planned interaction) avoids the
+// append doubling-reallocations on the hot path.
+func (d *Dist) Grow(n int) {
+	if free := cap(d.samples) - len(d.samples); free >= n {
+		return
+	}
+	s := make([]float64, len(d.samples), len(d.samples)+n)
+	copy(s, d.samples)
+	d.samples = s
+}
+
 // N reports the number of samples.
 func (d *Dist) N() int { return len(d.samples) }
 

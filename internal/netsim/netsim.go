@@ -54,6 +54,21 @@ type Link struct {
 	sentBytes   int64
 	drops       int64
 	loadSeries  *metrics.Series
+
+	// pending is the in-flight delivery FIFO. Delivery times are monotone
+	// (busyUntil never decreases and propagation is constant), so the
+	// earliest scheduled delivery event always matches the head. Keeping
+	// the payload here instead of in a per-packet closure makes Send
+	// allocation-free in steady state: the event comes from the engine's
+	// pool and deliverFn is bound once at construction.
+	pending   []delivery
+	head      int
+	deliverFn func(now simclock.Time)
+}
+
+type delivery struct {
+	bytes       int
+	onDelivered func(now simclock.Time)
 }
 
 // NewLink builds a link on the engine. loadBucket sets the resolution of
@@ -65,7 +80,9 @@ func NewLink(eng *simclock.Engine, cfg LinkConfig, loadBucket simclock.Duration)
 	if cfg.QueuePackets <= 0 {
 		cfg.QueuePackets = 1
 	}
-	return &Link{eng: eng, cfg: cfg, loadSeries: metrics.NewSeries(loadBucket)}
+	l := &Link{eng: eng, cfg: cfg, loadSeries: metrics.NewSeries(loadBucket)}
+	l.deliverFn = l.deliverHead
+	return l
 }
 
 // Config reports the link configuration.
@@ -108,15 +125,37 @@ func (l *Link) Send(bytes int, onDelivered func(now simclock.Time)) bool {
 	l.inQueue++
 	l.loadSeries.AddSpan(start, done.Sub(start), float64(bytes))
 	deliverAt := done.Add(l.cfg.Propagation)
-	l.eng.At(deliverAt, func(at simclock.Time) {
-		l.inQueue--
-		l.sentPackets++
-		l.sentBytes += int64(bytes)
-		if onDelivered != nil {
-			onDelivered(at)
-		}
-	})
+	l.pending = append(l.pending, delivery{bytes: bytes, onDelivered: onDelivered})
+	l.eng.At(deliverAt, l.deliverFn)
 	return true
+}
+
+// deliverHead completes the oldest in-flight packet. The head is popped
+// before the callback runs so a reentrant Send (e.g. a ping echo) sees a
+// consistent FIFO.
+func (l *Link) deliverHead(at simclock.Time) {
+	d := l.pending[l.head]
+	l.pending[l.head] = delivery{}
+	l.head++
+	if l.head == len(l.pending) {
+		l.pending = l.pending[:0]
+		l.head = 0
+	} else if l.head >= 256 && l.head*2 >= len(l.pending) {
+		// Under sustained load the FIFO never empties; slide the live
+		// tail down so the backing array stays bounded.
+		n := copy(l.pending, l.pending[l.head:])
+		for i := n; i < len(l.pending); i++ {
+			l.pending[i] = delivery{}
+		}
+		l.pending = l.pending[:n]
+		l.head = 0
+	}
+	l.inQueue--
+	l.sentPackets++
+	l.sentBytes += int64(d.bytes)
+	if d.onDelivered != nil {
+		d.onDelivered(at)
+	}
 }
 
 // QueueDepth reports packets currently queued or in flight.

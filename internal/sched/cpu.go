@@ -41,17 +41,49 @@ type CPU struct {
 	OnItemDone func(rec ItemRecord)
 
 	dispatchPending bool
+
+	// sliceDoneFn and dispatchFn are the slice-end and dispatch callbacks
+	// bound once at construction, so the dispatch loop schedules events
+	// without allocating a fresh closure per slice.
+	sliceDoneFn func(now simclock.Time)
+	dispatchFn  func(now simclock.Time)
+
+	// itemFree recycles WorkItems handed out by Acquire once their
+	// completion callback has returned.
+	itemFree []*WorkItem
 }
 
 // NewCPU builds a CPU on the engine with the given policy. busyBucket sets
 // the resolution of the utilization trace (e.g. 1 s for Figure 1).
 func NewCPU(eng *simclock.Engine, sched Scheduler, busyBucket simclock.Duration) *CPU {
-	return &CPU{
+	c := &CPU{
 		eng:     eng,
 		sched:   sched,
 		busy:    metrics.NewSeries(busyBucket),
 		started: eng.Now(),
 	}
+	c.sliceDoneFn = c.sliceDone
+	c.dispatchFn = func(now simclock.Time) {
+		c.dispatchPending = false
+		c.dispatch(now)
+	}
+	return c
+}
+
+// Acquire returns a zeroed WorkItem from the CPU's free list. Items
+// obtained here are recycled automatically after their OnDone callback
+// returns, so callers must not retain the pointer past completion. Items
+// built with plain &WorkItem{} literals are never pooled.
+func (c *CPU) Acquire() *WorkItem {
+	n := len(c.itemFree)
+	if n == 0 {
+		return &WorkItem{pooled: true}
+	}
+	it := c.itemFree[n-1]
+	c.itemFree[n-1] = nil
+	c.itemFree = c.itemFree[:n-1]
+	*it = WorkItem{pooled: true}
+	return it
 }
 
 // Engine exposes the underlying event engine.
@@ -124,10 +156,7 @@ func (c *CPU) scheduleDispatch() {
 		return
 	}
 	c.dispatchPending = true
-	c.eng.After(0, func(now simclock.Time) {
-		c.dispatchPending = false
-		c.dispatch(now)
-	})
+	c.eng.After(0, c.dispatchFn)
 }
 
 // dispatch puts the next ready thread on the CPU if it is free.
@@ -160,7 +189,7 @@ func (c *CPU) dispatch(now simclock.Time) {
 	}
 	c.sliceFrom = now
 	c.sliceSpan = slice
-	c.sliceEnd = c.eng.After(slice, c.sliceDone)
+	c.sliceEnd = c.eng.After(slice, c.sliceDoneFn)
 }
 
 // accountRun charges d of CPU to the running thread and utilization trace.
@@ -218,7 +247,7 @@ func (c *CPU) continueRunning(t *Thread, now simclock.Time) {
 	}
 	c.sliceFrom = now
 	c.sliceSpan = slice
-	c.sliceEnd = c.eng.After(slice, c.sliceDone)
+	c.sliceEnd = c.eng.After(slice, c.sliceDoneFn)
 }
 
 func (c *CPU) requeueExpired(t *Thread, now simclock.Time) {
@@ -252,6 +281,12 @@ func (c *CPU) completeItem(t *Thread, now simclock.Time) {
 		it.OnDone(now, 1+t.absorbed)
 	}
 	t.absorbed = 0
+	if it.pooled {
+		// Coalesced-away items skip completion and simply fall to the GC;
+		// only items that reach this point re-enter the pool.
+		*it = WorkItem{}
+		c.itemFree = append(c.itemFree, it)
+	}
 }
 
 // preempt displaces the running thread in favor of a higher-priority wake.

@@ -60,6 +60,7 @@ type WorkItem struct {
 	OnDone func(now simclock.Time, n int)
 
 	arrive simclock.Time
+	pooled bool // allocated via CPU.Acquire; recycled after completion
 }
 
 // Arrive reports when the item was submitted.

@@ -281,6 +281,11 @@ type Result struct {
 	FaultsAfterLogin int64   `json:"faults_after_login"`
 	PageInMs         float64 `json:"page_in_ms"`
 	Paging           bool    `json:"paging"`
+
+	// SimEvents counts discrete-event dispatches the run consumed — the
+	// simulator's own work metric, and the denominator of the speed
+	// layer's events-per-second and allocations-per-event numbers.
+	SimEvents uint64 `json:"sim_events"`
 }
 
 // Server is one composed shared machine ready to run.
@@ -346,6 +351,14 @@ type userState struct {
 	submitted []simclock.Time
 	completed []bool
 	pageIn    simclock.Duration
+
+	// ops is the reused one-op display buffer for echo updates and
+	// echoText the session's precomputed caret glyph; together they keep
+	// sendEcho from allocating a fresh slice and string per interaction.
+	// Protocol encoders consume the ops synchronously, never retaining
+	// the slice, so reuse is safe.
+	ops      []display.Op
+	echoText string
 }
 
 // New composes a shared server from the configuration. It fails on an
@@ -562,6 +575,7 @@ func (s *Server) Run() (Result, error) {
 	for i, d := range s.slices {
 		res.P95TimelineMs[i] = d.Percentile(95)
 	}
+	res.SimEvents = s.eng.Fired()
 	return res, nil
 }
 
@@ -588,6 +602,19 @@ func (s *Server) start(u *userState, now simclock.Time) {
 		end = u.lc.Logout
 	}
 	if typingSpan := end.Sub(now); typingSpan > 0 {
+		// The typing probe's sample count is known up front; size the
+		// interaction log and the latency collector once instead of
+		// letting append reallocate them throughout the run.
+		expected := int(cfg.InteractionsPerSec*typingSpan.Seconds()) + 2
+		if cap(u.submitted)-len(u.submitted) < expected {
+			grown := make([]simclock.Time, len(u.submitted), len(u.submitted)+expected)
+			copy(grown, u.submitted)
+			u.submitted = grown
+			done := make([]bool, len(u.completed), len(u.completed)+expected)
+			copy(done, u.completed)
+			u.completed = done
+		}
+		u.echo.Grow(expected)
 		tr := workload.TypingTrace(workload.TypingConfig{
 			Rate: cfg.InteractionsPerSec,
 			Span: typingSpan,
@@ -606,7 +633,10 @@ func (s *Server) start(u *userState, now simclock.Time) {
 		slice := simclock.Duration(cfg.BackgroundCPUFrac * 100_000)
 		bgPhase := u.rng.UniformDuration(0, 100*simclock.Millisecond)
 		stop := s.eng.Every(now.Add(bgPhase), 100*simclock.Millisecond, func(simclock.Time) {
-			s.cpu.Submit(u.bg, &sched.WorkItem{Tag: "background", CPU: slice})
+			it := s.cpu.Acquire()
+			it.Tag = "background"
+			it.CPU = slice
+			s.cpu.Submit(u.bg, it)
 		})
 		u.stops = append(u.stops, stop)
 	}
@@ -854,15 +884,17 @@ func (s *Server) serveInput(u *userState, idx int) {
 			cost += d
 		}
 	}
-	s.cpu.Submit(u.App, &sched.WorkItem{
-		Tag: "echo", CPU: cost,
-		OnDone: func(simclock.Time, int) {
-			s.cpu.Submit(u.Encoder, &sched.WorkItem{
-				Tag: "encode", CPU: s.cfg.EncodeCPU,
-				OnDone: func(simclock.Time, int) { s.sendEcho(u, idx) },
-			})
-		},
-	})
+	it := s.cpu.Acquire()
+	it.Tag = "echo"
+	it.CPU = cost
+	it.OnDone = func(simclock.Time, int) {
+		enc := s.cpu.Acquire()
+		enc.Tag = "encode"
+		enc.CPU = s.cfg.EncodeCPU
+		enc.OnDone = func(simclock.Time, int) { s.sendEcho(u, idx) }
+		s.cpu.Submit(u.Encoder, enc)
+	}
+	s.cpu.Submit(u.App, it)
 }
 
 // sendEcho encodes the drawn echo and transmits it; the latency sample is
@@ -879,12 +911,15 @@ func (s *Server) sendEcho(u *userState, idx int) {
 		}
 		return
 	}
-	ops := []display.Op{display.DrawText{
+	if u.echoText == "" {
+		u.echoText = string(rune('a' + u.idx%26))
+	}
+	u.ops = append(u.ops[:0], display.DrawText{
 		X: 56 + (u.col%70)*display.GlyphW, Y: 80 + (u.col/70%24)*16,
-		Text: string(rune('a' + u.idx%26)), Color: 0,
-	}}
+		Text: u.echoText, Color: 0,
+	})
 	u.col++
-	msgs := u.psrv.Update(ops)
+	msgs := u.psrv.Update(u.ops)
 	for i, m := range msgs {
 		m := m
 		last := i == len(msgs)-1

@@ -98,6 +98,9 @@ type FleetResult struct {
 	Interactions int64 `json:"interactions"`
 	Censored     int64 `json:"censored"`
 	LostInputs   int64 `json:"lost_inputs"`
+	// SimEvents sums the discrete-event dispatches across every shard's
+	// engine — the fleet's total simulator work, used by the speed layer.
+	SimEvents uint64 `json:"sim_events"`
 	// Clamped counts samples beyond the fleet histogram's range. It stays
 	// zero for any span the bucketing was sized for; nonzero means the
 	// fleet percentiles are floored at the histogram edge.
@@ -203,6 +206,7 @@ func Run(cfg Config) (FleetResult, error) {
 		fleet.Interactions += o.res.Interactions
 		fleet.Censored += o.res.Censored
 		fleet.LostInputs += o.res.LostInputs
+		fleet.SimEvents += o.res.SimEvents
 		if o.res.EchoP95Ms > fleet.MaxShardP95Ms {
 			fleet.MaxShardP95Ms = o.res.EchoP95Ms
 		}

@@ -1,0 +1,233 @@
+package simclock
+
+// calendarQueue is a Brown-style calendar queue (Brown, CACM 1988): pending
+// events hash into "day" buckets by timestamp, bucket count and width are a
+// power of two (index is a shift and mask), and a cursor scans the current
+// "year" window in time order. Schedule and dispatch are O(1) amortized when
+// the bucket width tracks the mean gap between pending timestamps, which the
+// count-driven rebuilds below maintain.
+//
+// Within a bucket events are kept sorted by (when, seq), so dispatch order is
+// exactly eventBefore — identical to the reference heap, which the property
+// tests in calendar_test.go verify on randomized streams.
+//
+// Every decision (bucket geometry, rebuild trigger, scan order) is a pure
+// function of the event population, so runs remain bit-for-bit deterministic.
+type calendarQueue struct {
+	buckets  [][]*Event
+	mask     int  // len(buckets)-1; bucket count is a power of two
+	shift    uint // bucket width is 1<<shift microseconds
+	count    int
+	cur      int  // bucket the scan cursor is parked on
+	curStart Time // inclusive start of the cursor bucket's current window
+	hi, lo   int  // rebuild thresholds on count
+}
+
+const (
+	calMinBuckets = 4
+	// calInitShift starts buckets at 1 ms wide, a reasonable guess for
+	// interactive workloads until the first rebuild measures the real gap.
+	calInitShift = 10
+	// calMaxShift caps bucket width at ~1 s so a single sparse outlier
+	// cannot stretch the year to uselessness.
+	calMaxShift = 20
+
+	timeMax = Time(1<<63 - 1)
+)
+
+func newCalendarQueue() *calendarQueue {
+	q := &calendarQueue{}
+	q.setGeometry(calMinBuckets, calInitShift)
+	return q
+}
+
+func (q *calendarQueue) setGeometry(nbuckets int, shift uint) {
+	q.buckets = make([][]*Event, nbuckets)
+	q.mask = nbuckets - 1
+	q.shift = shift
+	q.hi = 2 * nbuckets
+	if nbuckets > calMinBuckets {
+		q.lo = nbuckets / 4
+	} else {
+		q.lo = 0
+	}
+}
+
+func (q *calendarQueue) bucketOf(t Time) int { return int(uint64(t)>>q.shift) & q.mask }
+
+func (q *calendarQueue) windowStart(t Time) Time { return Time(uint64(t) >> q.shift << q.shift) }
+
+func (q *calendarQueue) len() int { return q.count }
+
+// push inserts ev into its day bucket, keeping the bucket sorted. The
+// cursor invariant — no pending event is earlier than curStart — is
+// restored by rewinding the cursor when ev lands behind it (possible after
+// popLE parked the cursor on a far-future event and the clock stayed put).
+func (q *calendarQueue) push(ev *Event) {
+	if q.count == 0 || ev.when < q.curStart {
+		q.cur = q.bucketOf(ev.when)
+		q.curStart = q.windowStart(ev.when)
+	}
+	i := q.bucketOf(ev.when)
+	q.buckets[i] = insertSorted(q.buckets[i], ev)
+	ev.idx = i
+	q.count++
+	if q.count > q.hi {
+		q.rebuild()
+	}
+}
+
+func insertSorted(b []*Event, ev *Event) []*Event {
+	lo, hi := 0, len(b)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if eventBefore(b[mid], ev) {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	b = append(b, nil)
+	copy(b[lo+1:], b[lo:])
+	b[lo] = ev
+	return b
+}
+
+func (q *calendarQueue) pop() *Event { return q.scan(timeMax) }
+
+func (q *calendarQueue) popLE(deadline Time) *Event { return q.scan(deadline) }
+
+// scan removes and returns the earliest pending event if its timestamp is
+// <= deadline. The cursor walks successive windows, skipping verified-empty
+// ones; because same-window events always share a bucket, the first
+// in-window event found is the global minimum. A full lap without a hit
+// means the next event is more than a year away, so a direct search over
+// bucket heads finds it and re-parks the cursor on its window.
+func (q *calendarQueue) scan(deadline Time) *Event {
+	if q.count == 0 {
+		return nil
+	}
+	width := Time(1) << q.shift
+	cur, curStart := q.cur, q.curStart
+	for i := 0; i <= q.mask; i++ {
+		if curStart > deadline {
+			q.cur, q.curStart = cur, curStart
+			return nil
+		}
+		b := q.buckets[cur]
+		if len(b) > 0 && b[0].when < curStart+width {
+			ev := b[0]
+			q.cur, q.curStart = cur, curStart
+			if ev.when > deadline {
+				return nil
+			}
+			q.removeHead(cur)
+			return ev
+		}
+		cur = (cur + 1) & q.mask
+		curStart += width
+	}
+	min := q.minEvent()
+	q.cur = q.bucketOf(min.when)
+	q.curStart = q.windowStart(min.when)
+	if min.when > deadline {
+		return nil
+	}
+	q.removeHead(min.idx)
+	return min
+}
+
+// removeHead unlinks the first event of bucket i and runs the shrink check.
+func (q *calendarQueue) removeHead(i int) {
+	b := q.buckets[i]
+	ev := b[0]
+	copy(b, b[1:])
+	b[len(b)-1] = nil
+	q.buckets[i] = b[:len(b)-1]
+	ev.idx = -1
+	q.count--
+	if q.count < q.lo {
+		q.rebuild()
+	}
+}
+
+// minEvent returns the earliest pending event by scanning bucket heads
+// (each bucket is sorted, so its head is its minimum).
+func (q *calendarQueue) minEvent() *Event {
+	var best *Event
+	for _, b := range q.buckets {
+		if len(b) > 0 && (best == nil || eventBefore(b[0], best)) {
+			best = b[0]
+		}
+	}
+	return best
+}
+
+// remove unlinks a pending event found by binary search in its bucket.
+func (q *calendarQueue) remove(ev *Event) bool {
+	b := q.buckets[ev.idx]
+	lo, hi := 0, len(b)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if eventBefore(b[mid], ev) {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo >= len(b) || b[lo] != ev {
+		return false
+	}
+	copy(b[lo:], b[lo+1:])
+	b[len(b)-1] = nil
+	q.buckets[ev.idx] = b[:len(b)-1]
+	ev.idx = -1
+	q.count--
+	if q.count < q.lo {
+		q.rebuild()
+	}
+	return true
+}
+
+// rebuild resizes the calendar to the live population: bucket count is the
+// next power of two >= count, bucket width the power of two nearest twice
+// the mean gap between pending timestamps. Both inputs are deterministic
+// functions of the pending set, so rebuild timing and geometry never vary
+// between runs.
+func (q *calendarQueue) rebuild() {
+	if q.count == 0 {
+		q.setGeometry(calMinBuckets, calInitShift)
+		return
+	}
+	all := make([]*Event, 0, q.count)
+	for _, b := range q.buckets {
+		all = append(all, b...)
+	}
+	n := calMinBuckets
+	for n < len(all) {
+		n <<= 1
+	}
+	minW, maxW := all[0].when, all[0].when
+	for _, ev := range all[1:] {
+		if ev.when < minW {
+			minW = ev.when
+		}
+		if ev.when > maxW {
+			maxW = ev.when
+		}
+	}
+	gap := int64(maxW-minW) * 2 / int64(len(all))
+	var shift uint
+	for shift < calMaxShift && int64(1)<<shift < gap {
+		shift++
+	}
+	q.setGeometry(n, shift)
+	q.cur = q.bucketOf(minW)
+	q.curStart = q.windowStart(minW)
+	for _, ev := range all {
+		i := q.bucketOf(ev.when)
+		q.buckets[i] = insertSorted(q.buckets[i], ev)
+		ev.idx = i
+	}
+	q.count = len(all)
+}

@@ -1,0 +1,211 @@
+package simclock
+
+import (
+	"testing"
+)
+
+// queuePair drives the calendar queue and the reference heap with identical
+// event streams and asserts every removal agrees. Events cannot be shared
+// between queues (idx is per-queue state), so each logical event exists as a
+// twin pair with the same (when, seq).
+type queuePair struct {
+	t    *testing.T
+	cal  *calendarQueue
+	heap *heapQueue
+	seq  uint64
+	// pending tracks live twins for remove targeting, keyed by insertion
+	// order (holes compacted on use).
+	pending [][2]*Event
+	floor   Time // engine invariant: no push earlier than the last pop
+}
+
+func newQueuePair(t *testing.T) *queuePair {
+	return &queuePair{t: t, cal: newCalendarQueue(), heap: &heapQueue{}}
+}
+
+func (p *queuePair) push(when Time) {
+	if when < p.floor {
+		when = p.floor
+	}
+	a := &Event{when: when, seq: p.seq, idx: -1}
+	b := &Event{when: when, seq: p.seq, idx: -1}
+	p.seq++
+	p.cal.push(a)
+	p.heap.push(b)
+	p.pending = append(p.pending, [2]*Event{a, b})
+	if p.cal.len() != p.heap.len() {
+		p.t.Fatalf("len mismatch after push: calendar %d heap %d", p.cal.len(), p.heap.len())
+	}
+}
+
+func (p *queuePair) note(got, want *Event, op string) {
+	p.t.Helper()
+	if (got == nil) != (want == nil) {
+		p.t.Fatalf("%s: calendar %v heap %v", op, got, want)
+	}
+	if got == nil {
+		return
+	}
+	if got.when != want.when || got.seq != want.seq {
+		p.t.Fatalf("%s: calendar popped (when=%d seq=%d), heap (when=%d seq=%d)",
+			op, got.when, got.seq, want.when, want.seq)
+	}
+	if got.when < p.floor {
+		p.t.Fatalf("%s: popped when %d below floor %d", op, got.when, p.floor)
+	}
+	p.floor = got.when
+	p.drop(got.seq)
+}
+
+func (p *queuePair) drop(seq uint64) {
+	for i, tw := range p.pending {
+		if tw[0].seq == seq {
+			p.pending = append(p.pending[:i], p.pending[i+1:]...)
+			return
+		}
+	}
+}
+
+func (p *queuePair) pop() bool {
+	got, want := p.cal.pop(), p.heap.pop()
+	p.note(got, want, "pop")
+	return got != nil
+}
+
+func (p *queuePair) popLE(deadline Time) bool {
+	got, want := p.cal.popLE(deadline), p.heap.popLE(deadline)
+	p.note(got, want, "popLE")
+	return got != nil
+}
+
+func (p *queuePair) remove(i int) {
+	if len(p.pending) == 0 {
+		return
+	}
+	tw := p.pending[i%len(p.pending)]
+	okA := tw[0].idx >= 0 && p.cal.remove(tw[0])
+	okB := tw[1].idx >= 0 && p.heap.remove(tw[1])
+	if okA != okB {
+		p.t.Fatalf("remove: calendar %v heap %v", okA, okB)
+	}
+	if okA {
+		p.drop(tw[0].seq)
+	}
+}
+
+func (p *queuePair) drain() {
+	for p.pop() {
+	}
+	if p.cal.len() != 0 || p.heap.len() != 0 {
+		p.t.Fatalf("drain left calendar %d heap %d events", p.cal.len(), p.heap.len())
+	}
+}
+
+// TestCalendarMatchesHeapRandomStreams is the core property test: on
+// randomized interleavings of push / pop / bounded pop / mid-queue remove,
+// the calendar queue and the reference heap agree on every removal —
+// including same-tick ties (decided by seq) and pops that cross rebuilds.
+func TestCalendarMatchesHeapRandomStreams(t *testing.T) {
+	regimes := []struct {
+		name   string
+		seed   uint64
+		spread Duration // timestamp spread around the floor
+		ties   int      // 1-in-n pushes reuse the exact floor timestamp
+	}{
+		{"dense_ties", 1, 50, 2},
+		{"interactive_mix", 2, 5000, 8},
+		{"wide_spread", 3, 90 * 1e6, 16},
+		{"sparse_years", 4, 3600 * 1e6, 4},
+	}
+	for _, reg := range regimes {
+		t.Run(reg.name, func(t *testing.T) {
+			r := NewRand(reg.seed)
+			p := newQueuePair(t)
+			for op := 0; op < 4000; op++ {
+				switch v := r.Intn(10); {
+				case v < 6:
+					when := p.floor + Time(r.Int63n(int64(reg.spread)+1))
+					if r.Intn(reg.ties) == 0 {
+						when = p.floor
+					}
+					p.push(when)
+				case v < 8:
+					p.pop()
+				case v == 8:
+					p.popLE(p.floor + Time(r.Int63n(int64(reg.spread)+1)))
+				default:
+					p.remove(r.Intn(1 << 20))
+				}
+			}
+			p.drain()
+		})
+	}
+}
+
+// TestCalendarRebuildGrowShrink forces the queue through its full resize
+// range: bulk pushes double the calendar repeatedly, then near-total
+// removal shrinks it back, with order checked throughout.
+func TestCalendarRebuildGrowShrink(t *testing.T) {
+	p := newQueuePair(t)
+	r := NewRand(99)
+	for i := 0; i < 3000; i++ {
+		p.push(Time(r.Int63n(20 * 1e6)))
+	}
+	for i := 0; i < 2900; i++ {
+		if r.Intn(3) == 0 {
+			p.remove(r.Intn(1 << 20))
+		} else {
+			p.pop()
+		}
+	}
+	p.push(p.floor + 3600*1e6) // far-future outlier: full-lap direct search
+	p.drain()
+}
+
+// TestCalendarCursorRewind covers the popLE-then-push-behind case: a
+// bounded pop parks the cursor on a far-future event, then new events
+// arrive before it and must still come out first.
+func TestCalendarCursorRewind(t *testing.T) {
+	p := newQueuePair(t)
+	p.push(90 * 1e6) // far future parks the cursor after a failed popLE
+	if p.popLE(1e6) {
+		t.Fatal("popLE returned an event past the deadline")
+	}
+	p.push(2e6) // behind the parked cursor
+	p.push(2e6) // same-tick tie
+	if !p.popLE(5e6) || !p.popLE(5e6) {
+		t.Fatal("events pushed behind the cursor were not found")
+	}
+	p.drain()
+}
+
+// FuzzCalendarQueue feeds arbitrary operation tapes through both queues.
+// Byte pairs decode to (op, argument); deltas stretch up to ~year scale so
+// the fuzzer can reach the bucket-rebuild and direct-search paths.
+func FuzzCalendarQueue(f *testing.F) {
+	f.Add([]byte{0, 10, 0, 10, 1, 0, 0, 200, 2, 50})
+	f.Add([]byte{0, 0, 0, 0, 0, 0, 3, 1, 1, 0, 1, 0})
+	// Push bursts at exponentially growing offsets: crosses calMaxShift.
+	burst := make([]byte, 0, 64)
+	for i := byte(0); i < 32; i++ {
+		burst = append(burst, 0, i*8)
+	}
+	f.Add(burst)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		p := newQueuePair(t)
+		for i := 0; i+1 < len(data); i += 2 {
+			op, arg := data[i], int64(data[i+1])
+			switch op % 4 {
+			case 0: // push at an exponentially scaled offset
+				p.push(p.floor + Time(arg*arg*arg))
+			case 1:
+				p.pop()
+			case 2:
+				p.popLE(p.floor + Time(arg*arg))
+			case 3:
+				p.remove(int(arg))
+			}
+		}
+		p.drain()
+	})
+}

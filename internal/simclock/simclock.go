@@ -53,11 +53,17 @@ func Micros(us int64) Duration { return Duration(us) }
 
 // Event is a scheduled callback. Events fire in timestamp order; ties are
 // broken by insertion order so that runs are fully deterministic.
+//
+// An *Event handle is valid only while the event is pending: once it fires
+// or is cancelled, the engine may recycle the struct for a later schedule,
+// so callers must drop (or overwrite) their reference no later than the
+// callback returning. Holding a handle across its own firing and then
+// calling Cancel or Scheduled on it observes the recycled event.
 type Event struct {
 	when Time
 	seq  uint64
 	fn   func(now Time)
-	idx  int // heap index, -1 when not queued
+	idx  int // queue position marker, -1 when not queued
 }
 
 // When reports the time at which the event is scheduled to fire.
@@ -66,15 +72,100 @@ func (e *Event) When() Time { return e.when }
 // Scheduled reports whether the event is still pending in its engine.
 func (e *Event) Scheduled() bool { return e != nil && e.idx >= 0 }
 
+// eventBefore is the global dispatch order: timestamp, then insertion
+// sequence for same-tick ties.
+func eventBefore(a, b *Event) bool {
+	if a.when != b.when {
+		return a.when < b.when
+	}
+	return a.seq < b.seq
+}
+
+// QueueKind selects the pending-event queue implementation backing an
+// Engine. Both kinds dispatch in the identical (timestamp, sequence) order,
+// so simulation results are bit-for-bit independent of the choice; only
+// wall-clock speed differs.
+type QueueKind int
+
+const (
+	// QueueCalendar is a Brown-style calendar queue: O(1) amortized
+	// schedule and dispatch. The default.
+	QueueCalendar QueueKind = iota
+	// QueueHeap is the reference binary-heap queue (container/heap),
+	// kept as the oracle the calendar queue is property-tested against.
+	QueueHeap
+)
+
+func (k QueueKind) String() string {
+	switch k {
+	case QueueCalendar:
+		return "calendar"
+	case QueueHeap:
+		return "heap"
+	}
+	return fmt.Sprintf("QueueKind(%d)", int(k))
+}
+
+// ParseQueueKind maps a CLI spelling ("calendar", "heap") to a QueueKind.
+func ParseQueueKind(s string) (QueueKind, error) {
+	switch s {
+	case "calendar":
+		return QueueCalendar, nil
+	case "heap":
+		return QueueHeap, nil
+	}
+	return 0, fmt.Errorf("simclock: unknown event queue %q (want calendar or heap)", s)
+}
+
+// DefaultQueue is the queue kind NewEngine uses. Flipping it (e.g. via the
+// thinbench -eventq flag) must not change any simulation result.
+var DefaultQueue = QueueCalendar
+
+// eventQueue is the pending-event priority queue behind an Engine. All
+// implementations order events by eventBefore.
+type eventQueue interface {
+	push(ev *Event)
+	// pop removes and returns the earliest pending event, nil when empty.
+	pop() *Event
+	// popLE removes and returns the earliest pending event whose
+	// timestamp is <= deadline, or nil if there is none.
+	popLE(deadline Time) *Event
+	// remove unlinks a pending event (ev.idx >= 0).
+	remove(ev *Event) bool
+	len() int
+}
+
+// heapQueue is the reference binary-heap implementation.
+type heapQueue struct{ h eventHeap }
+
+func (q *heapQueue) push(ev *Event) { heap.Push(&q.h, ev) }
+
+func (q *heapQueue) pop() *Event {
+	if len(q.h) == 0 {
+		return nil
+	}
+	return heap.Pop(&q.h).(*Event)
+}
+
+func (q *heapQueue) popLE(deadline Time) *Event {
+	if len(q.h) == 0 || q.h[0].when > deadline {
+		return nil
+	}
+	return heap.Pop(&q.h).(*Event)
+}
+
+func (q *heapQueue) remove(ev *Event) bool {
+	heap.Remove(&q.h, ev.idx)
+	ev.idx = -1
+	return true
+}
+
+func (q *heapQueue) len() int { return len(q.h) }
+
 type eventHeap []*Event
 
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].when != h[j].when {
-		return h[i].when < h[j].when
-	}
-	return h[i].seq < h[j].seq
-}
+func (h eventHeap) Len() int           { return len(h) }
+func (h eventHeap) Less(i, j int) bool { return eventBefore(h[i], h[j]) }
 func (h eventHeap) Swap(i, j int) {
 	h[i], h[j] = h[j], h[i]
 	h[i].idx = i
@@ -98,15 +189,31 @@ func (h *eventHeap) Pop() any {
 // Engine is a discrete-event simulator: a virtual clock plus an ordered queue
 // of pending events. The zero value is not usable; use NewEngine.
 type Engine struct {
-	now    Time
-	seq    uint64
-	events eventHeap
-	fired  uint64
+	now   Time
+	seq   uint64
+	queue eventQueue
+	fired uint64
+	// free recycles fired Event structs so steady-state dispatch does not
+	// allocate. Events removed via Cancel are deliberately not recycled:
+	// cancellation sites commonly keep the handle around, and leaking the
+	// odd cancelled event to the GC is cheaper than a stale-handle bug.
+	free []*Event
 }
 
-// NewEngine returns an engine with the clock at zero and no pending events.
-func NewEngine() *Engine {
-	return &Engine{}
+// NewEngine returns an engine with the clock at zero and no pending events,
+// backed by the DefaultQueue queue kind.
+func NewEngine() *Engine { return NewEngineQueue(DefaultQueue) }
+
+// NewEngineQueue returns an engine backed by the given queue kind. Results
+// are identical across kinds; only speed differs.
+func NewEngineQueue(kind QueueKind) *Engine {
+	switch kind {
+	case QueueHeap:
+		return &Engine{queue: &heapQueue{}}
+	case QueueCalendar:
+		return &Engine{queue: newCalendarQueue()}
+	}
+	panic(fmt.Sprintf("simclock: unknown queue kind %d", int(kind)))
 }
 
 // Now reports the current virtual time.
@@ -116,7 +223,34 @@ func (e *Engine) Now() Time { return e.now }
 func (e *Engine) Fired() uint64 { return e.fired }
 
 // Pending reports the number of events still queued.
-func (e *Engine) Pending() int { return len(e.events) }
+func (e *Engine) Pending() int { return e.queue.len() }
+
+// alloc takes an Event from the free list (or the heap) and stamps it.
+func (e *Engine) alloc(when Time, fn func(now Time)) *Event {
+	var ev *Event
+	if n := len(e.free); n > 0 {
+		ev = e.free[n-1]
+		e.free[n-1] = nil
+		e.free = e.free[:n-1]
+	} else {
+		ev = &Event{}
+	}
+	ev.when = when
+	ev.seq = e.seq
+	ev.fn = fn
+	ev.idx = -1
+	e.seq++
+	return ev
+}
+
+// recycle returns a fired event to the free list. The callback has already
+// returned and the handle is dead by contract, so nothing can observe the
+// reuse. The closure is dropped immediately so it does not outlive the
+// event.
+func (e *Engine) recycle(ev *Event) {
+	ev.fn = nil
+	e.free = append(e.free, ev)
+}
 
 // At schedules fn to run at the absolute virtual time when. Scheduling in the
 // past (before Now) panics: it always indicates a simulation bug.
@@ -124,9 +258,8 @@ func (e *Engine) At(when Time, fn func(now Time)) *Event {
 	if when < e.now {
 		panic(fmt.Sprintf("simclock: scheduling event at %v before now %v", when, e.now))
 	}
-	ev := &Event{when: when, seq: e.seq, fn: fn}
-	e.seq++
-	heap.Push(&e.events, ev)
+	ev := e.alloc(when, fn)
+	e.queue.push(ev)
 	return ev
 }
 
@@ -165,29 +298,36 @@ func (e *Engine) Cancel(ev *Event) bool {
 	if ev == nil || ev.idx < 0 {
 		return false
 	}
-	heap.Remove(&e.events, ev.idx)
-	ev.idx = -1
-	return true
+	return e.queue.remove(ev)
 }
 
 // Step dispatches the single earliest pending event, advancing the clock to
 // its timestamp. It reports false when no events remain.
 func (e *Engine) Step() bool {
-	if len(e.events) == 0 {
+	ev := e.queue.pop()
+	if ev == nil {
 		return false
 	}
-	ev := heap.Pop(&e.events).(*Event)
+	e.fire(ev)
+	return true
+}
+
+func (e *Engine) fire(ev *Event) {
 	e.now = ev.when
 	e.fired++
 	ev.fn(e.now)
-	return true
+	e.recycle(ev)
 }
 
 // RunUntil dispatches events until the clock would pass deadline or the queue
 // drains. The clock finishes exactly at deadline.
 func (e *Engine) RunUntil(deadline Time) {
-	for len(e.events) > 0 && e.events[0].when <= deadline {
-		e.Step()
+	for {
+		ev := e.queue.popLE(deadline)
+		if ev == nil {
+			break
+		}
+		e.fire(ev)
 	}
 	if e.now < deadline {
 		e.now = deadline

@@ -1,0 +1,8 @@
+//go:build !race
+
+package speed
+
+// RaceEnabled reports whether the binary was built with the race detector,
+// which changes allocation counts: golden diffs of Allocs/AllocsPerEvent
+// must be skipped under race.
+const RaceEnabled = false
