@@ -52,7 +52,7 @@
 //
 //	thinbench -run speed
 //	thinbench -run speed -parallel 1 -json BENCH_speed.json
-//	thinbench -run speed -cpuprofile cpu.pprof -memprofile mem.pprof
+//	thinbench -run speed -workload cont1 -cpuprofile cpu.pprof   # profile one loop
 //	thinbench -run speed -eventq heap       # reference scheduler, same numbers
 package main
 
@@ -90,6 +90,8 @@ func main() {
 		killShard  = flag.Int("kill", 2, "churn/schedule mode: machine to kill mid-span for the failover section (-1 disables)")
 		killAtSec  = flag.Float64("killat", 4, "churn/schedule mode: kill time in seconds (schedule mode defaults to 2, inside the morning ramp)")
 		profiles   = flag.String("profile", "officeday,flat", "schedule mode: comma list of arrival profiles (flat, officeday, shiftchange, or @file)")
+
+		workload = flag.String("workload", "", "speed mode: run only the named workload (cont1, fleet, officeday, bigfleet); empty runs all")
 
 		eventq     = flag.String("eventq", "", "event queue implementation: calendar (default) or heap; any mode, results are identical either way")
 		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
@@ -190,7 +192,7 @@ func main() {
 		writeDoc(*jsonPath, doc)
 		return
 	case "speed":
-		doc, err := benchdoc.Speed(*quick, *seed, *parallel)
+		doc, err := benchdoc.Speed(*quick, *seed, *parallel, *workload)
 		exitOn(err)
 		printSpeed(doc)
 		writeDoc(*jsonPath, doc)

@@ -39,10 +39,10 @@ func stallWithUsers(n int) float64 {
 	for _, at := range workload.KeystrokeTimes(workload.TypingConfig{Rate: 20, Span: span}) {
 		cpu.SubmitAt(at, editor, &sched.WorkItem{
 			Tag: "echo", CPU: simclock.Millisecond, Coalesce: true,
-			OnDone: func(simclock.Time, int) {
+			OnDone: func(*sched.WorkItem, simclock.Time, int) {
 				cpu.Submit(xsrv, &sched.WorkItem{
 					Tag: "update", CPU: 1500 * simclock.Microsecond, Coalesce: true,
-					OnDone: func(done simclock.Time, _ int) { tracker.Observe(done) },
+					OnDone: func(_ *sched.WorkItem, done simclock.Time, _ int) { tracker.Observe(done) },
 				})
 			},
 		})

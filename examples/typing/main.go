@@ -37,10 +37,10 @@ func measure(mk func() sched.Scheduler, interactive bool, nSinks int) latency.Re
 	for _, at := range workload.KeystrokeTimes(workload.TypingConfig{Rate: 20, Span: span}) {
 		cpu.SubmitAt(at, editor, &sched.WorkItem{
 			Tag: "echo", CPU: simclock.Millisecond, Coalesce: true,
-			OnDone: func(simclock.Time, int) {
+			OnDone: func(*sched.WorkItem, simclock.Time, int) {
 				cpu.Submit(encoder, &sched.WorkItem{
 					Tag: "encode", CPU: 1500 * simclock.Microsecond, Coalesce: true,
-					OnDone: func(done simclock.Time, _ int) { tracker.Observe(done) },
+					OnDone: func(_ *sched.WorkItem, done simclock.Time, _ int) { tracker.Observe(done) },
 				})
 			},
 		})

@@ -424,23 +424,36 @@ func SpeedVolatileFields() []string {
 	return []string{"wall_ms", "events_per_sec", "us_per_user_hour"}
 }
 
-// Speed measures the canonical speed workloads. Allocation counts are
-// exact only at workers=1 with no concurrent activity in the process; the
-// checked-in baseline is always regenerated that way.
-func Speed(quick bool, seed uint64, workers int) (SpeedDoc, error) {
+// Speed measures the canonical speed workloads. workload, when non-empty,
+// restricts the run to the named workload — the single-loop form used for
+// profiling one scenario without the others polluting the profile.
+// Allocation counts are exact only at workers=1 with no concurrent
+// activity in the process; the checked-in baseline is always regenerated
+// that way, with no filter.
+func Speed(quick bool, seed uint64, workers int, workload string) (SpeedDoc, error) {
+	command := fmt.Sprintf("thinbench -run speed -parallel %d -seed %d -quick=%v",
+		workers, seed, quick)
+	if workload != "" {
+		command += fmt.Sprintf(" -workload %s", workload)
+	}
 	doc := SpeedDoc{
-		Command: fmt.Sprintf("thinbench -run speed -parallel %d -seed %d -quick=%v",
-			workers, seed, quick),
+		Command: command,
 		Seed:    seed,
 		Queue:   simclock.DefaultQueue.String(),
 		Workers: workers,
 	}
 	for _, w := range speed.Workloads(quick) {
+		if workload != "" && w.Name != workload {
+			continue
+		}
 		r, err := speed.Measure(w, seed, workers)
 		if err != nil {
 			return SpeedDoc{}, err
 		}
 		doc.Workloads = append(doc.Workloads, r)
+	}
+	if len(doc.Workloads) == 0 {
+		return SpeedDoc{}, fmt.Errorf("unknown -workload %q", workload)
 	}
 	return doc, nil
 }

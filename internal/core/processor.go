@@ -200,10 +200,10 @@ func measureStalls(cfg stallConfig) latency.Report {
 	for _, at := range times {
 		cpu.SubmitAt(at, editor, &sched.WorkItem{
 			Tag: "echo", CPU: 1200 * simclock.Microsecond, ExtraCPU: 150 * simclock.Microsecond, Coalesce: true,
-			OnDone: func(now simclock.Time, n int) {
+			OnDone: func(_ *sched.WorkItem, now simclock.Time, n int) {
 				cpu.Submit(stage2, &sched.WorkItem{
 					Tag: "encode", CPU: 1500 * simclock.Microsecond, ExtraCPU: 200 * simclock.Microsecond, Coalesce: true,
-					OnDone: func(done simclock.Time, _ int) { tracker.Observe(done) },
+					OnDone: func(_ *sched.WorkItem, done simclock.Time, _ int) { tracker.Observe(done) },
 				})
 			},
 		})

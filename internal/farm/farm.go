@@ -63,6 +63,46 @@ func (c Config) EffectiveWorkers() int {
 	return w
 }
 
+// workerPool recycles worker goroutines across Run and Aggregate calls.
+// Spawning goroutines per call costs runtime allocations (goroutine
+// structs and stacks) that the runtime caches unpredictably, which showed
+// up as run-to-run jitter in the speed layer's process-global allocation
+// counts; parked pool workers make a warmed-up farm allocation-free to
+// mobilize. Submission never blocks waiting for an idle worker — if none
+// is parked a fresh one spawns — so nested farm use (a body that itself
+// fans out) cannot deadlock on pool capacity.
+var workerPool struct {
+	mu   sync.Mutex
+	idle []chan func()
+}
+
+// poolGo runs task on a parked pool worker, spawning one if none is idle.
+func poolGo(task func()) {
+	workerPool.mu.Lock()
+	var ch chan func()
+	if n := len(workerPool.idle); n > 0 {
+		ch = workerPool.idle[n-1]
+		workerPool.idle[n-1] = nil
+		workerPool.idle = workerPool.idle[:n-1]
+	}
+	workerPool.mu.Unlock()
+	if ch == nil {
+		ch = make(chan func())
+		go workerLoop(ch)
+	}
+	ch <- task
+}
+
+// workerLoop executes submitted tasks forever, parking between them.
+func workerLoop(ch chan func()) {
+	for task := range ch {
+		task()
+		workerPool.mu.Lock()
+		workerPool.idle = append(workerPool.idle, ch)
+		workerPool.mu.Unlock()
+	}
+}
+
 // Session is the per-session context the farm hands to a session body: a
 // stable index, a deterministically derived seed, a private random stream,
 // and a private discrete-event clock. Bodies may build any further
@@ -113,18 +153,30 @@ func Run[T any](cfg Config, body func(s *Session) (T, error)) ([]T, error) {
 	results := make([]T, cfg.Sessions)
 	errs := make([]error, cfg.Sessions)
 
+	// Sequential runs (the golden-diffed configuration) execute inline on
+	// the caller's goroutine: no channels, no goroutine parking, and hence
+	// no scheduling-dependent runtime allocations to jitter the speed
+	// layer's counts. Results are identical either way.
+	if cfg.EffectiveWorkers() == 1 {
+		for i := 0; i < cfg.Sessions; i++ {
+			results[i], errs[i] = runSession(cfg, i, body)
+		}
+		return results, firstError(errs)
+	}
+
 	indices := make(chan int)
 	var wg sync.WaitGroup
+	work := func() {
+		defer wg.Done()
+		for i := range indices {
+			// Each slot is written by exactly one goroutine, so the
+			// slices need no locking.
+			results[i], errs[i] = runSession(cfg, i, body)
+		}
+	}
 	for w := 0; w < cfg.EffectiveWorkers(); w++ {
 		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for i := range indices {
-				// Each slot is written by exactly one goroutine, so the
-				// slices need no locking.
-				results[i], errs[i] = runSession(cfg, i, body)
-			}
-		}()
+		poolGo(work)
 	}
 	for i := 0; i < cfg.Sessions; i++ {
 		indices <- i
@@ -153,6 +205,21 @@ func Aggregate[T any](cfg Config, body func(s *Session) (T, error), merge func(i
 	if cfg.Sessions == 0 {
 		return nil
 	}
+	// Sequential runs execute and merge inline, in index order by
+	// construction — same motivation as Run's serial path.
+	if cfg.EffectiveWorkers() == 1 {
+		errs := make([]error, cfg.Sessions)
+		for i := 0; i < cfg.Sessions; i++ {
+			r, err := runSession(cfg, i, body)
+			if err != nil {
+				errs[i] = err
+				continue
+			}
+			merge(i, r)
+		}
+		return firstError(errs)
+	}
+
 	type done struct {
 		index  int
 		result T
@@ -162,24 +229,25 @@ func Aggregate[T any](cfg Config, body func(s *Session) (T, error), merge func(i
 
 	indices := make(chan int)
 	var wg sync.WaitGroup
+	work := func() {
+		defer wg.Done()
+		for i := range indices {
+			r, err := runSession(cfg, i, body)
+			completions <- done{index: i, result: r, err: err}
+		}
+	}
 	for w := 0; w < cfg.EffectiveWorkers(); w++ {
 		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for i := range indices {
-				r, err := runSession(cfg, i, body)
-				completions <- done{index: i, result: r, err: err}
-			}
-		}()
+		poolGo(work)
 	}
-	go func() {
+	poolGo(func() {
 		for i := 0; i < cfg.Sessions; i++ {
 			indices <- i
 		}
 		close(indices)
 		wg.Wait()
 		close(completions)
-	}()
+	})
 
 	// Single-threaded ordered fold: buffer completions that arrive ahead
 	// of the merge cursor.

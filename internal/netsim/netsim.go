@@ -56,19 +56,38 @@ type Link struct {
 	loadSeries  *metrics.Series
 
 	// pending is the in-flight delivery FIFO. Delivery times are monotone
-	// (busyUntil never decreases and propagation is constant), so the
-	// earliest scheduled delivery event always matches the head. Keeping
-	// the payload here instead of in a per-packet closure makes Send
+	// (busyUntil never decreases and propagation is constant), so engine
+	// events fire in FIFO order and each drains the head. Keeping the
+	// payload here instead of in a per-packet closure makes Send
 	// allocation-free in steady state: the event comes from the engine's
 	// pool and deliverFn is bound once at construction.
+	//
+	// Arbitration is batched: when an event fires, EVERY pending delivery
+	// whose time has come drains in FIFO order, so same-tick deliveries
+	// complete under one dispatch and the events the link scheduled for
+	// them find nothing left to do. Events are still created eagerly at
+	// Send time — lazy head-only scheduling would assign later engine
+	// sequence numbers and could reorder equal-timestamp ties against
+	// unrelated events, breaking bit-exact reproducibility. The delivered
+	// (time, payload) sequence is bit-identical to per-packet arbitration
+	// (property-tested in batch_test.go).
 	pending   []delivery
 	head      int
 	deliverFn func(now simclock.Time)
 }
 
+// DeliverFunc is the payload-carrying delivery callback form: a single
+// callback value (a method value bound once) shared across packets, with
+// two caller-owned integer arguments carried in the delivery record — the
+// zero-allocation alternative to a per-packet closure.
+type DeliverFunc func(now simclock.Time, a, b int)
+
 type delivery struct {
 	bytes       int
+	deliverAt   simclock.Time
 	onDelivered func(now simclock.Time)
+	fn          DeliverFunc
+	a, b        int
 }
 
 // NewLink builds a link on the engine. loadBucket sets the resolution of
@@ -111,6 +130,18 @@ func (l *Link) TxTime(bytes int) simclock.Duration {
 // when the last bit arrives at the receiver. Send reports false when the
 // queue is full and the packet was dropped.
 func (l *Link) Send(bytes int, onDelivered func(now simclock.Time)) bool {
+	return l.send(bytes, onDelivered, nil, 0, 0)
+}
+
+// SendArgs queues a packet whose delivery callback is a shared DeliverFunc
+// (typically a method value bound once at construction) invoked with the
+// two given arguments — the allocation-free form of Send for hot paths
+// that would otherwise build a closure per packet.
+func (l *Link) SendArgs(bytes int, fn DeliverFunc, a, b int) bool {
+	return l.send(bytes, nil, fn, a, b)
+}
+
+func (l *Link) send(bytes int, onDelivered func(now simclock.Time), fn DeliverFunc, a, b int) bool {
 	now := l.eng.Now()
 	if l.inQueue >= l.cfg.QueuePackets {
 		l.drops++
@@ -125,15 +156,28 @@ func (l *Link) Send(bytes int, onDelivered func(now simclock.Time)) bool {
 	l.inQueue++
 	l.loadSeries.AddSpan(start, done.Sub(start), float64(bytes))
 	deliverAt := done.Add(l.cfg.Propagation)
-	l.pending = append(l.pending, delivery{bytes: bytes, onDelivered: onDelivered})
+	l.pending = append(l.pending, delivery{
+		bytes: bytes, deliverAt: deliverAt,
+		onDelivered: onDelivered, fn: fn, a: a, b: b,
+	})
 	l.eng.At(deliverAt, l.deliverFn)
 	return true
 }
 
-// deliverHead completes the oldest in-flight packet. The head is popped
-// before the callback runs so a reentrant Send (e.g. a ping echo) sees a
-// consistent FIFO.
+// deliverHead is the link's arbitration event: every pending delivery
+// whose time has arrived completes in FIFO order. In the common case the
+// firing event drains exactly the one packet it was scheduled for;
+// same-tick deliveries drain together under the first event, leaving the
+// rest as no-ops.
 func (l *Link) deliverHead(at simclock.Time) {
+	for l.head < len(l.pending) && l.pending[l.head].deliverAt <= at {
+		l.deliverOne(at)
+	}
+}
+
+// deliverOne completes the oldest in-flight packet. The head is popped
+// before the callback runs so a reentrant Send sees a consistent FIFO.
+func (l *Link) deliverOne(at simclock.Time) {
 	d := l.pending[l.head]
 	l.pending[l.head] = delivery{}
 	l.head++
@@ -153,7 +197,9 @@ func (l *Link) deliverHead(at simclock.Time) {
 	l.inQueue--
 	l.sentPackets++
 	l.sentBytes += int64(d.bytes)
-	if d.onDelivered != nil {
+	if d.fn != nil {
+		d.fn(at, d.a, d.b)
+	} else if d.onDelivered != nil {
 		d.onDelivered(at)
 	}
 }

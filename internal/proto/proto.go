@@ -83,6 +83,41 @@ type Client interface {
 	EncodeInput(events []display.InputEvent) []Message
 }
 
+// Scratch is caller-owned reusable encode state for the zero-allocation
+// Update/EncodeInput forms: the payload arena and the returned message
+// slice both live here, so a steady-state encoder writes into memory the
+// caller already owns instead of allocating per call. Messages returned
+// from a scratch encode alias Buf — the caller must not reuse the Scratch
+// until every message encoded into it has been consumed (for the
+// simulator: delivered and applied).
+type Scratch struct {
+	Buf  []byte
+	Msgs []Message
+}
+
+// ScratchServer is implemented by protocol servers whose Update can encode
+// into caller-owned scratch. Semantics are identical to Update; only the
+// allocation behavior differs.
+type ScratchServer interface {
+	UpdateScratch(ops []display.Op, sc *Scratch) []Message
+}
+
+// ScratchClient is implemented by protocol clients whose EncodeInput can
+// encode into caller-owned scratch.
+type ScratchClient interface {
+	EncodeInputScratch(events []display.InputEvent, sc *Scratch) []Message
+}
+
+// InputValidator is implemented by protocol servers that can check an
+// input message's structure without materializing the decoded events.
+// ValidateInput must accept and reject exactly the messages DecodeInput
+// does, returning the event count; callers that discard the decoded
+// events (the simulator's echo path only needs the round-trip checked)
+// use it to skip the decode allocations.
+type InputValidator interface {
+	ValidateInput(m Message) (int, error)
+}
+
 // ErrTruncated reports a message too short for its advertised structure.
 var ErrTruncated = errors.New("proto: truncated message")
 
@@ -97,6 +132,13 @@ type Writer struct {
 
 // NewWriter returns a writer with the given capacity hint.
 func NewWriter(capHint int) *Writer { return &Writer{buf: make([]byte, 0, capHint)} }
+
+// WriterOver returns a Writer value appending into buf from length zero,
+// keeping its capacity — the scratch-encoding form of NewWriter. The
+// returned value can live on the caller's stack; take its address to call
+// the append methods, and read Bytes back to recover the (possibly grown)
+// buffer.
+func WriterOver(buf []byte) Writer { return Writer{buf: buf[:0]} }
 
 // Bytes returns the accumulated payload.
 func (w *Writer) Bytes() []byte { return w.buf }

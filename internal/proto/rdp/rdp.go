@@ -110,23 +110,33 @@ func (s *Server) CacheStats() bitmapcache.Stats { return s.cache.Stats() }
 // encoded as orders inside a single PDU — the batching that gives RDP its
 // small message counts and large average message size.
 func (s *Server) Update(ops []display.Op) []proto.Message {
+	return s.UpdateScratch(ops, &proto.Scratch{})
+}
+
+// UpdateScratch implements proto.ScratchServer: Update encoded into
+// caller-owned scratch, so a steady-state echo pipeline reuses one payload
+// arena per in-flight update instead of allocating a fresh writer, buffer,
+// and message slice per interaction.
+func (s *Server) UpdateScratch(ops []display.Op, sc *proto.Scratch) []proto.Message {
 	if len(ops) == 0 {
 		return nil
 	}
-	w := proto.NewWriter(64)
+	w := proto.WriterOver(sc.Buf)
 	w.Zero(pduHeaderSize)
 	orders := 0
 	for _, op := range ops {
-		orders += s.encodeOrder(w, op)
+		orders += s.encodeOrder(&w, op)
 	}
 	b := w.Bytes()
+	sc.Buf = b
 	// Patch the PDU header: total length and order count.
 	b[0] = byte(len(b))
 	b[1] = byte(len(b) >> 8)
 	b[2] = 0x02 // PDUTYPE_DATA / update
 	b[4] = byte(orders)
 	b[5] = byte(orders >> 8)
-	return []proto.Message{{Channel: proto.Display, Kind: "UpdatePDU", Payload: b}}
+	sc.Msgs = append(sc.Msgs[:0], proto.Message{Channel: proto.Display, Kind: "UpdatePDU", Payload: b})
+	return sc.Msgs
 }
 
 // encodeOrder appends the order(s) for one op, returning how many orders
@@ -219,11 +229,23 @@ func (s *Server) allocSlot(key bitmapcache.Key) uint16 {
 // then draws with compact glyph-index orders.
 func (s *Server) encodeText(w *proto.Writer, o display.DrawText) int {
 	orders := 0
-	runes := []rune(o.Text)
-	if len(runes) > 255 {
-		runes = runes[:255]
+	// Walk the string directly (rune iteration yields the same U+FFFD
+	// replacements as a []rune conversion would) so the hot echo path does
+	// not materialize a rune slice per DrawText. The glyph count field is a
+	// byte, so cap at 255 runes as before.
+	n := 0
+	for range o.Text {
+		n++
+		if n == 255 {
+			break
+		}
 	}
-	for _, r := range runes {
+	i := 0
+	for _, r := range o.Text {
+		if i == n {
+			break
+		}
+		i++
 		if _, ok := s.glyphIdx[r]; ok {
 			continue
 		}
@@ -249,8 +271,13 @@ func (s *Server) encodeText(w *proto.Writer, o display.DrawText) int {
 	w.U8(ordGlyphIndex)
 	w.I16(int16(o.X)).I16(int16(o.Y))
 	w.U8(o.Color)
-	w.U8(uint8(len(runes)))
-	for _, r := range runes {
+	w.U8(uint8(n))
+	i = 0
+	for _, r := range o.Text {
+		if i == n {
+			break
+		}
+		i++
 		w.U16(s.glyphIdx[r])
 	}
 	return orders + 1
@@ -286,6 +313,34 @@ func (s *Server) DecodeInput(m proto.Message) ([]display.InputEvent, error) {
 		return nil, err
 	}
 	return events, nil
+}
+
+// ValidateInput implements proto.InputValidator: the structural walk of
+// DecodeInput without materializing events. The two must accept and
+// reject identical messages.
+func (s *Server) ValidateInput(m proto.Message) (int, error) {
+	if m.Channel != proto.Input {
+		return 0, fmt.Errorf("%w: input decode of %v message", proto.ErrBadMessage, m.Channel)
+	}
+	r := proto.NewReader(m.Payload)
+	r.Skip(pduHeaderSize)
+	n := int(r.U16())
+	for i := 0; i < n; i++ {
+		switch kind := r.U8(); kind {
+		case inKey:
+			r.Skip(3)
+		case inMouse:
+			r.Skip(4)
+		case inButton:
+			r.Skip(2)
+		default:
+			return 0, fmt.Errorf("%w: unknown input kind %d", proto.ErrBadMessage, kind)
+		}
+	}
+	if err := r.Err(); err != nil {
+		return 0, err
+	}
+	return n, nil
 }
 
 // SetupBytes implements proto.Server.
@@ -472,11 +527,17 @@ func (c *Client) applyOrder(r *proto.Reader) error {
 // per-event encodings — the behavior behind RDP's 16x input byte advantage
 // over X in the paper's workload table.
 func (c *Client) EncodeInput(events []display.InputEvent) []proto.Message {
+	return c.EncodeInputScratch(events, &proto.Scratch{})
+}
+
+// EncodeInputScratch implements proto.ScratchClient: EncodeInput into
+// caller-owned scratch, the zero-allocation steady-state form.
+func (c *Client) EncodeInputScratch(events []display.InputEvent, sc *proto.Scratch) []proto.Message {
 	if len(events) == 0 {
 		return nil
 	}
 	events = sampleMotion(events, c.cfg.MotionSample)
-	w := proto.NewWriter(pduHeaderSize + 2 + len(events)*5)
+	w := proto.WriterOver(sc.Buf)
 	w.Zero(pduHeaderSize)
 	w.U16(uint16(len(events)))
 	for _, ev := range events {
@@ -500,16 +561,21 @@ func (c *Client) EncodeInput(events []display.InputEvent) []proto.Message {
 		}
 	}
 	b := w.Bytes()
+	sc.Buf = b
 	b[0] = byte(len(b))
 	b[1] = byte(len(b) >> 8)
 	b[2] = 0x03 // PDUTYPE_INPUT
-	return []proto.Message{{Channel: proto.Input, Kind: "InputPDU", Payload: b}}
+	sc.Msgs = append(sc.Msgs[:0], proto.Message{Channel: proto.Input, Kind: "InputPDU", Payload: b})
+	return sc.Msgs
 }
 
 // Compile-time interface conformance.
 var (
-	_ proto.Server = (*Server)(nil)
-	_ proto.Client = (*Client)(nil)
+	_ proto.Server         = (*Server)(nil)
+	_ proto.Client         = (*Client)(nil)
+	_ proto.ScratchServer  = (*Server)(nil)
+	_ proto.ScratchClient  = (*Client)(nil)
+	_ proto.InputValidator = (*Server)(nil)
 )
 
 // sampleMotion decimates mouse-motion events down to at most max samples,

@@ -46,9 +46,18 @@ func DefaultConfig() Config {
 
 // Server encodes display updates as SLIM commands; the protocol is
 // stateless, so the server needs no session state at all beyond its name —
-// exactly the property Schmidt et al. designed for.
+// exactly the property Schmidt et al. designed for. (The spans field is
+// encoder scratch, not protocol state: per-update offset bookkeeping
+// reused so steady-state encoding allocates nothing.)
 type Server struct {
-	cfg Config
+	cfg   Config
+	spans []cmdSpan
+}
+
+// cmdSpan records where one command landed in the shared payload buffer.
+type cmdSpan struct {
+	start, end int
+	kind       string
 }
 
 // NewServer builds the application-side endpoint.
@@ -70,11 +79,30 @@ func (s *Server) SetupBytes() int { return 642 }
 // Update implements proto.Server: each operation becomes one command
 // message (SLIM has no batching layer; the wire unit is the command).
 func (s *Server) Update(ops []display.Op) []proto.Message {
-	msgs := make([]proto.Message, 0, len(ops))
+	return s.UpdateScratch(ops, &proto.Scratch{})
+}
+
+// UpdateScratch implements proto.ScratchServer: the per-op command
+// messages are carved out of one shared payload arena — commands are
+// encoded back to back with their offsets recorded, then sliced once the
+// buffer has stopped growing — so a steady-state echo burst reuses a
+// single buffer and message slice instead of allocating per command.
+func (s *Server) UpdateScratch(ops []display.Op, sc *proto.Scratch) []proto.Message {
+	w := proto.WriterOver(sc.Buf)
+	spans := s.spans[:0]
 	for _, op := range ops {
-		msgs = append(msgs, encodeCommand(op))
+		start := w.Len()
+		kind := encodeCommand(&w, op)
+		spans = append(spans, cmdSpan{start: start, end: w.Len(), kind: kind})
 	}
-	return msgs
+	s.spans = spans
+	b := w.Bytes()
+	sc.Buf = b
+	sc.Msgs = sc.Msgs[:0]
+	for _, sp := range spans {
+		sc.Msgs = append(sc.Msgs, proto.Message{Channel: proto.Display, Kind: sp.kind, Payload: b[sp.start:sp.end]})
+	}
+	return sc.Msgs
 }
 
 func cmdHeader(w *proto.Writer, op uint8, x, y, width, height int) {
@@ -83,44 +111,50 @@ func cmdHeader(w *proto.Writer, op uint8, x, y, width, height int) {
 	w.U16(uint16(width)).U16(uint16(height))
 }
 
-func encodeCommand(op display.Op) proto.Message {
+// encodeCommand appends one command to the shared writer and returns its
+// message kind.
+func encodeCommand(w *proto.Writer, op display.Op) string {
 	switch o := op.(type) {
 	case display.FillRect:
-		w := proto.NewWriter(10)
 		cmdHeader(w, cmdFill, o.Rect.X, o.Rect.Y, o.Rect.W, o.Rect.H)
 		w.U8(o.Color)
-		return proto.Message{Channel: proto.Display, Kind: "FILL", Payload: w.Bytes()}
+		return "FILL"
 	case display.CopyArea:
-		w := proto.NewWriter(13)
 		cmdHeader(w, cmdCopy, o.Src.X, o.Src.Y, o.Src.W, o.Src.H)
 		w.I16(int16(o.DstX)).I16(int16(o.DstY))
-		return proto.Message{Channel: proto.Display, Kind: "COPY", Payload: w.Bytes()}
+		return "COPY"
 	case display.PutBitmap:
-		w := proto.NewWriter(9 + o.Img.Bytes())
 		cmdHeader(w, cmdSet, o.X, o.Y, o.Img.W, o.Img.H)
 		w.Raw(o.Img.Pix)
-		return proto.Message{Channel: proto.Display, Kind: "SET", Payload: w.Bytes()}
+		return "SET"
 	case display.DrawText:
 		// Text renders as a two-color BITMAP: 1 bpp glyph coverage plus
 		// foreground color — SLIM's answer to fonts, far cheaper than SET.
-		runes := []rune(o.Text)
-		if len(runes) > 255 {
-			runes = runes[:255]
+		// Walk the string directly (rune iteration yields the same U+FFFD
+		// replacements as a []rune conversion would) so the hot echo path
+		// does not materialize a rune slice per DrawText; the cap at 255
+		// matches the prior slice truncation.
+		n := 0
+		for range o.Text {
+			n++
+			if n == 255 {
+				break
+			}
 		}
-		width := len(runes) * display.GlyphW
+		width := n * display.GlyphW
 		height := display.GlyphH
-		w := proto.NewWriter(12 + (width*height+7)/8)
 		cmdHeader(w, cmdBitmap, o.X, o.Y, width, height)
 		w.U8(o.Color)
 		w.U8(0) // transparent background flag
 		var cur byte
 		bit := 0
-		flush := func() {
-			w.U8(cur)
-			cur, bit = 0, 0
-		}
 		for y := 0; y < height; y++ {
-			for _, r := range runes {
+			i := 0
+			for _, r := range o.Text {
+				if i == n {
+					break
+				}
+				i++
 				g := display.GlyphMask(r)
 				for x := 0; x < display.GlyphW; x++ {
 					if g.At(x, y) != 0 {
@@ -128,15 +162,16 @@ func encodeCommand(op display.Op) proto.Message {
 					}
 					bit++
 					if bit == 8 {
-						flush()
+						w.U8(cur)
+						cur, bit = 0, 0
 					}
 				}
 			}
 		}
 		if bit > 0 {
-			flush()
+			w.U8(cur)
 		}
-		return proto.Message{Channel: proto.Display, Kind: "BITMAP", Payload: w.Bytes()}
+		return "BITMAP"
 	default:
 		panic(fmt.Sprintf("slim: unsupported op %T", op))
 	}
@@ -169,6 +204,34 @@ func (s *Server) DecodeInput(m proto.Message) ([]display.InputEvent, error) {
 		}
 	}
 	return events, nil
+}
+
+// ValidateInput implements proto.InputValidator: DecodeInput's structural
+// walk without materializing the event slice. The two must accept and
+// reject identical messages.
+func (s *Server) ValidateInput(m proto.Message) (int, error) {
+	if m.Channel != proto.Input {
+		return 0, fmt.Errorf("%w: input decode of %v message", proto.ErrBadMessage, m.Channel)
+	}
+	r := proto.NewReader(m.Payload)
+	n := 0
+	for r.Remaining() > 0 {
+		switch typ := r.U8(); typ {
+		case inKey:
+			r.Skip(3) // flags, code
+		case inPointer:
+			r.Skip(4) // x, y
+		case inButton:
+			r.Skip(1) // flags
+		default:
+			return 0, fmt.Errorf("%w: unknown input type %d", proto.ErrBadMessage, typ)
+		}
+		n++
+		if err := r.Err(); err != nil {
+			return 0, err
+		}
+	}
+	return n, nil
 }
 
 // Client applies SLIM commands to its framebuffer.
@@ -246,10 +309,16 @@ func (c *Client) Apply(m proto.Message) error {
 // EncodeInput implements proto.Client: compact fixed events sharing one
 // flush write.
 func (c *Client) EncodeInput(events []display.InputEvent) []proto.Message {
+	return c.EncodeInputScratch(events, &proto.Scratch{})
+}
+
+// EncodeInputScratch implements proto.ScratchClient: EncodeInput into
+// caller-owned scratch, the zero-allocation steady-state form.
+func (c *Client) EncodeInputScratch(events []display.InputEvent, sc *proto.Scratch) []proto.Message {
 	if len(events) == 0 {
 		return nil
 	}
-	w := proto.NewWriter(len(events) * 5)
+	w := proto.WriterOver(sc.Buf)
 	for _, ev := range events {
 		switch e := ev.(type) {
 		case display.KeyEvent:
@@ -270,11 +339,17 @@ func (c *Client) EncodeInput(events []display.InputEvent) []proto.Message {
 			panic(fmt.Sprintf("slim: unsupported input event %T", ev))
 		}
 	}
-	return []proto.Message{{Channel: proto.Input, Kind: "InputEvents", Payload: w.Bytes()}}
+	b := w.Bytes()
+	sc.Buf = b
+	sc.Msgs = append(sc.Msgs[:0], proto.Message{Channel: proto.Input, Kind: "InputEvents", Payload: b})
+	return sc.Msgs
 }
 
 // Compile-time interface conformance.
 var (
-	_ proto.Server = (*Server)(nil)
-	_ proto.Client = (*Client)(nil)
+	_ proto.Server         = (*Server)(nil)
+	_ proto.Client         = (*Client)(nil)
+	_ proto.ScratchServer  = (*Server)(nil)
+	_ proto.ScratchClient  = (*Client)(nil)
+	_ proto.InputValidator = (*Server)(nil)
 )

@@ -57,6 +57,13 @@ type Server struct {
 	fb  *display.Framebuffer
 
 	lastX, lastY int // pointer state from decoded input
+
+	// Encoder scratch, reused across updates so the steady-state echo
+	// pipeline allocates nothing: the pending damage list, the RRE
+	// subrectangle analysis, and the RRE body buffer.
+	pending []display.Rect
+	subs    []rreSub
+	rreBuf  []byte
 }
 
 // NewServer builds the application-side endpoint.
@@ -94,16 +101,30 @@ func (s *Server) SetupBytes() int {
 // framebuffer as it stood before the copy executed. Pending damage is
 // therefore encoded ("flushed") the moment a copy op arrives.
 func (s *Server) Update(ops []display.Op) []proto.Message {
+	return s.UpdateScratch(ops, &proto.Scratch{})
+}
+
+// UpdateScratch implements proto.ScratchServer: Update encoded into
+// caller-owned scratch. Rectangles are written straight into one payload
+// buffer in flush order — the same byte stream the per-rect encoding
+// produced — with the rectangle count patched into the header afterward,
+// and the damage list and RRE analysis scratch reused across updates.
+func (s *Server) UpdateScratch(ops []display.Op, sc *proto.Scratch) []proto.Message {
 	if len(ops) == 0 {
 		return nil
 	}
-	var encoded [][]byte
-	var pending []display.Rect
+	w := proto.WriterOver(sc.Buf)
+	w.U8(0)  // FramebufferUpdate
+	w.U8(0)  // pad
+	w.U16(0) // rectangle count, patched below
+	rects := 0
+	pending := s.pending[:0]
 	flushPending := func() {
 		for _, r := range pending {
-			encoded = append(encoded, s.encodeRect(r))
+			s.encodeRect(&w, r)
+			rects++
 		}
-		pending = nil
+		pending = pending[:0]
 	}
 	for _, op := range ops {
 		if c, ok := op.(display.CopyArea); ok {
@@ -112,12 +133,11 @@ func (s *Server) Update(ops []display.Op) []proto.Message {
 			s.fb.Apply(op)
 			d := clipRect(c.Bounds(), s.cfg.ScreenW, s.cfg.ScreenH)
 			if !d.Empty() {
-				w := proto.NewWriter(16)
 				w.I16(int16(d.X)).I16(int16(d.Y))
 				w.U16(uint16(d.W)).U16(uint16(d.H))
 				w.U32(encCopyRect)
 				w.I16(int16(c.Src.X)).I16(int16(c.Src.Y))
-				encoded = append(encoded, w.Bytes())
+				rects++
 			}
 			continue
 		}
@@ -128,17 +148,16 @@ func (s *Server) Update(ops []display.Op) []proto.Message {
 		}
 	}
 	flushPending()
-	if len(encoded) == 0 {
+	s.pending = pending[:0]
+	b := w.Bytes()
+	sc.Buf = b
+	if rects == 0 {
 		return nil
 	}
-	w := proto.NewWriter(64)
-	w.U8(0) // FramebufferUpdate
-	w.U8(0) // pad
-	w.U16(uint16(len(encoded)))
-	for _, rect := range encoded {
-		w.Raw(rect)
-	}
-	return []proto.Message{{Channel: proto.Display, Kind: "FramebufferUpdate", Payload: w.Bytes()}}
+	b[2] = byte(rects)
+	b[3] = byte(rects >> 8)
+	sc.Msgs = append(sc.Msgs[:0], proto.Message{Channel: proto.Display, Kind: "FramebufferUpdate", Payload: b})
+	return sc.Msgs
 }
 
 // mergeRect adds r to the damage list, unioning it with any rectangle it
@@ -184,25 +203,23 @@ func clipRect(r display.Rect, w, h int) display.Rect {
 	return r
 }
 
-// encodeRect encodes one damage rectangle from the current framebuffer
-// state: a 12-byte rectangle header plus Raw or RRE pixel data, whichever
-// is smaller.
-func (s *Server) encodeRect(d display.Rect) []byte {
-	w := proto.NewWriter(16 + d.W*d.H)
+// encodeRect appends one damage rectangle encoded from the current
+// framebuffer state: a 12-byte rectangle header plus Raw or RRE pixel
+// data, whichever is smaller.
+func (s *Server) encodeRect(w *proto.Writer, d display.Rect) {
 	w.I16(int16(d.X)).I16(int16(d.Y))
 	w.U16(uint16(d.W)).U16(uint16(d.H))
 	if rre, ok := s.tryRRE(d); ok && len(rre) < d.W*d.H {
 		w.U32(encRRE)
 		w.U32(uint32(len(rre)))
 		w.Raw(rre)
-		return w.Bytes()
+		return
 	}
 	w.U32(encRaw)
 	for y := d.Y; y < d.Y+d.H; y++ {
 		row := s.fb.Pix[y*s.fb.W+d.X : y*s.fb.W+d.X+d.W]
 		w.Raw(row)
 	}
-	return w.Bytes()
 }
 
 // tryRRE analyzes the rectangle: most common color becomes the background;
@@ -222,11 +239,7 @@ func (s *Server) tryRRE(d display.Rect) ([]byte, bool) {
 			bg, best = byte(c), n
 		}
 	}
-	type sub struct {
-		x, y, w int
-		color   byte
-	}
-	var subs []sub
+	subs := s.subs[:0]
 	for y := d.Y; y < d.Y+d.H; y++ {
 		x := d.X
 		for x < d.X+d.W {
@@ -239,14 +252,16 @@ func (s *Server) tryRRE(d display.Rect) ([]byte, bool) {
 			for x+run < d.X+d.W && s.fb.At(x+run, y) == c {
 				run++
 			}
-			subs = append(subs, sub{x - d.X, y - d.Y, run, c})
+			subs = append(subs, rreSub{x - d.X, y - d.Y, run, c})
 			if len(subs) > s.cfg.MaxRRESubrects {
+				s.subs = subs
 				return nil, false
 			}
 			x += run
 		}
 	}
-	w := proto.NewWriter(5 + len(subs)*9)
+	s.subs = subs
+	w := proto.WriterOver(s.rreBuf)
 	w.U32(uint32(len(subs)))
 	w.U8(bg)
 	for _, r := range subs {
@@ -254,7 +269,14 @@ func (s *Server) tryRRE(d display.Rect) ([]byte, bool) {
 		w.U16(uint16(r.x)).U16(uint16(r.y))
 		w.U16(uint16(r.w)).U16(1)
 	}
-	return w.Bytes(), true
+	s.rreBuf = w.Bytes()
+	return s.rreBuf, true
+}
+
+// rreSub is one RRE foreground subrectangle (height-1 run) found by tryRRE.
+type rreSub struct {
+	x, y, w int
+	color   byte
 }
 
 // DecodeInput implements proto.Server: fixed-size RFB client messages, one
@@ -292,6 +314,41 @@ func (s *Server) DecodeInput(m proto.Message) ([]display.InputEvent, error) {
 		}
 	}
 	return events, nil
+}
+
+// ValidateInput implements proto.InputValidator: the structural walk of
+// DecodeInput — including the pointer-state tracking that distinguishes
+// motion from clicks — without materializing the event slice. The two
+// must accept and reject identical messages and leave identical state.
+func (s *Server) ValidateInput(m proto.Message) (int, error) {
+	if m.Channel != proto.Input {
+		return 0, fmt.Errorf("%w: input decode of %v message", proto.ErrBadMessage, m.Channel)
+	}
+	r := proto.NewReader(m.Payload)
+	n := 0
+	for r.Remaining() > 0 {
+		switch typ := r.U8(); typ {
+		case msgKeyEvent:
+			r.Skip(7) // down, pad, keysym
+			n++
+		case msgPointerEvent:
+			mask := r.U8()
+			x, y := r.I16(), r.I16()
+			if int(x) != s.lastX || int(y) != s.lastY {
+				n++
+				s.lastX, s.lastY = int(x), int(y)
+			}
+			if mask&0x80 != 0 {
+				n++
+			}
+		default:
+			return 0, fmt.Errorf("%w: unknown client message %d", proto.ErrBadMessage, typ)
+		}
+		if err := r.Err(); err != nil {
+			return 0, err
+		}
+	}
+	return n, nil
 }
 
 // Client applies framebuffer updates and encodes RFB client messages.
@@ -373,10 +430,16 @@ func (c *Client) Apply(m proto.Message) error {
 // all sharing a flush write (RFB clients write per event; the batch is one
 // socket write).
 func (c *Client) EncodeInput(events []display.InputEvent) []proto.Message {
+	return c.EncodeInputScratch(events, &proto.Scratch{})
+}
+
+// EncodeInputScratch implements proto.ScratchClient: EncodeInput into
+// caller-owned scratch, the zero-allocation steady-state form.
+func (c *Client) EncodeInputScratch(events []display.InputEvent, sc *proto.Scratch) []proto.Message {
 	if len(events) == 0 {
 		return nil
 	}
-	w := proto.NewWriter(len(events) * 8)
+	w := proto.WriterOver(sc.Buf)
 	for _, ev := range events {
 		switch e := ev.(type) {
 		case display.KeyEvent:
@@ -407,11 +470,17 @@ func (c *Client) EncodeInput(events []display.InputEvent) []proto.Message {
 			panic(fmt.Sprintf("vnc: unsupported input event %T", ev))
 		}
 	}
-	return []proto.Message{{Channel: proto.Input, Kind: "ClientEvents", Payload: w.Bytes()}}
+	b := w.Bytes()
+	sc.Buf = b
+	sc.Msgs = append(sc.Msgs[:0], proto.Message{Channel: proto.Input, Kind: "ClientEvents", Payload: b})
+	return sc.Msgs
 }
 
 // Compile-time interface conformance.
 var (
-	_ proto.Server = (*Server)(nil)
-	_ proto.Client = (*Client)(nil)
+	_ proto.Server         = (*Server)(nil)
+	_ proto.Client         = (*Client)(nil)
+	_ proto.ScratchServer  = (*Server)(nil)
+	_ proto.ScratchClient  = (*Client)(nil)
+	_ proto.InputValidator = (*Server)(nil)
 )

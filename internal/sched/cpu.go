@@ -278,7 +278,7 @@ func (c *CPU) completeItem(t *Thread, now simclock.Time) {
 		c.OnItemDone(rec)
 	}
 	if it.OnDone != nil {
-		it.OnDone(now, 1+t.absorbed)
+		it.OnDone(it, now, 1+t.absorbed)
 	}
 	t.absorbed = 0
 	if it.pooled {
@@ -334,6 +334,7 @@ func (c *CPU) Retire(t *Thread) {
 	}
 	t.state = Blocked
 	t.queue = nil
+	t.qhead = 0
 	t.item = nil
 	t.remaining = 0
 }

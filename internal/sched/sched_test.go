@@ -17,7 +17,7 @@ func TestSingleItemRunsToCompletion(t *testing.T) {
 	th := cpu.NewThread("worker", 0)
 	var doneAt simclock.Time
 	var n int
-	cpu.Submit(th, &WorkItem{Tag: "job", CPU: 3 * simclock.Millisecond, OnDone: func(now simclock.Time, k int) {
+	cpu.Submit(th, &WorkItem{Tag: "job", CPU: 3 * simclock.Millisecond, OnDone: func(_ *WorkItem, now simclock.Time, k int) {
 		doneAt, n = now, k
 	}})
 	eng.Drain(1000)
@@ -39,7 +39,7 @@ func TestItemSpanningMultipleQuanta(t *testing.T) {
 	eng, cpu := newRRCPU()
 	th := cpu.NewThread("worker", 0)
 	var doneAt simclock.Time
-	cpu.Submit(th, &WorkItem{Tag: "long", CPU: 35 * simclock.Millisecond, OnDone: func(now simclock.Time, _ int) {
+	cpu.Submit(th, &WorkItem{Tag: "long", CPU: 35 * simclock.Millisecond, OnDone: func(_ *WorkItem, now simclock.Time, _ int) {
 		doneAt = now
 	}})
 	eng.Drain(1000)
@@ -54,8 +54,8 @@ func TestRoundRobinAlternation(t *testing.T) {
 	a := cpu.NewThread("a", 0)
 	b := cpu.NewThread("b", 0)
 	var aDone, bDone simclock.Time
-	cpu.Submit(a, &WorkItem{Tag: "a", CPU: 20 * simclock.Millisecond, OnDone: func(now simclock.Time, _ int) { aDone = now }})
-	cpu.Submit(b, &WorkItem{Tag: "b", CPU: 20 * simclock.Millisecond, OnDone: func(now simclock.Time, _ int) { bDone = now }})
+	cpu.Submit(a, &WorkItem{Tag: "a", CPU: 20 * simclock.Millisecond, OnDone: func(_ *WorkItem, now simclock.Time, _ int) { aDone = now }})
+	cpu.Submit(b, &WorkItem{Tag: "b", CPU: 20 * simclock.Millisecond, OnDone: func(_ *WorkItem, now simclock.Time, _ int) { bDone = now }})
 	eng.Drain(1000)
 	// a: [0,10) [20,30); b: [10,20) [30,40).
 	if aDone != simclock.Time(30*simclock.Millisecond) {
@@ -76,7 +76,7 @@ func TestRRNoWakePreemption(t *testing.T) {
 	// editor must wait for the hog's 10ms quantum boundary.
 	cpu.SubmitAt(simclock.Time(2*simclock.Millisecond), ed, &WorkItem{
 		Tag: "key", CPU: simclock.Millisecond,
-		OnDone: func(now simclock.Time, _ int) { echoAt = now },
+		OnDone: func(_ *WorkItem, now simclock.Time, _ int) { echoAt = now },
 	})
 	eng.Drain(10000)
 	if echoAt != simclock.Time(11*simclock.Millisecond) {
@@ -94,7 +94,7 @@ func TestNTWakePreemption(t *testing.T) {
 	var echoAt simclock.Time
 	cpu.SubmitAt(simclock.Time(2*simclock.Millisecond), ed, &WorkItem{
 		Tag: "key", CPU: simclock.Millisecond,
-		OnDone: func(now simclock.Time, _ int) { echoAt = now },
+		OnDone: func(_ *WorkItem, now simclock.Time, _ int) { echoAt = now },
 	})
 	eng.Drain(10000)
 	// NT preempts the lower-priority hog immediately: echo at 2+1 = 3ms.
@@ -162,7 +162,7 @@ func TestCoalescingAbsorbsSameTag(t *testing.T) {
 	for i := 0; i < 5; i++ {
 		cpu.SubmitAt(simclock.Time(i+1)*simclock.Time(simclock.Millisecond), enc, &WorkItem{
 			Tag: "update", CPU: 2 * simclock.Millisecond, ExtraCPU: 100 * simclock.Microsecond, Coalesce: true,
-			OnDone: func(now simclock.Time, n int) { counts = append(counts, n) },
+			OnDone: func(_ *WorkItem, now simclock.Time, n int) { counts = append(counts, n) },
 		})
 	}
 	eng.Drain(10000)
@@ -182,7 +182,7 @@ func TestCoalescingLeavesOtherTags(t *testing.T) {
 	var done []string
 	mk := func(tag string, coalesce bool) *WorkItem {
 		return &WorkItem{Tag: tag, CPU: simclock.Millisecond, Coalesce: coalesce,
-			OnDone: func(_ simclock.Time, _ int) { done = append(done, tag) }}
+			OnDone: func(_ *WorkItem, _ simclock.Time, _ int) { done = append(done, tag) }}
 	}
 	cpu.SubmitAt(1000, enc, mk("update", true))
 	cpu.SubmitAt(1001, enc, mk("other", false))
@@ -210,7 +210,7 @@ func TestBalanceSetBoostsStarvedThreads(t *testing.T) {
 	cpu.Submit(hog, &WorkItem{Tag: "spin", CPU: 20 * simclock.Second})
 	var victimDone simclock.Time
 	cpu.Submit(victim, &WorkItem{Tag: "job", CPU: simclock.Millisecond,
-		OnDone: func(now simclock.Time, _ int) { victimDone = now }})
+		OnDone: func(_ *WorkItem, now simclock.Time, _ int) { victimDone = now }})
 	eng.RunFor(10 * simclock.Second)
 	if victimDone == 0 {
 		t.Fatal("starved thread never ran despite balance-set scans")
@@ -235,7 +235,7 @@ func TestSVR4InteractivePreemptsTimeshare(t *testing.T) {
 	var echoAt simclock.Time
 	cpu.SubmitAt(simclock.Time(2*simclock.Millisecond), ed, &WorkItem{
 		Tag: "key", CPU: simclock.Millisecond,
-		OnDone: func(now simclock.Time, _ int) { echoAt = now },
+		OnDone: func(_ *WorkItem, now simclock.Time, _ int) { echoAt = now },
 	})
 	eng.Drain(10000)
 	if echoAt != simclock.Time(3*simclock.Millisecond) {
@@ -327,7 +327,7 @@ func TestRetireStopsThread(t *testing.T) {
 	cpu.Submit(hog, &WorkItem{Tag: "spin", CPU: simclock.Duration(100) * simclock.Second})
 	var otherDone simclock.Time
 	cpu.SubmitAt(simclock.Time(simclock.Millisecond), other, &WorkItem{Tag: "job", CPU: simclock.Millisecond,
-		OnDone: func(now simclock.Time, _ int) { otherDone = now }})
+		OnDone: func(_ *WorkItem, now simclock.Time, _ int) { otherDone = now }})
 	eng.At(simclock.Time(5*simclock.Millisecond), func(simclock.Time) { cpu.Retire(hog) })
 	eng.RunFor(simclock.Second)
 	if hog.State() != Blocked {
@@ -364,7 +364,7 @@ func TestWorkConservation(t *testing.T) {
 				demand += d
 				want++
 				cpu.SubmitAt(simclock.Time(rng.Intn(100))*simclock.Time(simclock.Millisecond), th,
-					&WorkItem{Tag: "job", CPU: d, OnDone: func(_ simclock.Time, _ int) { completions++ }})
+					&WorkItem{Tag: "job", CPU: d, OnDone: func(_ *WorkItem, _ simclock.Time, _ int) { completions++ }})
 			}
 		}
 		eng.Drain(1_000_000)

@@ -55,9 +55,17 @@ type WorkItem struct {
 	// encoder processes every pending damage region in one pass and emits a
 	// single update message.
 	Coalesce bool
-	// OnDone, if set, runs when the item completes. n is 1 plus the number
-	// of absorbed items.
-	OnDone func(now simclock.Time, n int)
+	// OnDone, if set, runs when the item completes. It receives the item
+	// itself so a callback shared across items — a method value bound once
+	// at construction — can read the A/B payload instead of capturing
+	// per-item state in a fresh closure. n is 1 plus the number of absorbed
+	// items. For pooled items the receiver must not retain it past the
+	// call: the item is recycled as soon as OnDone returns.
+	OnDone func(it *WorkItem, now simclock.Time, n int)
+	// A and B are caller-owned integer payload slots for shared OnDone
+	// callbacks (e.g. a session index and an interaction index). The
+	// scheduler never reads them.
+	A, B int
 
 	arrive simclock.Time
 	pooled bool // allocated via CPU.Acquire; recycled after completion
@@ -82,10 +90,16 @@ type Thread struct {
 	// Foreground marks threads subject to NT quantum stretching.
 	Foreground bool
 
-	state      State
-	cur        int // current (possibly boosted) priority
-	boostLeft  int // quanta remaining at boosted priority
+	state     State
+	cur       int // current (possibly boosted) priority
+	boostLeft int // quanta remaining at boosted priority
+	// queue and qhead form a FIFO ring: Submit appends at the tail and
+	// startNextItem pops by advancing qhead, rewinding both to the array
+	// start whenever the queue drains so steady-state submission reuses
+	// one backing array instead of re-allocating on every append past a
+	// slid-forward window.
 	queue      []*WorkItem
+	qhead      int
 	item       *WorkItem         // item being serviced
 	remaining  simclock.Duration // CPU left for current item
 	quantumRem simclock.Duration // quantum left from last dispatch
@@ -104,7 +118,7 @@ func (t *Thread) Priority() int { return t.cur }
 func (t *Thread) Boosted() bool { return t.boostLeft > 0 }
 
 // QueueLen reports the number of pending (unstarted) work items.
-func (t *Thread) QueueLen() int { return len(t.queue) }
+func (t *Thread) QueueLen() int { return len(t.queue) - t.qhead }
 
 // TotalCPU reports the cumulative CPU time the thread has consumed.
 func (t *Thread) TotalCPU() simclock.Duration { return t.totalCPU }
@@ -137,16 +151,17 @@ func (t *Thread) consumeBoostQuantum() {
 // startNextItem pops the next queued item, absorbing same-tag items when the
 // item requests coalescing. It reports false when the queue is empty.
 func (t *Thread) startNextItem() bool {
-	if len(t.queue) == 0 {
+	if t.qhead == len(t.queue) {
 		return false
 	}
-	it := t.queue[0]
-	t.queue = t.queue[1:]
+	it := t.queue[t.qhead]
+	t.queue[t.qhead] = nil
+	t.qhead++
 	t.absorbed = 0
 	cpu := it.CPU
 	if it.Coalesce {
-		kept := t.queue[:0]
-		for _, q := range t.queue {
+		kept := t.queue[:t.qhead]
+		for _, q := range t.queue[t.qhead:] {
 			if q.Tag == it.Tag {
 				t.absorbed++
 				cpu += it.ExtraCPU
@@ -159,6 +174,21 @@ func (t *Thread) startNextItem() bool {
 			t.queue[i] = nil
 		}
 		t.queue = kept
+	}
+	if t.qhead == len(t.queue) {
+		// Drained: rewind to the array start so the next Submit appends
+		// into the existing capacity.
+		t.queue = t.queue[:0]
+		t.qhead = 0
+	} else if t.qhead >= 64 && t.qhead*2 >= len(t.queue) {
+		// A queue that never empties would otherwise slide its window
+		// forward indefinitely; compact the live tail down.
+		n := copy(t.queue, t.queue[t.qhead:])
+		for i := n; i < len(t.queue); i++ {
+			t.queue[i] = nil
+		}
+		t.queue = t.queue[:n]
+		t.qhead = 0
 	}
 	t.item = it
 	t.remaining = cpu

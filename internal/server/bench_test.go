@@ -1,0 +1,33 @@
+package server
+
+import (
+	"testing"
+
+	"thinbench/internal/simclock"
+)
+
+// BenchmarkEchoPath measures the zero-alloc echo pipeline end to end: a
+// small contended rdp server simulated for a couple of seconds, covering
+// keystroke encode, link transfer, scheduler dispatch, echo encode, and
+// client apply. The allocation report is the pipeline's regression canary:
+// pooled echo ops, scratch encoders, and shared delivery callbacks keep
+// the steady-state per-event allocation count near zero, so a jump here
+// means a closure or scratch buffer crept back onto the hot path.
+func BenchmarkEchoPath(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		cfg := DefaultConfig()
+		cfg.Users = 4
+		cfg.Protocol = "rdp"
+		cfg.Scheduler = "rr"
+		cfg.Span = 2 * simclock.Second
+		cfg.Seed = 7
+		srv, err := New(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := srv.Run(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -302,6 +302,32 @@ type Server struct {
 	users  []*userState
 	system *vm.Process
 
+	// Struct-of-arrays hot session state, indexed by seat (userState.idx).
+	// active is true while the seat is logged in; every pipeline stage
+	// checks it so a departed user's in-flight callbacks fall dead instead
+	// of submitting work to retired threads. submitted records every
+	// interaction's submit time and completed marks the ones whose echo
+	// landed — per interaction rather than by count, because a link drop
+	// leaves a hole in the otherwise-FIFO pipeline and censoring must age
+	// the interaction that actually hung, not the youngest one.
+	active    []bool
+	wsOff     []int   // rotating working-set offset, KB
+	col       []int   // echo caret position
+	lost      []int64 // interactions that vanished to full link queues
+	submitted [][]simclock.Time
+	completed [][]bool
+
+	// echoOps pools in-flight interaction transfers; opFree indexes the
+	// recycled ones. The *Fn fields are callbacks bound once at
+	// construction so the per-keystroke path never allocates a closure.
+	echoOps       []*echoOp
+	opFree        []int
+	opDeliveredFn netsim.DeliverFunc
+	echoDoneFn    func(*sched.WorkItem, simclock.Time, int)
+	encodeDoneFn  func(*sched.WorkItem, simclock.Time, int)
+	modelInputFn  netsim.DeliverFunc
+	modelEchoFn   netsim.DeliverFunc
+
 	// cur and peak track the concurrent logged-in population.
 	cur, peak            int
 	arrivals, departures int
@@ -313,7 +339,12 @@ type Server struct {
 	err         error
 }
 
-// userState is one session's private wiring on the shared substrates.
+// userState is one session's private wiring on the shared substrates. The
+// fields the steady-state echo loop touches on every interaction live in
+// the Server's struct-of-arrays slices (active, wsOff, col, lost,
+// submitted, completed), indexed by idx, so the hot path walks dense
+// arrays instead of chasing per-user pointers; userState keeps the cold
+// lifecycle and codec state.
 type userState struct {
 	*session.User
 	idx  int
@@ -321,36 +352,30 @@ type userState struct {
 	rng  *simclock.Rand
 	psrv proto.Server // nil in model mode
 	pcli proto.Client
-	ws   *vm.Process
-	bg   *sched.Thread
-	// active is true while the session is logged in; every pipeline stage
-	// checks it so a departed user's in-flight callbacks fall dead
-	// instead of submitting work to retired threads. aborted marks a
-	// session whose logout fired before its login finished (a connection
-	// dying mid-handshake): the login never completes. loginDone marks
-	// that the arrival's whole admission — handshake, page-ins, process
-	// creation — finished and typing began; an arrival that never gets
-	// there spent its time staring at the login screen, which Run counts
-	// as one censored interaction aged from the planned login instant.
-	active    bool
+	// psrvSc, pcliSc, and psrvVal cache the scratch-encoding and
+	// validate-only interfaces of psrv/pcli (nil when the protocol lacks
+	// one), so the per-keystroke path does a field load instead of a type
+	// assertion.
+	psrvSc  proto.ScratchServer
+	pcliSc  proto.ScratchClient
+	psrvVal proto.InputValidator
+	ws      *vm.Process
+	bg      *sched.Thread
+	// aborted marks a session whose logout fired before its login finished
+	// (a connection dying mid-handshake): the login never completes.
+	// loginDone marks that the arrival's whole admission — handshake,
+	// page-ins, process creation — finished and typing began; an arrival
+	// that never gets there spent its time staring at the login screen,
+	// which Run counts as one censored interaction aged from the planned
+	// login instant.
 	aborted   bool
 	loginDone bool
 	goneAt    simclock.Time
 	// stops cancels the session's recurring background work on logout.
 	stops []func()
 
-	wsOff int // rotating working-set offset, KB
-	col   int // echo caret position
-	lost  int64
-	echo  *metrics.Dist
-	// submitted records every interaction's submit time and completed
-	// marks the ones whose echo landed. Completion is tracked per
-	// interaction rather than by count: a link drop leaves a hole in the
-	// otherwise-FIFO pipeline, and censoring must age the interaction
-	// that actually hung, not the youngest one.
-	submitted []simclock.Time
-	completed []bool
-	pageIn    simclock.Duration
+	echo   *metrics.Dist
+	pageIn simclock.Duration
 
 	// ops is the reused one-op display buffer for echo updates and
 	// echoText the session's precomputed caret glyph; together they keep
@@ -359,6 +384,23 @@ type userState struct {
 	// the slice, so reuse is safe.
 	ops      []display.Op
 	echoText string
+}
+
+// echoOp is one in-flight interaction transfer: the encoded messages of a
+// keystroke (input) or its echo update (display), plus the scratch arena
+// they were encoded into. Ops are pooled on the Server and addressed by
+// index, so link-delivery callbacks are one shared method value carrying
+// (op id, message index) instead of a fresh closure per message; the op —
+// and with it the scratch the payloads alias — is recycled once every
+// callback-bearing delivery has landed.
+type echoOp struct {
+	sc    proto.Scratch
+	msgs  []proto.Message
+	user  int  // seat index into Server.users
+	idx   int  // interaction index into Server.submitted[user]
+	sends int  // callback-bearing deliveries still in flight
+	done  bool // all sends issued; recycle when sends drains to zero
+	input bool // input-channel op (decode+serve) vs display op (apply+record)
 }
 
 // New composes a shared server from the configuration. It fails on an
@@ -430,6 +472,18 @@ func New(cfg Config) (*Server, error) {
 		}
 		s.users = append(s.users, u)
 	}
+	n := len(s.users)
+	s.active = make([]bool, n)
+	s.wsOff = make([]int, n)
+	s.col = make([]int, n)
+	s.lost = make([]int64, n)
+	s.submitted = make([][]simclock.Time, n)
+	s.completed = make([][]bool, n)
+	s.opDeliveredFn = s.opDelivered
+	s.echoDoneFn = s.echoDone
+	s.encodeDoneFn = s.encodeDone
+	s.modelInputFn = s.modelInput
+	s.modelEchoFn = s.modelEcho
 	for _, u := range s.users {
 		if u.lc.Login != 0 {
 			continue
@@ -470,7 +524,12 @@ func (s *Server) attach(u *userState) error {
 		}
 		u.psrv, u.pcli = psrv, pcli
 	}
-	u.active = true
+	if u.psrv != nil {
+		u.psrvSc, _ = u.psrv.(proto.ScratchServer)
+		u.pcliSc, _ = u.pcli.(proto.ScratchClient)
+		u.psrvVal, _ = u.psrv.(proto.InputValidator)
+	}
+	s.active[u.idx] = true
 	s.cur++
 	if s.cur > s.peak {
 		s.peak = s.cur
@@ -535,8 +594,8 @@ func (s *Server) Run() (Result, error) {
 		if u.goneAt > 0 {
 			uend = u.goneAt
 		}
-		for i, at := range u.submitted {
-			if !u.completed[i] {
+		for i, at := range s.submitted[u.idx] {
+			if !s.completed[u.idx][i] {
 				ms := uend.Sub(at).Milliseconds()
 				u.echo.Add(ms)
 				s.sliceAt(uend).Add(ms)
@@ -559,8 +618,8 @@ func (s *Server) Run() (Result, error) {
 				s.loginMaxMs = ms
 			}
 		}
-		res.Interactions += int64(len(u.submitted))
-		res.LostInputs += u.lost
+		res.Interactions += int64(len(s.submitted[u.idx]))
+		res.LostInputs += s.lost[u.idx]
 		res.PageInMs += u.pageIn.Milliseconds()
 		s.echo.Merge(u.echo)
 	}
@@ -583,7 +642,7 @@ func (s *Server) Run() (Result, error) {
 // probe until its logout (or the span), plus its background CPU and
 // display-traffic load.
 func (s *Server) start(u *userState, now simclock.Time) {
-	if !u.active {
+	if !s.active[u.idx] {
 		return // logged out while the login work was still queued
 	}
 	u.loginDone = true
@@ -606,13 +665,14 @@ func (s *Server) start(u *userState, now simclock.Time) {
 		// interaction log and the latency collector once instead of
 		// letting append reallocate them throughout the run.
 		expected := int(cfg.InteractionsPerSec*typingSpan.Seconds()) + 2
-		if cap(u.submitted)-len(u.submitted) < expected {
-			grown := make([]simclock.Time, len(u.submitted), len(u.submitted)+expected)
-			copy(grown, u.submitted)
-			u.submitted = grown
-			done := make([]bool, len(u.completed), len(u.completed)+expected)
-			copy(done, u.completed)
-			u.completed = done
+		if sub := s.submitted[u.idx]; cap(sub)-len(sub) < expected {
+			grown := make([]simclock.Time, len(sub), len(sub)+expected)
+			copy(grown, sub)
+			s.submitted[u.idx] = grown
+			comp := s.completed[u.idx]
+			done := make([]bool, len(comp), len(comp)+expected)
+			copy(done, comp)
+			s.completed[u.idx] = done
 		}
 		u.echo.Grow(expected)
 		tr := workload.TypingTrace(workload.TypingConfig{
@@ -737,14 +797,14 @@ func (s *Server) finishLogin(u *userState, now simclock.Time) {
 	s.arrivals++
 	u.pageIn += s.mem.FaultCost(int(faults))
 	s.eng.After(s.mem.FaultCost(int(faults)), func(simclock.Time) {
-		if !u.active {
+		if !s.active[u.idx] {
 			return // logged out while paging in
 		}
 		// Process creation is compute, not I/O: the new session's spawn
 		// work queues on the shared CPU with everyone else's echoes.
 		s.cpu.Submit(u.App, &sched.WorkItem{
 			Tag: "login", CPU: s.cfg.LoginCPU,
-			OnDone: func(at simclock.Time, _ int) { s.start(u, at) },
+			OnDone: func(_ *sched.WorkItem, at simclock.Time, _ int) { s.start(u, at) },
 		})
 	})
 }
@@ -759,13 +819,13 @@ func (s *Server) depart(u *userState, now simclock.Time) {
 		return
 	}
 	u.goneAt = now
-	if !u.active {
+	if !s.active[u.idx] {
 		// Still mid-handshake: the connection dies and the login never
 		// completes.
 		u.aborted = true
 		return
 	}
-	u.active = false
+	s.active[u.idx] = false
 	s.departures++
 	s.cur--
 	for _, stop := range u.stops {
@@ -823,61 +883,151 @@ func protocolName(p string) string {
 // timeline slice. A sample for a user who already departed falls dead —
 // there is no client left to deliver to.
 func (s *Server) record(u *userState, idx int, now simclock.Time) {
-	if !u.active {
+	if !s.active[u.idx] {
 		return
 	}
-	ms := now.Sub(u.submitted[idx]).Milliseconds()
+	ms := now.Sub(s.submitted[u.idx][idx]).Milliseconds()
 	u.echo.Add(ms)
 	s.sliceAt(now).Add(ms)
-	u.completed[idx] = true
+	s.completed[u.idx][idx] = true
 }
+
+// acquireOp checks an echoOp out of the pool, keeping its scratch arena.
+func (s *Server) acquireOp(user, idx int, input bool) (*echoOp, int) {
+	var id int
+	if n := len(s.opFree); n > 0 {
+		id = s.opFree[n-1]
+		s.opFree = s.opFree[:n-1]
+	} else {
+		s.echoOps = append(s.echoOps, &echoOp{})
+		id = len(s.echoOps) - 1
+	}
+	op := s.echoOps[id]
+	op.user, op.idx, op.input = user, idx, input
+	op.sends, op.done = 0, false
+	return op, id
+}
+
+// finishOp marks an op's send loop complete. Link deliveries never fire
+// synchronously inside Send (transmission takes nonzero time), so by the
+// time any callback runs the op is fully formed; an op whose
+// callback-bearing sends were all dropped recycles immediately.
+func (s *Server) finishOp(id int) {
+	op := s.echoOps[id]
+	op.done = true
+	if op.sends == 0 {
+		s.releaseOp(id)
+	}
+}
+
+// releaseOp recycles an op, retaining its scratch so the next interaction
+// encodes into already-owned memory.
+func (s *Server) releaseOp(id int) {
+	op := s.echoOps[id]
+	op.msgs = nil
+	s.opFree = append(s.opFree, id)
+}
+
+// opDelivered is the shared link-delivery callback for every echoOp
+// message: a is the op id, b the message index. It replaces the per-send
+// closures the echo path used to allocate.
+func (s *Server) opDelivered(now simclock.Time, a, b int) {
+	op := s.echoOps[a]
+	op.sends--
+	u := s.users[op.user]
+	m := op.msgs[b]
+	if op.input {
+		// Input ops carry a callback only on the final message: check the
+		// round-trip (the decoded events themselves are discarded — the
+		// interaction is already identified by the op), then run the
+		// server side of the interaction.
+		var err error
+		if u.psrvVal != nil {
+			_, err = u.psrvVal.ValidateInput(m)
+		} else {
+			_, err = u.psrv.DecodeInput(m)
+		}
+		if err != nil && s.err == nil {
+			s.err = fmt.Errorf("server: user %d input decode: %w", u.idx, err)
+		}
+		idx := op.idx
+		if op.done && op.sends == 0 {
+			s.releaseOp(a)
+		}
+		s.serveInput(u, idx)
+		return
+	}
+	if s.active[op.user] {
+		if err := u.pcli.Apply(m); err != nil && s.err == nil {
+			s.err = fmt.Errorf("server: user %d display apply: %w", u.idx, err)
+		}
+		if b == len(op.msgs)-1 {
+			s.record(u, op.idx, now)
+		}
+	}
+	if op.done && op.sends == 0 {
+		s.releaseOp(a)
+	}
+}
+
+// modelInput and modelEcho are the model codec's delivery callbacks: no
+// payloads to decode or apply, so the (seat, interaction) payload alone
+// carries the interaction through.
+func (s *Server) modelInput(_ simclock.Time, user, idx int)  { s.serveInput(s.users[user], idx) }
+func (s *Server) modelEcho(now simclock.Time, user, idx int) { s.record(s.users[user], idx, now) }
 
 // keystroke runs one interaction through the full contended pipeline.
 func (s *Server) keystroke(u *userState, at simclock.Time, events []display.InputEvent) {
-	if !u.active {
+	if !s.active[u.idx] {
 		return
 	}
-	idx := len(u.submitted)
-	u.submitted = append(u.submitted, at)
-	u.completed = append(u.completed, false)
-	deliver := func(simclock.Time) { s.serveInput(u, idx) }
+	idx := len(s.submitted[u.idx])
+	s.submitted[u.idx] = append(s.submitted[u.idx], at)
+	s.completed[u.idx] = append(s.completed[u.idx], false)
 	if u.pcli == nil {
-		if !s.link.Send(s.cfg.InputBytes+netsim.TCPIPHeaderBytes, deliver) {
-			u.lost++
+		if !s.link.SendArgs(s.cfg.InputBytes+netsim.TCPIPHeaderBytes, s.modelInputFn, u.idx, idx) {
+			s.lost[u.idx]++
 		}
 		return
 	}
-	msgs := u.pcli.EncodeInput(events)
-	for i, m := range msgs {
-		m := m
-		var onDelivered func(simclock.Time)
-		if i == len(msgs)-1 {
-			onDelivered = func(now simclock.Time) {
-				if _, err := u.psrv.DecodeInput(m); err != nil && s.err == nil {
-					s.err = fmt.Errorf("server: user %d input decode: %w", u.idx, err)
-				}
-				deliver(now)
+	op, id := s.acquireOp(u.idx, idx, true)
+	if u.pcliSc != nil {
+		op.msgs = u.pcliSc.EncodeInputScratch(events, &op.sc)
+	} else {
+		op.msgs = u.pcli.EncodeInput(events)
+	}
+	for i, m := range op.msgs {
+		ok := false
+		if i == len(op.msgs)-1 {
+			op.sends++
+			ok = s.link.SendArgs(m.Size()+netsim.TCPIPHeaderBytes, s.opDeliveredFn, id, i)
+			if !ok {
+				op.sends--
 			}
+		} else {
+			ok = s.link.Send(m.Size()+netsim.TCPIPHeaderBytes, nil)
 		}
-		if !s.link.Send(m.Size()+netsim.TCPIPHeaderBytes, onDelivered) {
-			u.lost++
-			return
+		if !ok {
+			// The drop shows in LinkDrops; the interaction is gone.
+			s.lost[u.idx]++
+			break
 		}
 	}
+	s.finishOp(id)
 }
 
 // serveInput is the server side of an interaction: touch the session's
 // working set (paying page-in cost under memory pressure), run the
 // application echo, then the display encode, then transmit the update.
 func (s *Server) serveInput(u *userState, idx int) {
-	if !u.active {
+	if !s.active[u.idx] {
 		return
 	}
 	cost := s.cfg.EchoCPU
 	if u.ws != nil && s.cfg.WorkingSetKB > 0 {
 		wsKB := s.mem.Config().PageKB * u.ws.Pages()
-		faults := s.mem.TouchSpan(u.ws, u.wsOff, s.cfg.WorkingSetKB)
-		u.wsOff = (u.wsOff + s.cfg.WorkingSetKB) % wsKB
+		faults := s.mem.TouchSpan(u.ws, s.wsOff[u.idx], s.cfg.WorkingSetKB)
+		s.wsOff[u.idx] = (s.wsOff[u.idx] + s.cfg.WorkingSetKB) % wsKB
 		if faults > 0 {
 			d := s.mem.FaultCost(faults)
 			u.pageIn += d
@@ -887,56 +1037,62 @@ func (s *Server) serveInput(u *userState, idx int) {
 	it := s.cpu.Acquire()
 	it.Tag = "echo"
 	it.CPU = cost
-	it.OnDone = func(simclock.Time, int) {
-		enc := s.cpu.Acquire()
-		enc.Tag = "encode"
-		enc.CPU = s.cfg.EncodeCPU
-		enc.OnDone = func(simclock.Time, int) { s.sendEcho(u, idx) }
-		s.cpu.Submit(u.Encoder, enc)
-	}
+	it.A, it.B = u.idx, idx
+	it.OnDone = s.echoDoneFn
 	s.cpu.Submit(u.App, it)
+}
+
+// echoDone chains the completed application echo into the display encode;
+// the (seat, interaction) payload rides the work items so one shared
+// method value replaces the nested per-interaction closures.
+func (s *Server) echoDone(it *sched.WorkItem, _ simclock.Time, _ int) {
+	enc := s.cpu.Acquire()
+	enc.Tag = "encode"
+	enc.CPU = s.cfg.EncodeCPU
+	enc.A, enc.B = it.A, it.B
+	enc.OnDone = s.encodeDoneFn
+	s.cpu.Submit(s.users[it.A].Encoder, enc)
+}
+
+// encodeDone transmits the encoded echo when the display encode completes.
+func (s *Server) encodeDone(it *sched.WorkItem, _ simclock.Time, _ int) {
+	s.sendEcho(s.users[it.A], it.B)
 }
 
 // sendEcho encodes the drawn echo and transmits it; the latency sample is
 // taken when the last display message reaches the client.
 func (s *Server) sendEcho(u *userState, idx int) {
-	if !u.active {
+	if !s.active[u.idx] {
 		return
 	}
 	if u.psrv == nil {
-		ok := s.link.Send(s.cfg.EchoBytes+netsim.TCPIPHeaderBytes,
-			func(now simclock.Time) { s.record(u, idx, now) })
-		if !ok {
-			u.lost++
+		if !s.link.SendArgs(s.cfg.EchoBytes+netsim.TCPIPHeaderBytes, s.modelEchoFn, u.idx, idx) {
+			s.lost[u.idx]++
 		}
 		return
 	}
 	if u.echoText == "" {
 		u.echoText = string(rune('a' + u.idx%26))
 	}
+	col := s.col[u.idx]
 	u.ops = append(u.ops[:0], display.DrawText{
-		X: 56 + (u.col%70)*display.GlyphW, Y: 80 + (u.col/70%24)*16,
+		X: 56 + (col%70)*display.GlyphW, Y: 80 + (col/70%24)*16,
 		Text: u.echoText, Color: 0,
 	})
-	u.col++
-	msgs := u.psrv.Update(u.ops)
-	for i, m := range msgs {
-		m := m
-		last := i == len(msgs)-1
-		ok := s.link.Send(m.Size()+netsim.TCPIPHeaderBytes, func(now simclock.Time) {
-			if !u.active {
-				return
-			}
-			if err := u.pcli.Apply(m); err != nil && s.err == nil {
-				s.err = fmt.Errorf("server: user %d display apply: %w", u.idx, err)
-			}
-			if last {
-				s.record(u, idx, now)
-			}
-		})
-		if !ok {
-			u.lost++
-			return
+	s.col[u.idx] = col + 1
+	op, id := s.acquireOp(u.idx, idx, false)
+	if u.psrvSc != nil {
+		op.msgs = u.psrvSc.UpdateScratch(u.ops, &op.sc)
+	} else {
+		op.msgs = u.psrv.Update(u.ops)
+	}
+	for i, m := range op.msgs {
+		op.sends++
+		if !s.link.SendArgs(m.Size()+netsim.TCPIPHeaderBytes, s.opDeliveredFn, id, i) {
+			op.sends--
+			s.lost[u.idx]++
+			break
 		}
 	}
+	s.finishOp(id)
 }

@@ -111,7 +111,7 @@ func TestDetachUserReleasesEverything(t *testing.T) {
 
 	// Queue work on the departing user so Retire has something to drop.
 	cpu.Submit(u.App, &sched.WorkItem{Tag: "echo", CPU: simclock.Millisecond,
-		OnDone: func(simclock.Time, int) { t.Fatal("retired thread completed work") }})
+		OnDone: func(*sched.WorkItem, simclock.Time, int) { t.Fatal("retired thread completed work") }})
 	DetachUser(cpu, m, u)
 	eng.RunFor(simclock.Second)
 

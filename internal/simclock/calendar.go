@@ -1,5 +1,7 @@
 package simclock
 
+import "slices"
+
 // calendarQueue is a Brown-style calendar queue (Brown, CACM 1988): pending
 // events hash into "day" buckets by timestamp, bucket count and width are a
 // power of two (index is a shift and mask), and a cursor scans the current
@@ -11,16 +13,73 @@ package simclock
 // exactly eventBefore — identical to the reference heap, which the property
 // tests in calendar_test.go verify on randomized streams.
 //
+// Buckets hold pointer-free calEntry values, not *Event: shifting entries
+// during sorted insert and head removal is then a plain memmove with no GC
+// write barriers. The *Event itself parks in a slot table, written exactly
+// once on push and cleared once on pop — with pointer-bearing bucket slices
+// the barrier traffic of entry shifts dominated the whole simulator's CPU
+// profile during GC marking phases.
+//
 // Every decision (bucket geometry, rebuild trigger, scan order) is a pure
 // function of the event population, so runs remain bit-for-bit deterministic.
 type calendarQueue struct {
-	buckets  [][]*Event
+	buckets  [][]calEntry
 	mask     int  // len(buckets)-1; bucket count is a power of two
 	shift    uint // bucket width is 1<<shift microseconds
 	count    int
 	cur      int  // bucket the scan cursor is parked on
 	curStart Time // inclusive start of the cursor bucket's current window
 	hi, lo   int  // rebuild thresholds on count
+	// slots parks the pending *Events; bucket entries reference them by
+	// index so the bucket slices stay pointer-free. freeSlot recycles ids.
+	slots    []*Event
+	freeSlot []int32
+	// spill, backing, cnt, and headers are rebuild scratch, reused so
+	// steady-state rebuilds allocate nothing: spill collects the pending
+	// entries, cnt sizes each new bucket, backing is carved into bucket
+	// slices (with slack, so post-rebuild pushes append in place instead
+	// of immediately reallocating a full bucket), and headers backs the
+	// buckets slice itself across geometry changes.
+	spill   []calEntry
+	backing []calEntry
+	cnt     []int32
+	headers [][]calEntry
+}
+
+// calCarveSlack is the spare capacity each carved bucket gets beyond its
+// current population.
+const calCarveSlack = 8
+
+// calEntry is one pending event as a bucket sees it: the full dispatch key
+// plus the slot holding the event. No pointers, so entry shifts are
+// barrier-free memmoves.
+type calEntry struct {
+	when Time
+	seq  uint64
+	id   int32
+}
+
+// entryBefore mirrors eventBefore on the copied keys.
+func entryBefore(a, b calEntry) bool {
+	if a.when != b.when {
+		return a.when < b.when
+	}
+	return a.seq < b.seq
+}
+
+// entryCmp is entryBefore as a three-way comparison; keys are unique, so
+// it never reports equality and the sort order is total.
+func entryCmp(a, b calEntry) int {
+	if a.when != b.when {
+		if a.when < b.when {
+			return -1
+		}
+		return 1
+	}
+	if a.seq < b.seq {
+		return -1
+	}
+	return 1
 }
 
 const (
@@ -42,7 +101,13 @@ func newCalendarQueue() *calendarQueue {
 }
 
 func (q *calendarQueue) setGeometry(nbuckets int, shift uint) {
-	q.buckets = make([][]*Event, nbuckets)
+	if cap(q.headers) < nbuckets {
+		q.headers = make([][]calEntry, nbuckets)
+	}
+	q.buckets = q.headers[:nbuckets]
+	for i := range q.buckets {
+		q.buckets[i] = nil
+	}
 	q.mask = nbuckets - 1
 	q.shift = shift
 	q.hi = 2 * nbuckets
@@ -68,8 +133,17 @@ func (q *calendarQueue) push(ev *Event) {
 		q.cur = q.bucketOf(ev.when)
 		q.curStart = q.windowStart(ev.when)
 	}
+	var id int32
+	if n := len(q.freeSlot); n > 0 {
+		id = q.freeSlot[n-1]
+		q.freeSlot = q.freeSlot[:n-1]
+	} else {
+		id = int32(len(q.slots))
+		q.slots = append(q.slots, nil)
+	}
+	q.slots[id] = ev
 	i := q.bucketOf(ev.when)
-	q.buckets[i] = insertSorted(q.buckets[i], ev)
+	q.buckets[i] = insertSorted(q.buckets[i], calEntry{when: ev.when, seq: ev.seq, id: id})
 	ev.idx = i
 	q.count++
 	if q.count > q.hi {
@@ -77,19 +151,19 @@ func (q *calendarQueue) push(ev *Event) {
 	}
 }
 
-func insertSorted(b []*Event, ev *Event) []*Event {
+func insertSorted(b []calEntry, ent calEntry) []calEntry {
 	lo, hi := 0, len(b)
 	for lo < hi {
 		mid := int(uint(lo+hi) >> 1)
-		if eventBefore(b[mid], ev) {
+		if entryBefore(b[mid], ent) {
 			lo = mid + 1
 		} else {
 			hi = mid
 		}
 	}
-	b = append(b, nil)
+	b = append(b, calEntry{})
 	copy(b[lo+1:], b[lo:])
-	b[lo] = ev
+	b[lo] = ent
 	return b
 }
 
@@ -116,48 +190,51 @@ func (q *calendarQueue) scan(deadline Time) *Event {
 		}
 		b := q.buckets[cur]
 		if len(b) > 0 && b[0].when < curStart+width {
-			ev := b[0]
 			q.cur, q.curStart = cur, curStart
-			if ev.when > deadline {
+			if b[0].when > deadline {
 				return nil
 			}
-			q.removeHead(cur)
-			return ev
+			return q.removeHead(cur)
 		}
 		cur = (cur + 1) & q.mask
 		curStart += width
 	}
-	min := q.minEvent()
-	q.cur = q.bucketOf(min.when)
-	q.curStart = q.windowStart(min.when)
-	if min.when > deadline {
+	bi := q.minBucket()
+	head := q.buckets[bi][0]
+	q.cur = q.bucketOf(head.when)
+	q.curStart = q.windowStart(head.when)
+	if head.when > deadline {
 		return nil
 	}
-	q.removeHead(min.idx)
-	return min
+	return q.removeHead(bi)
 }
 
-// removeHead unlinks the first event of bucket i and runs the shrink check.
-func (q *calendarQueue) removeHead(i int) {
+// removeHead unlinks the first event of bucket i, runs the shrink check,
+// and returns the unlinked event.
+func (q *calendarQueue) removeHead(i int) *Event {
 	b := q.buckets[i]
-	ev := b[0]
+	id := b[0].id
 	copy(b, b[1:])
-	b[len(b)-1] = nil
 	q.buckets[i] = b[:len(b)-1]
+	ev := q.slots[id]
+	q.slots[id] = nil
+	q.freeSlot = append(q.freeSlot, id)
 	ev.idx = -1
 	q.count--
 	if q.count < q.lo {
 		q.rebuild()
 	}
+	return ev
 }
 
-// minEvent returns the earliest pending event by scanning bucket heads
-// (each bucket is sorted, so its head is its minimum).
-func (q *calendarQueue) minEvent() *Event {
-	var best *Event
-	for _, b := range q.buckets {
-		if len(b) > 0 && (best == nil || eventBefore(b[0], best)) {
-			best = b[0]
+// minBucket returns the bucket whose head is the earliest pending event
+// (each bucket is sorted, so its head is its minimum). Only called when
+// count > 0.
+func (q *calendarQueue) minBucket() int {
+	best := -1
+	for i, b := range q.buckets {
+		if len(b) > 0 && (best < 0 || entryBefore(b[0], q.buckets[best][0])) {
+			best = i
 		}
 	}
 	return best
@@ -166,21 +243,24 @@ func (q *calendarQueue) minEvent() *Event {
 // remove unlinks a pending event found by binary search in its bucket.
 func (q *calendarQueue) remove(ev *Event) bool {
 	b := q.buckets[ev.idx]
+	target := calEntry{when: ev.when, seq: ev.seq}
 	lo, hi := 0, len(b)
 	for lo < hi {
 		mid := int(uint(lo+hi) >> 1)
-		if eventBefore(b[mid], ev) {
+		if entryBefore(b[mid], target) {
 			lo = mid + 1
 		} else {
 			hi = mid
 		}
 	}
-	if lo >= len(b) || b[lo] != ev {
+	if lo >= len(b) || b[lo].when != ev.when || b[lo].seq != ev.seq || q.slots[b[lo].id] != ev {
 		return false
 	}
+	id := b[lo].id
 	copy(b[lo:], b[lo+1:])
-	b[len(b)-1] = nil
 	q.buckets[ev.idx] = b[:len(b)-1]
+	q.slots[id] = nil
+	q.freeSlot = append(q.freeSlot, id)
 	ev.idx = -1
 	q.count--
 	if q.count < q.lo {
@@ -193,27 +273,46 @@ func (q *calendarQueue) remove(ev *Event) bool {
 // next power of two >= count, bucket width the power of two nearest twice
 // the mean gap between pending timestamps. Both inputs are deterministic
 // functions of the pending set, so rebuild timing and geometry never vary
-// between runs.
+// between runs. Slot ids are stable across rebuilds; only the bucket
+// layout changes.
+//
+// Entries redistribute through the reused scratch buffers: one global sort
+// (keys are unique, so the order is total and deterministic), a counting
+// pass to carve backing into exact-capacity buckets, then in-order appends
+// that keep every bucket sorted without per-entry shifting.
 func (q *calendarQueue) rebuild() {
 	if q.count == 0 {
 		q.setGeometry(calMinBuckets, calInitShift)
+		q.slots = q.slots[:0]
+		q.freeSlot = q.freeSlot[:0]
+		// Carve empty buckets out of the retained backing so a queue that
+		// oscillates between empty and a small population (a link draining
+		// between bursts) appends in place instead of regrowing each
+		// bucket from nil every cycle.
+		if c := cap(q.backing) / calMinBuckets; c > 0 {
+			backing := q.backing[:cap(q.backing)]
+			for i := range q.buckets {
+				q.buckets[i] = backing[i*c : i*c : (i+1)*c]
+			}
+		}
 		return
 	}
-	all := make([]*Event, 0, q.count)
+	all := q.spill[:0]
 	for _, b := range q.buckets {
 		all = append(all, b...)
 	}
+	q.spill = all
 	n := calMinBuckets
 	for n < len(all) {
 		n <<= 1
 	}
 	minW, maxW := all[0].when, all[0].when
-	for _, ev := range all[1:] {
-		if ev.when < minW {
-			minW = ev.when
+	for _, ent := range all[1:] {
+		if ent.when < minW {
+			minW = ent.when
 		}
-		if ev.when > maxW {
-			maxW = ev.when
+		if ent.when > maxW {
+			maxW = ent.when
 		}
 	}
 	gap := int64(maxW-minW) * 2 / int64(len(all))
@@ -224,10 +323,33 @@ func (q *calendarQueue) rebuild() {
 	q.setGeometry(n, shift)
 	q.cur = q.bucketOf(minW)
 	q.curStart = q.windowStart(minW)
-	for _, ev := range all {
-		i := q.bucketOf(ev.when)
-		q.buckets[i] = insertSorted(q.buckets[i], ev)
-		ev.idx = i
+
+	slices.SortFunc(all, entryCmp)
+	if cap(q.cnt) < n {
+		q.cnt = make([]int32, n)
+	}
+	cnt := q.cnt[:n]
+	for i := range cnt {
+		cnt[i] = 0
+	}
+	for _, ent := range all {
+		cnt[q.bucketOf(ent.when)]++
+	}
+	need := len(all) + n*calCarveSlack
+	if cap(q.backing) < need {
+		q.backing = make([]calEntry, 0, 2*need)
+	}
+	backing := q.backing[:cap(q.backing)]
+	off := 0
+	for i, c := range cnt {
+		carve := int(c) + calCarveSlack
+		q.buckets[i] = backing[off : off : off+carve]
+		off += carve
+	}
+	for _, ent := range all {
+		i := q.bucketOf(ent.when)
+		q.buckets[i] = append(q.buckets[i], ent)
+		q.slots[ent.id].idx = i
 	}
 	q.count = len(all)
 }

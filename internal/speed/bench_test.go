@@ -1,0 +1,17 @@
+package speed
+
+import "testing"
+
+// BenchmarkCont1 runs the canonical contended-server speed workload end to
+// end, the profiling entry point for the simulator's hot path: one
+// `go test -bench Cont1 -cpuprofile` shows exactly what a BENCH_speed run
+// spends its time on.
+func BenchmarkCont1(b *testing.B) {
+	b.ReportAllocs()
+	w := Workloads(false)[0]
+	for i := 0; i < b.N; i++ {
+		if _, err := w.Run(1999, 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

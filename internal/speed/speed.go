@@ -40,8 +40,11 @@ func (w Workload) Run(seed uint64, workers int) (uint64, error) { return w.run(s
 // Workloads returns the canonical scenarios, sized to match the other
 // BENCH baselines: cont1 is the contention sweep's largest single-server
 // point, fleet the churn baseline's static population on the heterogeneous
-// 3-machine fleet, officeday the schedule baseline's trace-driven day.
-// quick shortens the simulated spans for smoke runs.
+// 3-machine fleet, officeday the schedule baseline's trace-driven day, and
+// bigfleet the scale proof — 1,040 users riding the office-day profile
+// across 40 heterogeneous machines, roughly the population of a small
+// campus on one simulated fleet. quick shortens the simulated spans for
+// smoke runs.
 func Workloads(quick bool) []Workload {
 	span := 10 * simclock.Second
 	if quick {
@@ -104,7 +107,23 @@ func Workloads(quick bool) []Workload {
 		return fr.SimEvents, nil
 	}
 
-	return []Workload{cont1, fleet, officeday}
+	bigfleet := Workload{Name: "bigfleet", Users: 1040, Span: span}
+	bigfleet.run = func(seed uint64, workers int) (uint64, error) {
+		prof, ok := schedule.Builtin("officeday")
+		if !ok {
+			return 0, fmt.Errorf("speed: builtin profile officeday missing")
+		}
+		cfg := fleetCfg(bigfleet.Users, bigfleet.Span, seed, workers)
+		cfg.Machines = shard.DefaultFleet(40)
+		cfg.Schedule = &prof
+		fr, err := shard.Run(cfg)
+		if err != nil {
+			return 0, err
+		}
+		return fr.SimEvents, nil
+	}
+
+	return []Workload{cont1, fleet, officeday, bigfleet}
 }
 
 // Report is one workload's measured speed. SimEvents, Allocs, and
@@ -129,6 +148,12 @@ type Report struct {
 // between two MemStats snapshots. Mallocs is process-global, so callers
 // needing exact allocation counts must not run concurrent work (in tests:
 // no t.Parallel, workers=1).
+//
+// The wall-clock fields report the fastest of three timed runs: a single
+// run's time is dominated by one-off noise (page faults on fresh spans,
+// whether a GC cycle lands inside the window), and the minimum is the
+// standard estimator for the workload's actual cost. The allocation count
+// still comes from the first, GC-fenced run only.
 func Measure(w Workload, seed uint64, workers int) (Report, error) {
 	if _, err := w.Run(seed, workers); err != nil {
 		return Report{}, err
@@ -143,6 +168,15 @@ func Measure(w Workload, seed uint64, workers int) (Report, error) {
 		return Report{}, err
 	}
 	runtime.ReadMemStats(&after)
+	for i := 0; i < 2; i++ {
+		t0 = time.Now()
+		if _, err := w.Run(seed, workers); err != nil {
+			return Report{}, err
+		}
+		if d := time.Since(t0); d < wall {
+			wall = d
+		}
+	}
 
 	r := Report{
 		Name:      w.Name,

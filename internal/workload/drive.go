@@ -16,12 +16,14 @@ func TypingTrace(cfg TypingConfig) Trace {
 	if code == 0 {
 		code = 30 // 'a'
 	}
+	times := KeystrokeTimes(cfg)
 	t := Trace{Name: "typing"}
-	for _, at := range KeystrokeTimes(cfg) {
-		t.Input = append(t.Input, InputBatch{
-			At:     at,
-			Events: []display.InputEvent{display.KeyEvent{Down: true, Code: code}},
-		})
+	t.Input = make([]InputBatch, 0, len(times))
+	// Every keystroke of the repeat probe is the same event, so all batches
+	// share one events slice; consumers (and coalesceInput) only read it.
+	events := []display.InputEvent{display.KeyEvent{Down: true, Code: code}}
+	for _, at := range times {
+		t.Input = append(t.Input, InputBatch{At: at, Events: events})
 	}
 	return t
 }
@@ -36,21 +38,94 @@ func TypingTrace(cfg TypingConfig) Trace {
 //
 // Batches whose timestamps have already passed (a trace shifted behind the
 // clock) fire immediately. Either callback may be nil to skip that channel.
+//
+// For the common case of a time-sorted trace, all batches are scheduled
+// through one cursor-carrying driver sharing a single callback: events
+// still get created here, in batch order, at the same instants — so engine
+// sequence numbers, and with them every equal-timestamp tie against
+// unrelated events, are identical to per-batch closures — but the trace
+// costs two allocations instead of one closure per batch. The engine fires
+// same-tick events in creation order, so the k-th firing is always the
+// k-th batch and the cursor stays aligned. An unsorted trace falls back to
+// per-batch closures.
 func DriveTrace(eng *simclock.Engine, tr Trace, opts ReplayOpts,
 	onInput func(now simclock.Time, events []display.InputEvent),
 	onDisplay func(now simclock.Time, ops []display.Op)) {
 	if onInput != nil {
-		for _, b := range coalesceInput(tr.Input, opts.InputCoalesce) {
-			events := b.Events
-			eng.At(clampAt(eng, b.At), func(now simclock.Time) { onInput(now, events) })
+		batches := coalesceInput(tr.Input, opts.InputCoalesce)
+		if sortedInput(batches) {
+			d := &inputDriver{batches: batches, onInput: onInput}
+			fn := d.fire // bind the method value once, not per batch
+			for _, b := range batches {
+				eng.At(clampAt(eng, b.At), fn)
+			}
+		} else {
+			for _, b := range batches {
+				events := b.Events
+				eng.At(clampAt(eng, b.At), func(now simclock.Time) { onInput(now, events) })
+			}
 		}
 	}
 	if onDisplay != nil {
-		for _, b := range coalesceDisplay(tr.Display, opts.DisplayCoalesce) {
-			ops := b.Ops
-			eng.At(clampAt(eng, b.At), func(now simclock.Time) { onDisplay(now, ops) })
+		batches := coalesceDisplay(tr.Display, opts.DisplayCoalesce)
+		if sortedDisplay(batches) {
+			d := &displayDriver{batches: batches, onDisplay: onDisplay}
+			fn := d.fire
+			for _, b := range batches {
+				eng.At(clampAt(eng, b.At), fn)
+			}
+		} else {
+			for _, b := range batches {
+				ops := b.Ops
+				eng.At(clampAt(eng, b.At), func(now simclock.Time) { onDisplay(now, ops) })
+			}
 		}
 	}
+}
+
+// inputDriver walks a sorted input trace one firing at a time; fire is the
+// single callback value shared by every scheduled batch.
+type inputDriver struct {
+	batches []InputBatch
+	next    int
+	onInput func(now simclock.Time, events []display.InputEvent)
+}
+
+func (d *inputDriver) fire(now simclock.Time) {
+	b := d.batches[d.next]
+	d.next++
+	d.onInput(now, b.Events)
+}
+
+// displayDriver is inputDriver for the display channel.
+type displayDriver struct {
+	batches   []DisplayBatch
+	next      int
+	onDisplay func(now simclock.Time, ops []display.Op)
+}
+
+func (d *displayDriver) fire(now simclock.Time) {
+	b := d.batches[d.next]
+	d.next++
+	d.onDisplay(now, b.Ops)
+}
+
+func sortedInput(batches []InputBatch) bool {
+	for i := 1; i < len(batches); i++ {
+		if batches[i].At < batches[i-1].At {
+			return false
+		}
+	}
+	return true
+}
+
+func sortedDisplay(batches []DisplayBatch) bool {
+	for i := 1; i < len(batches); i++ {
+		if batches[i].At < batches[i-1].At {
+			return false
+		}
+	}
+	return true
 }
 
 // clampAt keeps trace timestamps schedulable on an already-running clock.
