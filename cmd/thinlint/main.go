@@ -1,0 +1,95 @@
+// Command thinlint runs the thinbench static-analysis suite
+// (internal/lint): simdet, hotpath, poolsafe, seedflow, and the directive
+// grammar check. See the internal/lint package documentation for what each
+// analyzer guards and the //thinlint: directive grammar.
+//
+// It speaks the `go vet -vettool` protocol, so the canonical invocation is
+//
+//	go build -o thinlint ./cmd/thinlint
+//	go vet -vettool=$PWD/thinlint ./...
+//
+// As a convenience, invoking it with package patterns delegates to exactly
+// that pipeline:
+//
+//	thinlint ./...
+//
+// which re-executes `go vet -vettool=<self> <patterns>` so package loading,
+// build caching, and test-file handling are cmd/go's, not ours.
+package main
+
+import (
+	"crypto/sha256"
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+
+	"thinbench/internal/lint"
+)
+
+func main() {
+	args := os.Args[1:]
+
+	// Protocol probes from cmd/go. -V=full must print a stable,
+	// content-derived version token (cmd/go folds the line into its build
+	// cache key; "devel" is rejected). -flags must print the tool's flag
+	// definitions as JSON; thinlint defines none.
+	for _, a := range args {
+		switch {
+		case a == "-V=full" || a == "--V=full":
+			fmt.Printf("%s version sha256-%s\n", toolName(), selfHash())
+			return
+		case a == "-flags" || a == "--flags":
+			fmt.Println("[]")
+			return
+		}
+	}
+
+	// Unit-checker mode: cmd/go invokes `thinlint <objdir>/vet.cfg` once
+	// per package.
+	if len(args) == 1 && strings.HasSuffix(args[0], ".cfg") {
+		os.Exit(lint.RunUnit(args[0]))
+	}
+
+	// Standalone mode: delegate to go vet with ourselves as the vettool.
+	self, err := os.Executable()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "thinlint: %v\n", err)
+		os.Exit(1)
+	}
+	vetArgs := append([]string{"vet", "-vettool=" + self}, args...)
+	if len(args) == 0 {
+		vetArgs = append(vetArgs, "./...")
+	}
+	cmd := exec.Command("go", vetArgs...)
+	cmd.Stdout = os.Stdout
+	cmd.Stderr = os.Stderr
+	cmd.Stdin = os.Stdin
+	if err := cmd.Run(); err != nil {
+		if ee, ok := err.(*exec.ExitError); ok {
+			os.Exit(ee.ExitCode())
+		}
+		fmt.Fprintf(os.Stderr, "thinlint: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func toolName() string {
+	return strings.TrimSuffix(filepath.Base(os.Args[0]), ".exe")
+}
+
+// selfHash hashes the tool's own binary, making the -V=full version token
+// track the built behavior: rebuild the tool with different analyzer code
+// and every cached vet result invalidates.
+func selfHash() string {
+	self, err := os.Executable()
+	if err == nil {
+		if data, err := os.ReadFile(self); err == nil {
+			sum := sha256.Sum256(data)
+			return fmt.Sprintf("%x", sum[:12])
+		}
+	}
+	// Unreachable in practice; still must not be "devel".
+	return "unknown"
+}

@@ -1,0 +1,175 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// Directive grammar. Two verbs, both written as line comments with no space
+// after "//" (the Go convention for machine directives, like //go:noinline):
+//
+//	//thinlint:allow <analyzer>[.<rule>] <reason...>
+//	    Suppresses matching diagnostics on the directive's own line and on
+//	    the line immediately below it. The check may be a bare analyzer
+//	    name ("simdet", silencing all its rules) or qualified
+//	    ("simdet.wallclock"). The reason is mandatory free text — a
+//	    suppression without a recorded justification is itself a
+//	    diagnostic.
+//
+//	//thinlint:hotpath
+//	    Written in a function declaration's doc comment; opts every
+//	    statement of that function into the hotpath analyzer's
+//	    allocation/boxing/closure/fmt checks. Takes no arguments.
+//
+// The directive analyzer below validates the grammar, so a typo in a verb
+// or check name fails the lint job instead of silently disabling a check.
+
+const directivePrefix = "//thinlint:"
+
+// A directive is one parsed //thinlint: comment.
+type directive struct {
+	pos    token.Pos
+	verb   string // "allow", "hotpath", or something to diagnose
+	check  string // for allow: the analyzer or analyzer.rule named
+	reason string // for allow: the justification text
+	args   string // everything after the verb, trimmed
+}
+
+type allowDirective struct {
+	check string
+	pos   token.Pos
+}
+
+// fileDirectives is the parsed directive set of one file.
+type fileDirectives struct {
+	name   string
+	all    []directive
+	allows map[int][]allowDirective // line of the directive comment
+}
+
+// parseDirectives scans every comment of every file for //thinlint:
+// directives. Parsing is intentionally lax — malformed directives are kept
+// with their raw text so the directive analyzer can diagnose them.
+func parseDirectives(fset *token.FileSet, files []*ast.File) map[*ast.File]*fileDirectives {
+	out := make(map[*ast.File]*fileDirectives, len(files))
+	for _, f := range files {
+		fd := &fileDirectives{
+			name:   fset.Position(f.Package).Filename,
+			allows: make(map[int][]allowDirective),
+		}
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if !strings.HasPrefix(c.Text, directivePrefix) {
+					continue
+				}
+				rest := c.Text[len(directivePrefix):]
+				verb, args, _ := strings.Cut(rest, " ")
+				d := directive{pos: c.Slash, verb: verb, args: strings.TrimSpace(args)}
+				if verb == "allow" {
+					d.check, d.reason, _ = strings.Cut(d.args, " ")
+					d.reason = strings.TrimSpace(d.reason)
+					if d.check != "" {
+						line := fset.Position(c.Slash).Line
+						fd.allows[line] = append(fd.allows[line], allowDirective{check: d.check, pos: c.Slash})
+					}
+				}
+				fd.all = append(fd.all, d)
+			}
+		}
+		out[f] = fd
+	}
+	return out
+}
+
+// hotpathFunc reports whether decl's doc comment carries a
+// //thinlint:hotpath directive.
+func hotpathFunc(decl *ast.FuncDecl) bool {
+	if decl.Doc == nil {
+		return false
+	}
+	for _, c := range decl.Doc.List {
+		if c.Text == directivePrefix+"hotpath" ||
+			strings.HasPrefix(c.Text, directivePrefix+"hotpath ") {
+			return true
+		}
+	}
+	return false
+}
+
+// knownChecks returns the set of names an allow directive may cite: every
+// analyzer name plus every qualified analyzer.rule.
+func knownChecks() map[string]bool {
+	known := make(map[string]bool)
+	for _, a := range Analyzers() {
+		known[a.Name] = true
+		for _, r := range a.Rules {
+			known[a.Name+"."+r] = true
+		}
+	}
+	return known
+}
+
+// DirectiveAnalyzer validates //thinlint: directive usage. A directive the
+// tool cannot act on is worse than none — an //thinlint:allow with a
+// misspelled check name would otherwise read as a suppression while
+// suppressing nothing — so grammar errors are diagnostics in their own
+// right.
+var DirectiveAnalyzer = &Analyzer{
+	Name:  "directive",
+	Doc:   "validate //thinlint: directive grammar (verbs, check names, required reasons, hotpath placement)",
+	Rules: []string{"verb", "check", "reason", "placement"},
+}
+
+// Run is wired here rather than in the literal: runDirective reaches back
+// through knownChecks → Analyzers → DirectiveAnalyzer, which the
+// initializer dependency graph would reject as a cycle.
+func init() { DirectiveAnalyzer.Run = runDirective }
+
+func runDirective(pass *Pass) {
+	known := knownChecks()
+	for _, f := range pass.Files {
+		fd := pass.directives[f]
+		if fd == nil {
+			continue
+		}
+		// Positions of hotpath directives that sit where they belong: in a
+		// function declaration's doc comment.
+		placed := make(map[token.Pos]bool)
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Doc == nil {
+				continue
+			}
+			for _, c := range fn.Doc.List {
+				if strings.HasPrefix(c.Text, directivePrefix+"hotpath") {
+					placed[c.Slash] = true
+				}
+			}
+		}
+		for _, d := range fd.all {
+			switch d.verb {
+			case "allow":
+				if d.check == "" {
+					pass.Reportf(d.pos, "directive.check", "//thinlint:allow needs a check name (analyzer or analyzer.rule)")
+					continue
+				}
+				if !known[d.check] {
+					pass.Reportf(d.pos, "directive.check", "//thinlint:allow names unknown check %q", d.check)
+				}
+				if d.reason == "" {
+					pass.Reportf(d.pos, "directive.reason", "//thinlint:allow %s needs a reason: every suppression must record its justification", d.check)
+				}
+			case "hotpath":
+				if d.args != "" {
+					pass.Reportf(d.pos, "directive.verb", "//thinlint:hotpath takes no arguments (got %q)", d.args)
+				}
+				if !placed[d.pos] {
+					pass.Reportf(d.pos, "directive.placement", "//thinlint:hotpath must appear in a function declaration's doc comment")
+				}
+			default:
+				pass.Reportf(d.pos, "directive.verb", "unknown thinlint directive %q (want allow or hotpath)", d.verb)
+			}
+		}
+	}
+}

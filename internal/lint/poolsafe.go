@@ -1,0 +1,242 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// Poolsafe guards the two ownership contracts the zero-alloc rounds
+// introduced, both documented in prose and enforced by nothing:
+//
+//   - retain: a *simclock.Event handle is valid only while the event is
+//     pending — the engine recycles fired and cancelled events through a
+//     free list, so a handle stored in a struct field, global, slice, or
+//     map outlives its event and will alias a future, unrelated event.
+//     Passing a handle down a call or keeping it in a local is fine (it
+//     dies with the frame); writing it anywhere that survives the frame is
+//     the bug. Legitimate long-lived handles (a scheduler remembering its
+//     own slice-end timer, which it cancels or clears on fire) carry allow
+//     directives. Package simclock itself — the pool implementation — and
+//     _test.go files are exempt.
+//
+//   - arena: proto.Scratch buffers (Buf, Msgs) are caller-owned reusable
+//     arenas: the codec may fill them and hand slices of them back *to the
+//     caller that passed the Scratch in*. A function that returns a slice
+//     rooted at a Scratch it did NOT receive as a parameter (a field, a
+//     global) hands out memory that the next encode will overwrite behind
+//     the recipient's back.
+var Poolsafe = &Analyzer{
+	Name:  "poolsafe",
+	Doc:   "forbid retaining *simclock.Event past fire/recycle and leaking proto.Scratch arenas to callers",
+	Rules: []string{"retain", "arena"},
+	Run:   runPoolsafe,
+}
+
+const (
+	simclockPath = ModulePath + "/internal/simclock"
+	protoPath    = ModulePath + "/internal/proto"
+)
+
+func runPoolsafe(pass *Pass) {
+	path := pass.PkgPath()
+	if !simPackage(path) && path != ModulePath+"/cmd/thinserve" {
+		return
+	}
+	pool := path == simclockPath // the pool may touch its own internals
+	for _, f := range pass.Files {
+		if pass.InTestFile(f.Package) {
+			continue
+		}
+		if !pool {
+			checkEventRetention(pass, f)
+		}
+		checkArenaLeaks(pass, f)
+	}
+}
+
+// checkEventRetention flags assignments and composite-literal elements
+// that store a *simclock.Event expression into anything that outlives the
+// current frame: a field (x.f = ev), a dereference (*p = ev), a slice or
+// map element (s[i] = ev), a package-level variable, or an append.
+func checkEventRetention(pass *Pass, f *ast.File) {
+	info := pass.TypesInfo
+	isEvent := func(e ast.Expr) bool {
+		t := info.TypeOf(e)
+		if t == nil {
+			return false
+		}
+		ptr, ok := t.Underlying().(*types.Pointer)
+		return ok && namedType(ptr.Elem(), simclockPath, "Event")
+	}
+	ast.Inspect(f, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for i, rhs := range n.Rhs {
+				if i >= len(n.Lhs) || !isEvent(rhs) || isNilIdent(info, rhs) {
+					continue
+				}
+				lhs := n.Lhs[i]
+				if escapingLHS(info, lhs) {
+					pass.Reportf(n.Pos(), "poolsafe.retain",
+						"*simclock.Event stored in %s outlives its fire/recycle boundary: handles are valid only while the event is pending", lhsKind(lhs))
+				}
+			}
+			// append(s, ev) assigned anywhere retains through the slice.
+			for _, rhs := range n.Rhs {
+				if call, ok := rhs.(*ast.CallExpr); ok && isBuiltinAppend(info, call) {
+					for _, arg := range call.Args[1:] {
+						if isEvent(arg) && !isNilIdent(info, arg) {
+							pass.Reportf(arg.Pos(), "poolsafe.retain",
+								"*simclock.Event appended to a slice outlives its fire/recycle boundary")
+						}
+					}
+				}
+			}
+		case *ast.CompositeLit:
+			for _, el := range n.Elts {
+				v := stripKV(el)
+				if isEvent(v) && !isNilIdent(info, v) {
+					pass.Reportf(v.Pos(), "poolsafe.retain",
+						"*simclock.Event stored in a composite literal outlives its fire/recycle boundary")
+				}
+			}
+		}
+		return true
+	})
+}
+
+// escapingLHS reports whether assigning to lhs stores beyond the current
+// frame: selectors (fields), index expressions, dereferences, and
+// package-level variables. Plain local identifiers don't escape.
+func escapingLHS(info *types.Info, lhs ast.Expr) bool {
+	switch x := lhs.(type) {
+	case *ast.Ident:
+		obj := info.ObjectOf(x)
+		if v, ok := obj.(*types.Var); ok {
+			// Package-level variable: survives every frame.
+			return v.Parent() == v.Pkg().Scope()
+		}
+		return false
+	case *ast.SelectorExpr, *ast.IndexExpr, *ast.StarExpr:
+		return true
+	case *ast.ParenExpr:
+		return escapingLHS(info, x.X)
+	}
+	return false
+}
+
+func lhsKind(lhs ast.Expr) string {
+	switch lhs.(type) {
+	case *ast.SelectorExpr:
+		return "a struct field"
+	case *ast.IndexExpr:
+		return "a slice or map element"
+	case *ast.StarExpr:
+		return "a pointer target"
+	default:
+		return "a package-level variable"
+	}
+}
+
+func isNilIdent(info *types.Info, e ast.Expr) bool {
+	id, ok := e.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	_, isNil := info.Uses[id].(*types.Nil)
+	return isNil
+}
+
+// checkArenaLeaks flags return statements whose expression is rooted at
+// the Buf or Msgs arena of a proto.Scratch that the returning function did
+// not receive as a parameter. Receiving the Scratch (or a pointer to it)
+// as a parameter means the caller owns the arena and slices of it are the
+// documented contract; reaching it through a field or global leaks memory
+// the next encode will clobber.
+func checkArenaLeaks(pass *Pass, f *ast.File) {
+	info := pass.TypesInfo
+	ast.Inspect(f, func(n ast.Node) bool {
+		fn, ok := n.(*ast.FuncDecl)
+		if !ok || fn.Body == nil {
+			return true
+		}
+		params := paramObjects(info, fn)
+		ast.Inspect(fn.Body, func(m ast.Node) bool {
+			if _, ok := m.(*ast.FuncLit); ok {
+				return false // literals have their own frames and params
+			}
+			ret, ok := m.(*ast.ReturnStmt)
+			if !ok {
+				return true
+			}
+			for _, e := range ret.Results {
+				root, field, ok := scratchArenaRoot(info, e)
+				if !ok {
+					continue
+				}
+				if id, isIdent := root.(*ast.Ident); isIdent {
+					if params[info.ObjectOf(id)] {
+						continue // caller passed the Scratch in; it owns the arena
+					}
+				}
+				pass.Reportf(e.Pos(), "poolsafe.arena",
+					"returning a slice of %s's Scratch.%s arena the caller doesn't own: the next encode reuses that backing", exprString(root), field)
+			}
+			return true
+		})
+		return false
+	})
+}
+
+// paramObjects collects the parameter objects of fn. The receiver is NOT
+// included: a method returning slices of its own receiver-held Scratch is
+// exactly the leak this rule exists to catch.
+func paramObjects(info *types.Info, fn *ast.FuncDecl) map[types.Object]bool {
+	out := make(map[types.Object]bool)
+	if fn.Type.Params != nil {
+		for _, fld := range fn.Type.Params.List {
+			for _, name := range fld.Names {
+				if obj := info.Defs[name]; obj != nil {
+					out[obj] = true
+				}
+			}
+		}
+	}
+	return out
+}
+
+// scratchArenaRoot reports whether e is (possibly a slice expression of)
+// X.Buf or X.Msgs where X has type proto.Scratch or *proto.Scratch,
+// returning the root expression X and the arena field name.
+func scratchArenaRoot(info *types.Info, e ast.Expr) (root ast.Expr, field string, ok bool) {
+	for {
+		switch x := e.(type) {
+		case *ast.SliceExpr:
+			e = x.X
+		case *ast.ParenExpr:
+			e = x.X
+		case *ast.SelectorExpr:
+			if x.Sel.Name != "Buf" && x.Sel.Name != "Msgs" {
+				return nil, "", false
+			}
+			t := info.TypeOf(x.X)
+			if t == nil || !namedType(t, protoPath, "Scratch") {
+				return nil, "", false
+			}
+			return x.X, x.Sel.Name, true
+		default:
+			return nil, "", false
+		}
+	}
+}
+
+func exprString(e ast.Expr) string {
+	switch x := e.(type) {
+	case *ast.Ident:
+		return x.Name
+	case *ast.SelectorExpr:
+		return exprString(x.X) + "." + x.Sel.Name
+	default:
+		return "the function"
+	}
+}

@@ -1,0 +1,171 @@
+package lint
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// Seedflow checks how random streams are seeded. Every figure in the BENCH
+// baselines is a function of its seeds; the repo's convention is that one
+// root seed flows through simclock.DeriveSeed(root, stream) to every
+// subordinate stream, so adding a stream (or reordering construction)
+// never perturbs its siblings. Two anti-patterns break that:
+//
+//   - literal: a constant seed in non-test code (simclock.NewRand(42)).
+//     The stream is then correlated with every other literal-42 stream and
+//     can't be varied from the command line. Literal seeds are the norm in
+//     _test.go and stay legal there.
+//
+//   - adhoc: deriving a sub-seed arithmetically (seed + i*7919) instead of
+//     through DeriveSeed. Affine derivation produces correlated streams —
+//     two sub-streams whose seeds differ by a small constant are adjacent
+//     in most PRNG seed spaces — where DeriveSeed's splitmix64 finalizer
+//     decorrelates them. Plain variables, selectors, and conversions pass:
+//     the seed then arrived from elsewhere, and its derivation is checked
+//     where it happened.
+//
+// Checked constructors: simclock.NewRand, math/rand.New + NewSource, and
+// math/rand/v2.New* sources. Applies module-wide (cmd/ too), not just
+// internal/ — a binary seeding ad hoc corrupts the same figures.
+var Seedflow = &Analyzer{
+	Name:  "seedflow",
+	Doc:   "require rand streams to be seeded via simclock.DeriveSeed (literal seeds only in _test.go)",
+	Rules: []string{"literal", "adhoc"},
+	Run:   runSeedflow,
+}
+
+func runSeedflow(pass *Pass) {
+	path := pass.PkgPath()
+	if !strings.HasPrefix(path, ModulePath+"/") && path != ModulePath {
+		return
+	}
+	if path == ModulePath+"/internal/lint" {
+		return
+	}
+	for _, f := range pass.Files {
+		inTest := pass.InTestFile(f.Package)
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			seedArg, ctor := seedConstructorArg(pass, call)
+			if seedArg == nil {
+				return true
+			}
+			switch classifySeed(pass, seedArg) {
+			case seedLiteral:
+				if !inTest {
+					pass.Reportf(call.Pos(), "seedflow.literal",
+						"%s seeded with a literal: thread a root seed through simclock.DeriveSeed (literals are for _test.go)", ctor)
+				}
+			case seedAdhoc:
+				pass.Reportf(call.Pos(), "seedflow.adhoc",
+					"%s seeded by ad-hoc arithmetic: use simclock.DeriveSeed(root, stream) so sub-streams decorrelate", ctor)
+			}
+			return true
+		})
+	}
+}
+
+// seedConstructorArg returns the seed argument if call constructs a rand
+// stream, along with a printable constructor name.
+func seedConstructorArg(pass *Pass, call *ast.CallExpr) (ast.Expr, string) {
+	if len(call.Args) == 0 {
+		return nil, ""
+	}
+	info := pass.TypesInfo
+	switch {
+	case pkgFunc(info, call, simclockPath, "NewRand"):
+		return call.Args[0], "simclock.NewRand"
+	case pkgFunc(info, call, "math/rand", "NewSource"):
+		return call.Args[0], "rand.NewSource"
+	case pkgFunc(info, call, "math/rand", "New"):
+		// rand.New(rand.NewSource(seed)): dig into the source expression
+		// so the diagnostic lands once, on the inner NewSource call —
+		// unless the source came from elsewhere, in which case trust it.
+		if inner, ok := call.Args[0].(*ast.CallExpr); ok {
+			if pkgFunc(info, inner, "math/rand", "NewSource") {
+				return nil, "" // inner call is checked on its own visit
+			}
+		}
+		return nil, ""
+	case pkgFunc(info, call, "math/rand/v2", "NewPCG"):
+		return call.Args[0], "rand.NewPCG"
+	case pkgFunc(info, call, "math/rand/v2", "NewChaCha8"):
+		return call.Args[0], "rand.NewChaCha8"
+	}
+	return nil, ""
+}
+
+type seedClass int
+
+const (
+	seedOK seedClass = iota
+	seedLiteral
+	seedAdhoc
+)
+
+// classifySeed looks at the expression supplying a seed.
+func classifySeed(pass *Pass, e ast.Expr) seedClass {
+	e = unwrapConversions(pass, e)
+	switch x := e.(type) {
+	case *ast.BasicLit:
+		return seedLiteral
+	case *ast.Ident, *ast.SelectorExpr, *ast.IndexExpr:
+		// A plain variable: derivation happened (and was checked) at its
+		// definition site. Constants named at package level still count
+		// as literals.
+		if tv, ok := pass.TypesInfo.Types[e]; ok && tv.Value != nil {
+			return seedLiteral
+		}
+		return seedOK
+	case *ast.CallExpr:
+		if pkgFunc(pass.TypesInfo, x, simclockPath, "DeriveSeed") {
+			return seedOK
+		}
+		// Some other call producing the seed: treat as derived elsewhere.
+		return seedOK
+	case *ast.BinaryExpr, *ast.UnaryExpr:
+		if containsDeriveSeed(pass, e) {
+			return seedOK
+		}
+		if tv, ok := pass.TypesInfo.Types[e]; ok && tv.Value != nil {
+			return seedLiteral // constant arithmetic is still a literal
+		}
+		return seedAdhoc
+	}
+	return seedOK
+}
+
+// unwrapConversions strips type conversions (uint64(x), simclock.Time(x))
+// so classification sees the underlying expression.
+func unwrapConversions(pass *Pass, e ast.Expr) ast.Expr {
+	for {
+		switch x := e.(type) {
+		case *ast.ParenExpr:
+			e = x.X
+			continue
+		case *ast.CallExpr:
+			if len(x.Args) == 1 {
+				if tv, ok := pass.TypesInfo.Types[x.Fun]; ok && tv.IsType() {
+					e = x.Args[0]
+					continue
+				}
+			}
+		}
+		return e
+	}
+}
+
+func containsDeriveSeed(pass *Pass, e ast.Expr) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if call, ok := n.(*ast.CallExpr); ok && pkgFunc(pass.TypesInfo, call, simclockPath, "DeriveSeed") {
+			found = true
+			return false
+		}
+		return !found
+	})
+	return found
+}

@@ -1,0 +1,34 @@
+// Package directive is a thinlint fixture for the directive grammar
+// checks. Expectations live in TestDirectiveFixture (the diagnostics land
+// on the directive comments themselves, where a want comment cannot also
+// sit): an allow naming an unknown check, an allow without a reason, an
+// unknown verb, and a hotpath directive outside a function doc comment —
+// in that order.
+package directive
+
+func unknownCheck() int {
+	x := 1 //thinlint:allow nosuch.check the check name here is misspelled on purpose
+	return x
+}
+
+func missingReason() int {
+	y := 2 //thinlint:allow simdet.wallclock
+	return y
+}
+
+//thinlint:frobnicate
+func unknownVerb() {}
+
+func misplacedHotpath() int {
+	//thinlint:hotpath
+	z := 3
+	return z
+}
+
+// wellFormed shows the valid forms drawing no diagnostics.
+//
+//thinlint:hotpath
+func wellFormed() int {
+	w := 4 //thinlint:allow hotpath.alloc a valid check name with a reason draws nothing
+	return w
+}

@@ -1,0 +1,62 @@
+// Package hotpath is a thinlint fixture. The sendEcho function mirrors
+// the real server echo path closely enough that the analyzer's verdict on
+// it carries over: the display.Op boxing it flags is the same construct
+// ROADMAP names as the remaining allocs/event driver.
+package hotpath
+
+import (
+	"fmt"
+
+	"thinbench/internal/display"
+)
+
+type user struct {
+	ops      []display.Op
+	echoText string
+}
+
+// sendEcho mirrors thinbench/internal/server.(*Server).sendEcho: one
+// DrawText op appended into the session's []display.Op reply buffer.
+//
+//thinlint:hotpath
+func sendEcho(u *user, col int) []display.Op {
+	u.ops = append(u.ops[:0], display.DrawText{ // want `hotpath\.box`
+		X: 56 + (col%70)*display.GlyphW, Y: 80 + (col/70%24)*16,
+		Text: u.echoText, Color: 0,
+	})
+	return u.ops
+}
+
+//thinlint:hotpath
+func hot(n int) []int {
+	buf := make([]int, n)        // want `hotpath\.alloc`
+	fmt.Println(n)               // want `hotpath\.fmt` `hotpath\.box`
+	f := func() int { return n } // want `hotpath\.closure`
+	buf[0] = f()
+	return buf
+}
+
+//thinlint:hotpath
+func hotAllowed(n int) []int {
+	buf := make([]int, n) //thinlint:allow hotpath.alloc fixture suppression case
+	return buf
+}
+
+//thinlint:hotpath
+func crashPathIsExempt(n int) {
+	if n < 0 {
+		panic(fmt.Sprintf("negative count %d", n)) // panic operands may format freely
+	}
+}
+
+//thinlint:hotpath
+func pointerShapedIsFine(p *user) []any {
+	return []any{p} // pointers store directly in the interface word
+}
+
+// cold is unannotated: the same constructs draw no diagnostics.
+func cold(n int) []int {
+	buf := make([]int, n)
+	fmt.Println(n)
+	return buf
+}

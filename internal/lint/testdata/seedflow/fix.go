@@ -1,0 +1,25 @@
+// Package seedflow is a thinlint fixture: rand streams must be seeded
+// through simclock.DeriveSeed in non-test code.
+package seedflow
+
+import "thinbench/internal/simclock"
+
+func literalSeed() *simclock.Rand {
+	return simclock.NewRand(42) // want `seedflow\.literal`
+}
+
+func adhocSeed(root uint64, i int) *simclock.Rand {
+	return simclock.NewRand(root + uint64(i)*7919) // want `seedflow\.adhoc`
+}
+
+func adhocAllowed(root uint64, i int) *simclock.Rand {
+	return simclock.NewRand(root + uint64(i)*7919) //thinlint:allow seedflow.adhoc fixture suppression case
+}
+
+func derivedSeed(root uint64, i int) *simclock.Rand {
+	return simclock.NewRand(simclock.DeriveSeed(root, uint64(i)))
+}
+
+func threadedSeed(seed uint64) *simclock.Rand {
+	return simclock.NewRand(seed) // a plain variable was derived at its def site
+}

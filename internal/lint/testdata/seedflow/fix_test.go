@@ -1,0 +1,10 @@
+// Literal seeds are the convention in _test.go files: fixed seeds make
+// test failures reproducible, and no published baseline depends on them.
+// Nothing in this file may draw a seedflow diagnostic.
+package seedflow
+
+import "thinbench/internal/simclock"
+
+func literalSeedInTest() *simclock.Rand {
+	return simclock.NewRand(99)
+}

@@ -1,0 +1,74 @@
+// Package simdet is a thinlint fixture: each construct below is one
+// nondeterminism source the simdet analyzer must flag (or, with a
+// directive, suppress). This tree is under testdata/ and never built.
+package simdet
+
+import (
+	"math/rand"
+	"sort"
+	"time"
+)
+
+func wallclock() time.Time {
+	return time.Now() // want `simdet\.wallclock`
+}
+
+func wallclockSince(t0 time.Time) time.Duration {
+	return time.Since(t0) // want `simdet\.wallclock`
+}
+
+func wallclockAllowed() time.Time {
+	return time.Now() //thinlint:allow simdet.wallclock fixture suppression case
+}
+
+func durationsAreFine(d time.Duration) time.Duration {
+	return d * time.Millisecond // conversions and constants never read the clock
+}
+
+func globalRand() int {
+	return rand.Intn(6) // want `simdet\.globalrand`
+}
+
+func privateStreamIsFine(seed int64) *rand.Rand {
+	return rand.New(rand.NewSource(seed)) // constructors build private streams
+}
+
+func spawn(done chan struct{}) {
+	go func() { // want `simdet\.goroutine`
+		close(done)
+	}()
+}
+
+func spawnAllowed(done chan struct{}) {
+	//thinlint:allow simdet.goroutine fixture suppression case
+	go func() {
+		close(done)
+	}()
+}
+
+func mapOrderEscapes(m map[int]int) []int {
+	var out []int
+	for k := range m {
+		out = append(out, k) // want `simdet\.maporder`
+	}
+	return out
+}
+
+func mapOrderSorted(m map[int]int) []int {
+	var out []int
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Ints(out) // the sort launders the iteration order away
+	return out
+}
+
+func mapOrderLoopLocal(m map[int]int) int {
+	total := 0
+	for _, v := range m {
+		scratch := []int{}
+		scratch = append(scratch, v) // loop-local slice dies with the iteration
+		total += scratch[0]
+	}
+	return total
+}

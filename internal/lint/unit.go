@@ -1,0 +1,144 @@
+package lint
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"runtime"
+)
+
+// This file implements the tool side of the `go vet -vettool` protocol, the
+// same contract golang.org/x/tools/go/analysis/unitchecker speaks (which
+// this environment does not vendor, so it is implemented here against the
+// protocol as defined by cmd/go):
+//
+//  1. `tool -flags` must print a JSON array of the tool's flag definitions
+//     to stdout (ours is empty) and exit 0. cmd/go always probes this.
+//  2. `tool -V=full` must print a line `<name> version <buildid>` whose
+//     last field is not "devel"; cmd/go folds the whole line into the
+//     build cache key, so the id must change when the tool's behavior
+//     does. We hash the tool's own binary.
+//  3. For each package, cmd/go runs `tool <objdir>/vet.cfg` with the
+//     package directory as cwd. The cfg file is a JSON unitConfig.
+//     Diagnostics go to stderr as "file:line:col: message" and the tool
+//     exits nonzero; a clean package exits 0. The tool must write
+//     cfg.VetxOutput (our analyzers export no facts, so it's an empty
+//     placeholder) — cmd/go caches it and feeds it to dependents via
+//     PackageVetx.
+type unitConfig struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoVersion                 string
+	GoFiles                   []string
+	NonGoFiles                []string
+	IgnoredFiles              []string
+	ModulePath                string
+	ModuleVersion             string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	Standard                  map[string]bool
+	PackageVetx               map[string]string
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+// RunUnit executes one unit-checker invocation against the given vet.cfg
+// path and returns the process exit code. Output goes to stderr (where go
+// vet surfaces it).
+func RunUnit(cfgPath string) int {
+	data, err := os.ReadFile(cfgPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "thinlint: reading %s: %v\n", cfgPath, err)
+		return 1
+	}
+	var cfg unitConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		fmt.Fprintf(os.Stderr, "thinlint: parsing %s: %v\n", cfgPath, err)
+		return 1
+	}
+
+	// Fact-only runs for dependency packages: our analyzers neither export
+	// nor consume facts, so the vetx output is an empty placeholder.
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, nil, 0o666); err != nil {
+			fmt.Fprintf(os.Stderr, "thinlint: writing vetx: %v\n", err)
+			return 1
+		}
+	}
+	if cfg.VetxOnly {
+		return 0
+	}
+
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, name := range cfg.GoFiles {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			if cfg.SucceedOnTypecheckFailure {
+				return 0
+			}
+			fmt.Fprintf(os.Stderr, "thinlint: %v\n", err)
+			return 1
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return 0
+	}
+
+	// Imports resolve through the compiler's export data: cmd/go hands us
+	// ImportMap (source import path → canonical package path) and
+	// PackageFile (package path → export data file). The gc importer calls
+	// lookup with whatever path an import clause or export-data reference
+	// names; both layers map through here.
+	lookup := func(path string) (io.ReadCloser, error) {
+		if mapped, ok := cfg.ImportMap[path]; ok {
+			path = mapped
+		}
+		file, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	}
+	tcfg := types.Config{
+		Importer:  importer.ForCompiler(fset, cfg.Compiler, lookup),
+		GoVersion: cfg.GoVersion,
+		Sizes:     types.SizesFor(cfg.Compiler, runtime.GOARCH),
+		Error:     func(error) {}, // collect via the returned error; keep going
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Implicits:  make(map[ast.Node]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+	pkg, err := tcfg.Check(cfg.ImportPath, fset, files, info)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return 0
+		}
+		fmt.Fprintf(os.Stderr, "thinlint: typecheck %s: %v\n", cfg.ImportPath, err)
+		return 1
+	}
+
+	diags := RunAnalyzers(fset, files, pkg, info, Analyzers())
+	for _, d := range diags {
+		fmt.Fprintf(os.Stderr, "%s: %s [%s]\n", fset.Position(d.Pos), d.Message, d.Check)
+	}
+	if len(diags) > 0 {
+		return 2
+	}
+	return 0
+}

@@ -117,6 +117,8 @@ func (s *Server) Update(ops []display.Op) []proto.Message {
 // caller-owned scratch, so a steady-state echo pipeline reuses one payload
 // arena per in-flight update instead of allocating a fresh writer, buffer,
 // and message slice per interaction.
+//
+//thinlint:hotpath
 func (s *Server) UpdateScratch(ops []display.Op, sc *proto.Scratch) []proto.Message {
 	if len(ops) == 0 {
 		return nil
@@ -318,9 +320,11 @@ func (s *Server) DecodeInput(m proto.Message) ([]display.InputEvent, error) {
 // ValidateInput implements proto.InputValidator: the structural walk of
 // DecodeInput without materializing events. The two must accept and
 // reject identical messages.
+//
+//thinlint:hotpath
 func (s *Server) ValidateInput(m proto.Message) (int, error) {
 	if m.Channel != proto.Input {
-		return 0, fmt.Errorf("%w: input decode of %v message", proto.ErrBadMessage, m.Channel)
+		return 0, fmt.Errorf("%w: input decode of %v message", proto.ErrBadMessage, m.Channel) //thinlint:allow hotpath error path: runs only on a malformed input PDU, never in steady state
 	}
 	r := proto.NewReader(m.Payload)
 	r.Skip(pduHeaderSize)
@@ -334,7 +338,7 @@ func (s *Server) ValidateInput(m proto.Message) (int, error) {
 		case inButton:
 			r.Skip(2)
 		default:
-			return 0, fmt.Errorf("%w: unknown input kind %d", proto.ErrBadMessage, kind)
+			return 0, fmt.Errorf("%w: unknown input kind %d", proto.ErrBadMessage, kind) //thinlint:allow hotpath error path: runs only on a malformed input PDU, never in steady state
 		}
 	}
 	if err := r.Err(); err != nil {
@@ -532,6 +536,8 @@ func (c *Client) EncodeInput(events []display.InputEvent) []proto.Message {
 
 // EncodeInputScratch implements proto.ScratchClient: EncodeInput into
 // caller-owned scratch, the zero-allocation steady-state form.
+//
+//thinlint:hotpath
 func (c *Client) EncodeInputScratch(events []display.InputEvent, sc *proto.Scratch) []proto.Message {
 	if len(events) == 0 {
 		return nil

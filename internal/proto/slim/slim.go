@@ -87,6 +87,8 @@ func (s *Server) Update(ops []display.Op) []proto.Message {
 // encoded back to back with their offsets recorded, then sliced once the
 // buffer has stopped growing — so a steady-state echo burst reuses a
 // single buffer and message slice instead of allocating per command.
+//
+//thinlint:hotpath
 func (s *Server) UpdateScratch(ops []display.Op, sc *proto.Scratch) []proto.Message {
 	w := proto.WriterOver(sc.Buf)
 	spans := s.spans[:0]
@@ -209,9 +211,11 @@ func (s *Server) DecodeInput(m proto.Message) ([]display.InputEvent, error) {
 // ValidateInput implements proto.InputValidator: DecodeInput's structural
 // walk without materializing the event slice. The two must accept and
 // reject identical messages.
+//
+//thinlint:hotpath
 func (s *Server) ValidateInput(m proto.Message) (int, error) {
 	if m.Channel != proto.Input {
-		return 0, fmt.Errorf("%w: input decode of %v message", proto.ErrBadMessage, m.Channel)
+		return 0, fmt.Errorf("%w: input decode of %v message", proto.ErrBadMessage, m.Channel) //thinlint:allow hotpath error path: runs only on a malformed input PDU, never in steady state
 	}
 	r := proto.NewReader(m.Payload)
 	n := 0
@@ -224,7 +228,7 @@ func (s *Server) ValidateInput(m proto.Message) (int, error) {
 		case inButton:
 			r.Skip(1) // flags
 		default:
-			return 0, fmt.Errorf("%w: unknown input type %d", proto.ErrBadMessage, typ)
+			return 0, fmt.Errorf("%w: unknown input type %d", proto.ErrBadMessage, typ) //thinlint:allow hotpath error path: runs only on a malformed input PDU, never in steady state
 		}
 		n++
 		if err := r.Err(); err != nil {
@@ -314,6 +318,8 @@ func (c *Client) EncodeInput(events []display.InputEvent) []proto.Message {
 
 // EncodeInputScratch implements proto.ScratchClient: EncodeInput into
 // caller-owned scratch, the zero-allocation steady-state form.
+//
+//thinlint:hotpath
 func (c *Client) EncodeInputScratch(events []display.InputEvent, sc *proto.Scratch) []proto.Message {
 	if len(events) == 0 {
 		return nil

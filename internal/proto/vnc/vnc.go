@@ -109,6 +109,8 @@ func (s *Server) Update(ops []display.Op) []proto.Message {
 // buffer in flush order — the same byte stream the per-rect encoding
 // produced — with the rectangle count patched into the header afterward,
 // and the damage list and RRE analysis scratch reused across updates.
+//
+//thinlint:hotpath
 func (s *Server) UpdateScratch(ops []display.Op, sc *proto.Scratch) []proto.Message {
 	if len(ops) == 0 {
 		return nil
@@ -119,7 +121,7 @@ func (s *Server) UpdateScratch(ops []display.Op, sc *proto.Scratch) []proto.Mess
 	w.U16(0) // rectangle count, patched below
 	rects := 0
 	pending := s.pending[:0]
-	flushPending := func() {
+	flushPending := func() { //thinlint:allow hotpath.closure non-escaping flush helper: called only below in this frame, stack-allocated in practice
 		for _, r := range pending {
 			s.encodeRect(&w, r)
 			rects++
@@ -320,9 +322,11 @@ func (s *Server) DecodeInput(m proto.Message) ([]display.InputEvent, error) {
 // DecodeInput — including the pointer-state tracking that distinguishes
 // motion from clicks — without materializing the event slice. The two
 // must accept and reject identical messages and leave identical state.
+//
+//thinlint:hotpath
 func (s *Server) ValidateInput(m proto.Message) (int, error) {
 	if m.Channel != proto.Input {
-		return 0, fmt.Errorf("%w: input decode of %v message", proto.ErrBadMessage, m.Channel)
+		return 0, fmt.Errorf("%w: input decode of %v message", proto.ErrBadMessage, m.Channel) //thinlint:allow hotpath error path: runs only on a malformed input PDU, never in steady state
 	}
 	r := proto.NewReader(m.Payload)
 	n := 0
@@ -342,7 +346,7 @@ func (s *Server) ValidateInput(m proto.Message) (int, error) {
 				n++
 			}
 		default:
-			return 0, fmt.Errorf("%w: unknown client message %d", proto.ErrBadMessage, typ)
+			return 0, fmt.Errorf("%w: unknown client message %d", proto.ErrBadMessage, typ) //thinlint:allow hotpath error path: runs only on a malformed input PDU, never in steady state
 		}
 		if err := r.Err(); err != nil {
 			return 0, err
@@ -435,6 +439,8 @@ func (c *Client) EncodeInput(events []display.InputEvent) []proto.Message {
 
 // EncodeInputScratch implements proto.ScratchClient: EncodeInput into
 // caller-owned scratch, the zero-allocation steady-state form.
+//
+//thinlint:hotpath
 func (c *Client) EncodeInputScratch(events []display.InputEvent, sc *proto.Scratch) []proto.Message {
 	if len(events) == 0 {
 		return nil

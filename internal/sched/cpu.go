@@ -74,10 +74,12 @@ func NewCPU(eng *simclock.Engine, sched Scheduler, busyBucket simclock.Duration)
 // obtained here are recycled automatically after their OnDone callback
 // returns, so callers must not retain the pointer past completion. Items
 // built with plain &WorkItem{} literals are never pooled.
+//
+//thinlint:hotpath
 func (c *CPU) Acquire() *WorkItem {
 	n := len(c.itemFree)
 	if n == 0 {
-		return &WorkItem{pooled: true}
+		return &WorkItem{pooled: true} //thinlint:allow hotpath.alloc pool growth: runs once per high-water-mark item, amortized to zero in steady state
 	}
 	it := c.itemFree[n-1]
 	c.itemFree[n-1] = nil
@@ -120,6 +122,8 @@ func (c *CPU) NewThread(name string, basePri int) *Thread {
 
 // Submit queues a work item on t at the current time, waking the thread if
 // it was blocked.
+//
+//thinlint:hotpath
 func (c *CPU) Submit(t *Thread, item *WorkItem) {
 	if item.CPU < 0 {
 		panic(fmt.Sprintf("sched: negative CPU demand for %q", item.Tag))
@@ -160,6 +164,8 @@ func (c *CPU) scheduleDispatch() {
 }
 
 // dispatch puts the next ready thread on the CPU if it is free.
+//
+//thinlint:hotpath
 func (c *CPU) dispatch(now simclock.Time) {
 	if c.running != nil {
 		return
@@ -189,6 +195,7 @@ func (c *CPU) dispatch(now simclock.Time) {
 	}
 	c.sliceFrom = now
 	c.sliceSpan = slice
+	//thinlint:allow poolsafe.retain sliceEnd is cleared in sliceDone before the engine recycles the event, and Cancel checks pending first
 	c.sliceEnd = c.eng.After(slice, c.sliceDoneFn)
 }
 
@@ -204,6 +211,8 @@ func (c *CPU) accountRun(t *Thread, from simclock.Time, d simclock.Duration) {
 
 // sliceDone fires when the running thread's slice ends: either its current
 // item completed or its quantum expired.
+//
+//thinlint:hotpath
 func (c *CPU) sliceDone(now simclock.Time) {
 	t := c.running
 	if t == nil {
@@ -247,6 +256,7 @@ func (c *CPU) continueRunning(t *Thread, now simclock.Time) {
 	}
 	c.sliceFrom = now
 	c.sliceSpan = slice
+	//thinlint:allow poolsafe.retain same contract as dispatch: cleared in sliceDone before recycle
 	c.sliceEnd = c.eng.After(slice, c.sliceDoneFn)
 }
 

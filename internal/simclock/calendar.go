@@ -128,6 +128,8 @@ func (q *calendarQueue) len() int { return q.count }
 // cursor invariant — no pending event is earlier than curStart — is
 // restored by rewinding the cursor when ev lands behind it (possible after
 // popLE parked the cursor on a far-future event and the clock stayed put).
+//
+//thinlint:hotpath
 func (q *calendarQueue) push(ev *Event) {
 	if q.count == 0 || ev.when < q.curStart {
 		q.cur = q.bucketOf(ev.when)
@@ -151,6 +153,7 @@ func (q *calendarQueue) push(ev *Event) {
 	}
 }
 
+//thinlint:hotpath
 func insertSorted(b []calEntry, ent calEntry) []calEntry {
 	lo, hi := 0, len(b)
 	for lo < hi {
@@ -177,6 +180,8 @@ func (q *calendarQueue) popLE(deadline Time) *Event { return q.scan(deadline) }
 // in-window event found is the global minimum. A full lap without a hit
 // means the next event is more than a year away, so a direct search over
 // bucket heads finds it and re-parks the cursor on its window.
+//
+//thinlint:hotpath
 func (q *calendarQueue) scan(deadline Time) *Event {
 	if q.count == 0 {
 		return nil
@@ -211,6 +216,8 @@ func (q *calendarQueue) scan(deadline Time) *Event {
 
 // removeHead unlinks the first event of bucket i, runs the shrink check,
 // and returns the unlinked event.
+//
+//thinlint:hotpath
 func (q *calendarQueue) removeHead(i int) *Event {
 	b := q.buckets[i]
 	id := b[0].id
