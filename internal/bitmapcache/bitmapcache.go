@@ -122,6 +122,24 @@ func New(capacity int64, policy Policy) *Cache {
 // NewDefault builds the TSE client configuration: 1.5 MB LRU.
 func NewDefault() *Cache { return New(DefaultCapacity, LRU) }
 
+// Reset returns the cache to its freshly constructed state — no entries,
+// zeroed counters, disengaged loop detector — while retaining the maps and
+// the detector window for reuse, so a session pool can recycle a codec's
+// cache without reallocating it. Evictions implied by the reset do not
+// fire OnEvict; the owner is expected to reset its own directory alongside.
+func (c *Cache) Reset() {
+	c.used = 0
+	c.order.Init()
+	clear(c.entries)
+	clear(c.seen)
+	for i := range c.recentLookups {
+		c.recentLookups[i] = false
+	}
+	c.recentPos = 0
+	c.loopMode = false
+	c.stats = Stats{}
+}
+
 // Capacity reports the configured byte capacity.
 func (c *Cache) Capacity() int64 { return c.capacity }
 

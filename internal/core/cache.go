@@ -6,6 +6,7 @@ import (
 	"thinbench/internal/bitmapcache"
 	"thinbench/internal/display"
 	"thinbench/internal/metrics"
+	"thinbench/internal/proto"
 	"thinbench/internal/proto/rdp"
 	"thinbench/internal/simclock"
 	"thinbench/internal/trace"
@@ -60,15 +61,13 @@ func animationOverRDP(anim workload.AnimationConfig, policy bitmapcache.Policy, 
 // times per second for the span.
 func uiChromeTrace(span simclock.Duration) workload.Trace {
 	t := workload.Trace{Name: "ui-chrome"}
+	tape := new(display.OpTape)
 	period := 500 * simclock.Millisecond
 	for at := simclock.Time(0); at < simclock.Time(span); at = at.Add(period) {
 		i := int(int64(at)/int64(period)) % 8
-		t.Display = append(t.Display, workload.DisplayBatch{
-			At: at,
-			Ops: []display.Op{
-				display.PutBitmap{X: 10 + i*30, Y: 570, Img: display.SyntheticFrame(0xc42+uint64(i), 0, 24, 24)},
-			},
-		})
+		from := tape.Len()
+		tape.Blit(10+i*30, 570, display.SyntheticFrame(0xc42+uint64(i), 0, 24, 24))
+		t.Display = append(t.Display, workload.DisplayBatch{At: at, Tape: tape, From: from, To: tape.Len()})
 	}
 	return t
 }
@@ -106,6 +105,7 @@ func runFig6(cfg Config) (*Result, error) {
 	const missCPUms, hitCPUms = 18.0, 1.0
 	lastHits, lastMisses := int64(0), int64(0)
 	nextSample := simclock.Time(warmup)
+	var sc proto.Scratch
 	for _, batch := range tr.Display {
 		for batch.At >= nextSample {
 			s := srv.CacheStats()
@@ -119,7 +119,7 @@ func runFig6(cfg Config) (*Result, error) {
 			lastHits, lastMisses = srv.CacheStats().Hits, srv.CacheStats().Misses
 			nextSample = nextSample.Add(simclock.Second)
 		}
-		for _, m := range srv.Update(batch.Ops) {
+		for _, m := range srv.UpdateTape(batch.Tape, batch.From, batch.To, &sc) {
 			if err := cli.Apply(m); err != nil {
 				return nil, err
 			}

@@ -12,6 +12,7 @@ package display
 import (
 	"fmt"
 	"hash/fnv"
+	"unicode/utf8"
 )
 
 // Bitmap is an 8-bit-per-pixel image (the paper's testbed era color depth).
@@ -183,11 +184,24 @@ type Framebuffer struct {
 	*Bitmap
 	damage Rect
 	ops    int64
+	// copyBuf is the reusable staging buffer for overlapping copies, so a
+	// steady-state scroll renders without allocating.
+	copyBuf []byte
 }
 
 // NewFramebuffer allocates a screen of the given size.
 func NewFramebuffer(w, h int) *Framebuffer {
 	return &Framebuffer{Bitmap: NewBitmap(w, h)}
+}
+
+// Reset returns the framebuffer to its freshly allocated state — every
+// pixel zero, no damage, op counter cleared — retaining the pixel and
+// copy-staging allocations, so a session pool can recycle a client's
+// screen without reallocating it.
+func (fb *Framebuffer) Reset() {
+	clear(fb.Pix)
+	fb.damage = Rect{}
+	fb.ops = 0
 }
 
 // Ops reports how many operations have been applied.
@@ -199,51 +213,131 @@ func (fb *Framebuffer) Damage() Rect { return fb.damage }
 // ResetDamage clears damage tracking.
 func (fb *Framebuffer) ResetDamage() { fb.damage = Rect{} }
 
-// Apply renders an operation into the framebuffer.
+// Apply renders a boxed operation into the framebuffer. The concrete
+// ApplyFill/ApplyCopy/ApplyBlit/ApplyText forms render the same pixels
+// without the interface dispatch; hot paths use those (or ApplyTape)
+// directly.
 func (fb *Framebuffer) Apply(op Op) {
-	fb.ops++
-	fb.damage = fb.damage.Union(op.Bounds())
 	switch o := op.(type) {
 	case FillRect:
-		for y := o.Rect.Y; y < o.Rect.Y+o.Rect.H; y++ {
-			for x := o.Rect.X; x < o.Rect.X+o.Rect.W; x++ {
-				fb.Set(x, y, o.Color)
-			}
-		}
+		fb.ApplyFill(o.Rect, o.Color)
 	case CopyArea:
-		// Copy through a staging buffer so overlapping regions behave.
-		tmp := make([]byte, o.Src.W*o.Src.H)
-		for y := 0; y < o.Src.H; y++ {
-			for x := 0; x < o.Src.W; x++ {
-				tmp[y*o.Src.W+x] = fb.At(o.Src.X+x, o.Src.Y+y)
-			}
-		}
-		for y := 0; y < o.Src.H; y++ {
-			for x := 0; x < o.Src.W; x++ {
-				fb.Set(o.DstX+x, o.DstY+y, tmp[y*o.Src.W+x])
-			}
-		}
+		fb.ApplyCopy(o.Src, o.DstX, o.DstY)
 	case PutBitmap:
-		for y := 0; y < o.Img.H; y++ {
-			for x := 0; x < o.Img.W; x++ {
-				fb.Set(o.X+x, o.Y+y, o.Img.At(x, y))
-			}
-		}
+		fb.ApplyBlit(o.X, o.Y, o.Img)
 	case DrawText:
-		cx := o.X
-		for _, r := range o.Text {
-			g := GlyphMask(r)
-			for y := 0; y < g.H; y++ {
-				for x := 0; x < g.W; x++ {
-					if g.At(x, y) != 0 {
-						fb.Set(cx+x, o.Y+y, o.Color)
-					}
-				}
-			}
-			cx += GlyphW
-		}
+		fb.ApplyTextString(o.X, o.Y, o.Text, o.Color)
 	default:
 		panic(fmt.Sprintf("display: unknown op %T", op))
+	}
+}
+
+// ApplyFill renders a solid rectangle.
+func (fb *Framebuffer) ApplyFill(r Rect, color byte) {
+	fb.ops++
+	fb.damage = fb.damage.Union(r)
+	for y := r.Y; y < r.Y+r.H; y++ {
+		for x := r.X; x < r.X+r.W; x++ {
+			fb.Set(x, y, color)
+		}
+	}
+}
+
+// ApplyCopy renders an on-screen copy (scrolling), staging through a
+// reusable buffer so overlapping regions behave.
+func (fb *Framebuffer) ApplyCopy(src Rect, dstX, dstY int) {
+	fb.ops++
+	fb.damage = fb.damage.Union(Rect{dstX, dstY, src.W, src.H})
+	n := src.W * src.H
+	if cap(fb.copyBuf) < n {
+		fb.copyBuf = make([]byte, n)
+	}
+	tmp := fb.copyBuf[:n]
+	for y := 0; y < src.H; y++ {
+		for x := 0; x < src.W; x++ {
+			tmp[y*src.W+x] = fb.At(src.X+x, src.Y+y)
+		}
+	}
+	for y := 0; y < src.H; y++ {
+		for x := 0; x < src.W; x++ {
+			fb.Set(dstX+x, dstY+y, tmp[y*src.W+x])
+		}
+	}
+}
+
+// ApplyBlit renders bitmap pixels at (x, y).
+func (fb *Framebuffer) ApplyBlit(x, y int, img *Bitmap) {
+	fb.ops++
+	fb.damage = fb.damage.Union(Rect{x, y, img.W, img.H})
+	for yy := 0; yy < img.H; yy++ {
+		for xx := 0; xx < img.W; xx++ {
+			fb.Set(x+xx, y+yy, img.At(xx, yy))
+		}
+	}
+}
+
+// ApplyText renders UTF-8 text bytes with the cell font, rasterizing glyph
+// rows via GlyphRowBits so no mask bitmap is allocated.
+func (fb *Framebuffer) ApplyText(x, y int, text []byte, color byte) {
+	fb.ops++
+	fb.damage = fb.damage.Union(Rect{x, y, len(text) * GlyphW, GlyphH})
+	fb.drawText(x, y, text, "", color)
+}
+
+// ApplyTextString is ApplyText for a string, with identical damage
+// accounting and pixels.
+func (fb *Framebuffer) ApplyTextString(x, y int, s string, color byte) {
+	fb.ops++
+	fb.damage = fb.damage.Union(Rect{x, y, len(s) * GlyphW, GlyphH})
+	fb.drawText(x, y, nil, s, color)
+}
+
+// drawText rasterizes whichever of text/s is set (range over a string and
+// a utf8.DecodeRune walk over its bytes yield identical rune sequences).
+func (fb *Framebuffer) drawText(x, y int, text []byte, s string, color byte) {
+	cx := x
+	blit := func(r rune) {
+		for yy := 0; yy < GlyphH; yy++ {
+			row := GlyphRowBits(r, yy)
+			for xx := 0; xx < GlyphW; xx++ {
+				if row>>uint(xx)&1 == 1 {
+					fb.Set(cx+xx, y+yy, color)
+				}
+			}
+		}
+		cx += GlyphW
+	}
+	if text != nil {
+		for off := 0; off < len(text); {
+			r, size := utf8.DecodeRune(text[off:])
+			off += size
+			blit(r)
+		}
+		return
+	}
+	for _, r := range s {
+		blit(r)
+	}
+}
+
+// ApplyTape renders tape entries [from, to) through the concrete apply
+// forms — the devirtualized equivalent of applying each boxed op.
+func (fb *Framebuffer) ApplyTape(t *OpTape, from, to int) {
+	for i := from; i < to; i++ {
+		switch t.Kind(i) {
+		case KindFill:
+			r, c := t.FillAt(i)
+			fb.ApplyFill(r, c)
+		case KindCopy:
+			src, dx, dy := t.CopyAt(i)
+			fb.ApplyCopy(src, dx, dy)
+		case KindText:
+			x, y, s, c := t.TextAt(i)
+			fb.ApplyText(x, y, s, c)
+		case KindBlit:
+			x, y, img := t.BlitAt(i)
+			fb.ApplyBlit(x, y, img)
+		}
 	}
 }
 

@@ -1,7 +1,9 @@
-// Package hotpath is a thinlint fixture. The sendEcho function mirrors
+// Package hotpath is a thinlint fixture. The sendEcho functions mirror
 // the real server echo path closely enough that the analyzer's verdict on
-// it carries over: the display.Op boxing it flags is the same construct
-// ROADMAP names as the remaining allocs/event driver.
+// them carries over: sendEcho is the pre-tape shape whose display.Op
+// boxing the analyzer must keep failing (so the construct cannot quietly
+// return to the echo path without a new reasoned allow), and
+// sendEchoTape is the current pointer-free shape, which must stay silent.
 package hotpath
 
 import (
@@ -12,11 +14,14 @@ import (
 
 type user struct {
 	ops      []display.Op
+	tape     display.OpTape
 	echoText string
 }
 
-// sendEcho mirrors thinbench/internal/server.(*Server).sendEcho: one
-// DrawText op appended into the session's []display.Op reply buffer.
+// sendEcho mirrors the retired interface-slice echo path: one DrawText op
+// appended into the session's []display.Op reply buffer. The boxing
+// diagnostic here is the regression tripwire — reintroducing this shape
+// on the real echo path fails vet the same way.
 //
 //thinlint:hotpath
 func sendEcho(u *user, col int) []display.Op {
@@ -25,6 +30,17 @@ func sendEcho(u *user, col int) []display.Op {
 		Text: u.echoText, Color: 0,
 	})
 	return u.ops
+}
+
+// sendEchoTape mirrors thinbench/internal/server.(*Server).sendEcho as it
+// stands: the echo rides the session's reused pointer-free op tape, so
+// there is no interface conversion for the analyzer to flag.
+//
+//thinlint:hotpath
+func sendEchoTape(u *user, col int) *display.OpTape {
+	u.tape.Reset()
+	u.tape.Text(56+(col%70)*display.GlyphW, 80+(col/70%24)*16, u.echoText, 0)
+	return &u.tape
 }
 
 //thinlint:hotpath

@@ -93,15 +93,19 @@ func NewServer(cfg Config) *Server {
 // Name implements proto.Server.
 func (s *Server) Name() string { return "lbx" }
 
-// SetupBytes implements proto.Server: the X handshake passes through the
-// proxy plus a small LBX negotiation of its own.
-func (s *Server) SetupBytes() int {
+// setupBytesTotal sums the proxied X handshake once at package init so
+// per-admission SetupBytes calls don't rebuild it.
+var setupBytesTotal = func() int {
 	total := 146 // LBX proxy option negotiation
 	for _, m := range xwire.SetupMessages() {
 		total += m.Size()
 	}
 	return total
-}
+}()
+
+// SetupBytes implements proto.Server: the X handshake passes through the
+// proxy plus a small LBX negotiation of its own.
+func (s *Server) SetupBytes() int { return setupBytesTotal }
 
 // Update implements proto.Server: ops become X requests, each transcoded
 // and (if large) fragmented.

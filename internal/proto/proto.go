@@ -102,10 +102,31 @@ type ScratchServer interface {
 	UpdateScratch(ops []display.Op, sc *Scratch) []Message
 }
 
+// TapeServer is implemented by protocol servers that can encode a screen
+// update directly from a display.OpTape window — the pointer-free,
+// devirtualized form of UpdateScratch. Encoding entries [from, to) of t
+// must produce byte-identical messages to UpdateScratch over the equivalent
+// boxed op slice; the steady-state echo pipeline uses this form so no op is
+// ever boxed into the display.Op interface.
+type TapeServer interface {
+	UpdateTape(t *display.OpTape, from, to int, sc *Scratch) []Message
+}
+
 // ScratchClient is implemented by protocol clients whose EncodeInput can
 // encode into caller-owned scratch.
 type ScratchClient interface {
 	EncodeInputScratch(events []display.InputEvent, sc *Scratch) []Message
+}
+
+// SessionReusable is implemented by protocol endpoints whose state can be
+// returned to the freshly constructed state without reallocating. After
+// ResetSession every observable behavior — including the exact wire bytes
+// of every subsequent encode — must match a brand-new endpoint of the same
+// configuration: caches are emptied, directories cleared, counters zeroed;
+// only the allocations survive. Session pools use it to recycle a departed
+// user's codec pair for a same-seat successor.
+type SessionReusable interface {
+	ResetSession()
 }
 
 // InputValidator is implemented by protocol servers that can check an

@@ -1,0 +1,136 @@
+package protos_test
+
+import (
+	"bytes"
+	"fmt"
+	"reflect"
+	"testing"
+
+	"thinbench/internal/display"
+	"thinbench/internal/proto"
+	"thinbench/internal/proto/protos"
+	"thinbench/internal/simclock"
+)
+
+// opGen draws randomized display-op streams: every op kind, geometry
+// hanging off the screen edges, multi-byte text, and a bitmap pool reused
+// across rounds so cache-bearing protocols exercise hits as well as misses.
+type opGen struct {
+	r    *simclock.Rand
+	w, h int
+	imgs []*display.Bitmap
+}
+
+func (g *opGen) bitmap() *display.Bitmap {
+	if len(g.imgs) > 0 && g.r.Intn(2) == 0 {
+		return g.imgs[g.r.Intn(len(g.imgs))]
+	}
+	img := display.NewBitmap(1+g.r.Intn(24), 1+g.r.Intn(16))
+	for i := range img.Pix {
+		img.Pix[i] = byte(g.r.Uint64())
+	}
+	g.imgs = append(g.imgs, img)
+	return img
+}
+
+func (g *opGen) rect() display.Rect {
+	return display.Rect{X: g.r.Intn(g.w), Y: g.r.Intn(g.h), W: 1 + g.r.Intn(64), H: 1 + g.r.Intn(32)}
+}
+
+// tapeAlphabet includes multi-byte runes so the tape's UTF-8 arena is
+// exercised, not just ASCII.
+var tapeAlphabet = []rune("abcdefghijklmnopqrstuvwxyz0123456789 éλ→")
+
+func (g *opGen) op() display.Op {
+	switch g.r.Intn(4) {
+	case 0:
+		return display.FillRect{Rect: g.rect(), Color: byte(g.r.Intn(256))}
+	case 1:
+		return display.CopyArea{Src: g.rect(), DstX: g.r.Intn(g.w), DstY: g.r.Intn(g.h)}
+	case 2:
+		s := make([]rune, 1+g.r.Intn(12))
+		for i := range s {
+			s[i] = tapeAlphabet[g.r.Intn(len(tapeAlphabet))]
+		}
+		return display.DrawText{X: g.r.Intn(g.w), Y: g.r.Intn(g.h), Text: string(s), Color: byte(g.r.Intn(256))}
+	default:
+		return display.PutBitmap{X: g.r.Intn(g.w), Y: g.r.Intn(g.h), Img: g.bitmap()}
+	}
+}
+
+func (g *opGen) batch() []display.Op {
+	ops := make([]display.Op, 1+g.r.Intn(6))
+	for i := range ops {
+		ops[i] = g.op()
+	}
+	return ops
+}
+
+// TestTapeMatchesOpsRandomStreams is the op-tape equivalence property
+// test, in the calendar-vs-heap style: two independent endpoint pairs of
+// the same protocol consume identical randomized op streams, one through
+// the boxed []display.Op Update path and one through the pointer-free
+// OpTape UpdateTape path. Every update must encode byte-identical
+// messages and leave both client framebuffers pixel-identical, and every
+// tape window must round-trip losslessly back to the boxed ops it came
+// from — including windows that start mid-tape, where the absolute text
+// offsets and bitmap indices earn their keep.
+func TestTapeMatchesOpsRandomStreams(t *testing.T) {
+	for _, name := range []string{"rdp", "vnc", "slim"} {
+		for seed := uint64(1); seed <= 3; seed++ {
+			t.Run(fmt.Sprintf("%s_seed%d", name, seed), func(t *testing.T) {
+				srvA, cliA, _, err := protos.New(name)
+				if err != nil {
+					t.Fatal(err)
+				}
+				srvB, cliB, _, err := protos.New(name)
+				if err != nil {
+					t.Fatal(err)
+				}
+				tsrv, ok := srvB.(proto.TapeServer)
+				if !ok {
+					t.Fatalf("%s server does not implement proto.TapeServer", name)
+				}
+				fbA, fbB := cliA.Framebuffer(), cliB.Framebuffer()
+				g := &opGen{r: simclock.NewRand(seed), w: fbA.W, h: fbA.H}
+				var tape display.OpTape
+				var sc proto.Scratch
+				for round := 0; round < 200; round++ {
+					ops := g.batch()
+					tape.Reset()
+					from := 0
+					if g.r.Intn(3) == 0 {
+						// A decoy prefix forces a strict [from, to) encode
+						// window over non-zero arena offsets.
+						tape.AppendOps(g.batch())
+						from = tape.Len()
+					}
+					tape.AppendOps(ops)
+					if got := tape.AppendTo(nil, from, tape.Len()); !reflect.DeepEqual(got, ops) {
+						t.Fatalf("round %d: tape round-trip mismatch:\n got %#v\nwant %#v", round, got, ops)
+					}
+					msgsA := srvA.Update(ops)
+					msgsB := tsrv.UpdateTape(&tape, from, tape.Len(), &sc)
+					if len(msgsA) != len(msgsB) {
+						t.Fatalf("round %d: ops encode %d messages, tape %d", round, len(msgsA), len(msgsB))
+					}
+					for i := range msgsA {
+						a, b := msgsA[i], msgsB[i]
+						if a.Channel != b.Channel || a.Kind != b.Kind || !bytes.Equal(a.Payload, b.Payload) {
+							t.Fatalf("round %d message %d (%s): tape and ops encodes differ", round, i, a.Kind)
+						}
+						if err := cliA.Apply(a); err != nil {
+							t.Fatalf("round %d: ops apply: %v", round, err)
+						}
+						if err := cliB.Apply(b); err != nil {
+							t.Fatalf("round %d: tape apply: %v", round, err)
+						}
+					}
+					if !fbA.Bitmap.Equal(fbB.Bitmap) {
+						t.Fatalf("round %d: client framebuffers diverged", round)
+					}
+				}
+			})
+		}
+	}
+}

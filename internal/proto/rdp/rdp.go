@@ -14,6 +14,7 @@ package rdp
 
 import (
 	"fmt"
+	"unicode/utf8"
 
 	"thinbench/internal/bitmapcache"
 	"thinbench/internal/display"
@@ -78,6 +79,10 @@ type Server struct {
 
 	glyphIdx  map[rune]uint16
 	nextGlyph uint16
+
+	// enc is the scratch tape UpdateScratch unboxes onto before delegating
+	// to the tape encoder.
+	enc display.OpTape
 }
 
 // NewServer builds the application-side endpoint.
@@ -103,6 +108,20 @@ func NewServer(cfg Config) *Server {
 // Name implements proto.Server.
 func (s *Server) Name() string { return "rdp" }
 
+// ResetSession implements proto.SessionReusable: the server returns to its
+// freshly constructed state — empty bitmap cache, virgin slot and glyph
+// directories — while keeping every allocation, so a pooled codec's wire
+// bytes match a brand-new server's exactly.
+func (s *Server) ResetSession() {
+	s.cache.Reset()
+	clear(s.slotOf)
+	s.freeSlots = s.freeSlots[:0]
+	s.nextSlot = 0
+	clear(s.glyphIdx)
+	s.nextGlyph = 0
+	s.enc.Reset()
+}
+
 // CacheStats exposes the bitmap cache counters (Figure 6's metrics).
 func (s *Server) CacheStats() bitmapcache.Stats { return s.cache.Stats() }
 
@@ -113,21 +132,54 @@ func (s *Server) Update(ops []display.Op) []proto.Message {
 	return s.UpdateScratch(ops, &proto.Scratch{})
 }
 
-// UpdateScratch implements proto.ScratchServer: Update encoded into
-// caller-owned scratch, so a steady-state echo pipeline reuses one payload
-// arena per in-flight update instead of allocating a fresh writer, buffer,
-// and message slice per interaction.
-//
-//thinlint:hotpath
+// UpdateScratch implements proto.ScratchServer by unboxing the op slice
+// onto the server's scratch tape and delegating to UpdateTape, so the two
+// entry points share one encoder and stay byte-identical by construction.
 func (s *Server) UpdateScratch(ops []display.Op, sc *proto.Scratch) []proto.Message {
 	if len(ops) == 0 {
+		return nil
+	}
+	s.enc.Reset()
+	s.enc.AppendOps(ops)
+	return s.UpdateTape(&s.enc, 0, s.enc.Len(), sc)
+}
+
+// UpdateTape implements proto.TapeServer: tape entries [from, to) are
+// encoded as orders inside a single PDU written into caller-owned scratch.
+// This is the steady-state form — no op is boxed, and a warm Scratch makes
+// the whole encode allocation-free.
+//
+//thinlint:hotpath
+func (s *Server) UpdateTape(t *display.OpTape, from, to int, sc *proto.Scratch) []proto.Message {
+	if to <= from {
 		return nil
 	}
 	w := proto.WriterOver(sc.Buf)
 	w.Zero(pduHeaderSize)
 	orders := 0
-	for _, op := range ops {
-		orders += s.encodeOrder(&w, op)
+	for i := from; i < to; i++ {
+		switch t.Kind(i) {
+		case display.KindFill:
+			r, color := t.FillAt(i)
+			w.U8(ordOpaqueRect)
+			w.I16(int16(r.X)).I16(int16(r.Y))
+			w.U16(uint16(r.W)).U16(uint16(r.H))
+			w.U8(color)
+			orders++
+		case display.KindCopy:
+			src, dx, dy := t.CopyAt(i)
+			w.U8(ordScrBlt)
+			w.I16(int16(src.X)).I16(int16(src.Y))
+			w.U16(uint16(src.W)).U16(uint16(src.H))
+			w.I16(int16(dx)).I16(int16(dy))
+			orders++
+		case display.KindBlit:
+			x, y, img := t.BlitAt(i)
+			orders += s.encodeBitmap(&w, x, y, img)
+		case display.KindText:
+			x, y, text, color := t.TextAt(i)
+			orders += s.encodeText(&w, x, y, text, color)
+		}
 	}
 	b := w.Bytes()
 	sc.Buf = b
@@ -141,38 +193,13 @@ func (s *Server) UpdateScratch(ops []display.Op, sc *proto.Scratch) []proto.Mess
 	return sc.Msgs
 }
 
-// encodeOrder appends the order(s) for one op, returning how many orders
-// were written.
-func (s *Server) encodeOrder(w *proto.Writer, op display.Op) int {
-	switch o := op.(type) {
-	case display.FillRect:
-		w.U8(ordOpaqueRect)
-		w.I16(int16(o.Rect.X)).I16(int16(o.Rect.Y))
-		w.U16(uint16(o.Rect.W)).U16(uint16(o.Rect.H))
-		w.U8(o.Color)
-		return 1
-	case display.CopyArea:
-		w.U8(ordScrBlt)
-		w.I16(int16(o.Src.X)).I16(int16(o.Src.Y))
-		w.U16(uint16(o.Src.W)).U16(uint16(o.Src.H))
-		w.I16(int16(o.DstX)).I16(int16(o.DstY))
-		return 1
-	case display.PutBitmap:
-		return s.encodeBitmap(w, o)
-	case display.DrawText:
-		return s.encodeText(w, o)
-	default:
-		panic(fmt.Sprintf("rdp: unsupported op %T", op))
-	}
-}
-
 // encodeBitmap consults the cache directory: a hit costs one 11-byte
 // MemBlt; a miss ships the RLE-compressed pixels in a CacheBitmap order,
 // then draws with MemBlt.
-func (s *Server) encodeBitmap(w *proto.Writer, o display.PutBitmap) int {
-	key := bitmapcache.Key(o.Img.Hash())
+func (s *Server) encodeBitmap(w *proto.Writer, x, y int, img *display.Bitmap) int {
+	key := bitmapcache.Key(img.Hash())
 	orders := 0
-	if !s.cache.Fetch(key, int64(o.Img.Bytes())) {
+	if !s.cache.Fetch(key, int64(img.Bytes())) {
 		// Miss. If the content is cacheable (it fits), assign a slot and
 		// ship it as a cache fill; oversized content ships as a one-shot
 		// (slot 0xFFFF means "draw immediately, do not retain").
@@ -180,10 +207,10 @@ func (s *Server) encodeBitmap(w *proto.Writer, o display.PutBitmap) int {
 		if s.cache.Contains(key) {
 			slot = s.allocSlot(key)
 		}
-		enc := rleEncode(o.Img.Pix)
+		enc := rleEncode(img.Pix)
 		w.U8(ordCacheBitmap)
 		w.U16(slot)
-		w.U16(uint16(o.Img.W)).U16(uint16(o.Img.H))
+		w.U16(uint16(img.W)).U16(uint16(img.H))
 		w.U32(uint32(len(enc)))
 		w.Raw(enc)
 		orders++
@@ -191,8 +218,8 @@ func (s *Server) encodeBitmap(w *proto.Writer, o display.PutBitmap) int {
 			// One-shot draw carries coordinates in a MemBlt against the
 			// ephemeral slot.
 			w.U8(ordMemBlt).U16(slot)
-			w.I16(int16(o.X)).I16(int16(o.Y))
-			w.U16(uint16(o.Img.W)).U16(uint16(o.Img.H))
+			w.I16(int16(x)).I16(int16(y))
+			w.U16(uint16(img.W)).U16(uint16(img.H))
 			return orders + 1
 		}
 	}
@@ -201,8 +228,8 @@ func (s *Server) encodeBitmap(w *proto.Writer, o display.PutBitmap) int {
 		slot = s.allocSlot(key)
 	}
 	w.U8(ordMemBlt).U16(slot)
-	w.I16(int16(o.X)).I16(int16(o.Y))
-	w.U16(uint16(o.Img.W)).U16(uint16(o.Img.H))
+	w.I16(int16(x)).I16(int16(y))
+	w.U16(uint16(img.W)).U16(uint16(img.H))
 	return orders + 1
 }
 
@@ -228,58 +255,40 @@ func (s *Server) allocSlot(key bitmapcache.Key) uint16 {
 }
 
 // encodeText caches glyphs on first use (13 bytes of 1-bpp rows each),
-// then draws with compact glyph-index orders.
-func (s *Server) encodeText(w *proto.Writer, o display.DrawText) int {
+// then draws with compact glyph-index orders. The UTF-8 byte walk yields
+// the same U+FFFD replacements a range loop over the string would, so no
+// rune slice is materialized; the glyph count field is a byte, so the text
+// caps at 255 runes as before.
+func (s *Server) encodeText(w *proto.Writer, x, y int, text []byte, color byte) int {
 	orders := 0
-	// Walk the string directly (rune iteration yields the same U+FFFD
-	// replacements as a []rune conversion would) so the hot echo path does
-	// not materialize a rune slice per DrawText. The glyph count field is a
-	// byte, so cap at 255 runes as before.
-	n := 0
-	for range o.Text {
-		n++
-		if n == 255 {
-			break
-		}
-	}
+	n := display.CountRunes(text, 255)
 	i := 0
-	for _, r := range o.Text {
-		if i == n {
-			break
-		}
-		i++
+	for off := 0; off < len(text) && i < n; i++ {
+		r, size := utf8.DecodeRune(text[off:])
+		off += size
 		if _, ok := s.glyphIdx[r]; ok {
 			continue
 		}
 		idx := s.nextGlyph
 		s.nextGlyph++
 		s.glyphIdx[r] = idx
-		g := display.GlyphMask(r)
 		w.U8(ordCacheGlyph)
 		w.U16(idx)
 		w.U32(uint32(r))
-		// Pack each 8-pixel row into one byte.
-		for y := 0; y < display.GlyphH; y++ {
-			var row byte
-			for x := 0; x < display.GlyphW; x++ {
-				if g.At(x, y) != 0 {
-					row |= 1 << uint(x)
-				}
-			}
-			w.U8(row)
+		// Each 8-pixel glyph row packs into one byte.
+		for yy := 0; yy < display.GlyphH; yy++ {
+			w.U8(display.GlyphRowBits(r, yy))
 		}
 		orders++
 	}
 	w.U8(ordGlyphIndex)
-	w.I16(int16(o.X)).I16(int16(o.Y))
-	w.U8(o.Color)
+	w.I16(int16(x)).I16(int16(y))
+	w.U8(color)
 	w.U8(uint8(n))
 	i = 0
-	for _, r := range o.Text {
-		if i == n {
-			break
-		}
-		i++
+	for off := 0; off < len(text) && i < n; i++ {
+		r, size := utf8.DecodeRune(text[off:])
+		off += size
 		w.U16(s.glyphIdx[r])
 	}
 	return orders + 1
@@ -347,14 +356,19 @@ func (s *Server) ValidateInput(m proto.Message) (int, error) {
 	return n, nil
 }
 
-// SetupBytes implements proto.Server.
-func (s *Server) SetupBytes() int {
+// setupBytesTotal sums SetupMessages once at package init: a churning
+// session pool calls SetupBytes on every admission, and rebuilding the
+// whole negotiation exchange each time dominated login allocations.
+var setupBytesTotal = func() int {
 	total := 0
 	for _, m := range SetupMessages() {
 		total += m.Size()
 	}
 	return total
-}
+}()
+
+// SetupBytes implements proto.Server.
+func (s *Server) SetupBytes() int { return setupBytesTotal }
 
 // SetupMessages builds the session negotiation exchange. Component sizes
 // follow the TSE connection sequence: transport connect, basic settings
@@ -405,6 +419,15 @@ func NewClient(cfg Config) *Client {
 
 // Name implements proto.Client.
 func (c *Client) Name() string { return "rdp" }
+
+// ResetSession implements proto.SessionReusable: the client returns to its
+// freshly constructed state — cleared screen, empty bitmap and glyph slot
+// stores — retaining the framebuffer and map allocations.
+func (c *Client) ResetSession() {
+	c.fb.Reset()
+	clear(c.slots)
+	clear(c.glyphs)
+}
 
 // Framebuffer implements proto.Client.
 func (c *Client) Framebuffer() *display.Framebuffer { return c.fb }
@@ -580,6 +603,7 @@ var (
 	_ proto.Server         = (*Server)(nil)
 	_ proto.Client         = (*Client)(nil)
 	_ proto.ScratchServer  = (*Server)(nil)
+	_ proto.TapeServer     = (*Server)(nil)
 	_ proto.ScratchClient  = (*Client)(nil)
 	_ proto.InputValidator = (*Server)(nil)
 )

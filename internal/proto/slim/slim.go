@@ -14,6 +14,7 @@ package slim
 
 import (
 	"fmt"
+	"unicode/utf8"
 
 	"thinbench/internal/display"
 	"thinbench/internal/proto"
@@ -52,6 +53,7 @@ func DefaultConfig() Config {
 type Server struct {
 	cfg   Config
 	spans []cmdSpan
+	enc   display.OpTape
 }
 
 // cmdSpan records where one command landed in the shared payload buffer.
@@ -82,19 +84,28 @@ func (s *Server) Update(ops []display.Op) []proto.Message {
 	return s.UpdateScratch(ops, &proto.Scratch{})
 }
 
-// UpdateScratch implements proto.ScratchServer: the per-op command
-// messages are carved out of one shared payload arena — commands are
-// encoded back to back with their offsets recorded, then sliced once the
-// buffer has stopped growing — so a steady-state echo burst reuses a
-// single buffer and message slice instead of allocating per command.
+// UpdateScratch implements proto.ScratchServer by unboxing the op slice
+// onto the server's scratch tape and delegating to UpdateTape, so the two
+// entry points share one encoder and stay byte-identical by construction.
+func (s *Server) UpdateScratch(ops []display.Op, sc *proto.Scratch) []proto.Message {
+	s.enc.Reset()
+	s.enc.AppendOps(ops)
+	return s.UpdateTape(&s.enc, 0, s.enc.Len(), sc)
+}
+
+// UpdateTape implements proto.TapeServer: the per-entry command messages
+// are carved out of one shared payload arena — commands are encoded back to
+// back with their offsets recorded, then sliced once the buffer has stopped
+// growing — so a steady-state echo burst reuses a single buffer and message
+// slice instead of allocating per command.
 //
 //thinlint:hotpath
-func (s *Server) UpdateScratch(ops []display.Op, sc *proto.Scratch) []proto.Message {
+func (s *Server) UpdateTape(t *display.OpTape, from, to int, sc *proto.Scratch) []proto.Message {
 	w := proto.WriterOver(sc.Buf)
 	spans := s.spans[:0]
-	for _, op := range ops {
+	for i := from; i < to; i++ {
 		start := w.Len()
-		kind := encodeCommand(&w, op)
+		kind := encodeEntry(&w, t, i)
 		spans = append(spans, cmdSpan{start: start, end: w.Len(), kind: kind})
 	}
 	s.spans = spans
@@ -113,53 +124,51 @@ func cmdHeader(w *proto.Writer, op uint8, x, y, width, height int) {
 	w.U16(uint16(width)).U16(uint16(height))
 }
 
-// encodeCommand appends one command to the shared writer and returns its
-// message kind.
-func encodeCommand(w *proto.Writer, op display.Op) string {
-	switch o := op.(type) {
-	case display.FillRect:
-		cmdHeader(w, cmdFill, o.Rect.X, o.Rect.Y, o.Rect.W, o.Rect.H)
-		w.U8(o.Color)
+// encodeEntry appends the command for tape entry i to the shared writer and
+// returns its message kind.
+//
+//thinlint:hotpath
+func encodeEntry(w *proto.Writer, t *display.OpTape, i int) string {
+	switch t.Kind(i) {
+	case display.KindFill:
+		r, color := t.FillAt(i)
+		cmdHeader(w, cmdFill, r.X, r.Y, r.W, r.H)
+		w.U8(color)
 		return "FILL"
-	case display.CopyArea:
-		cmdHeader(w, cmdCopy, o.Src.X, o.Src.Y, o.Src.W, o.Src.H)
-		w.I16(int16(o.DstX)).I16(int16(o.DstY))
+	case display.KindCopy:
+		src, dx, dy := t.CopyAt(i)
+		cmdHeader(w, cmdCopy, src.X, src.Y, src.W, src.H)
+		w.I16(int16(dx)).I16(int16(dy))
 		return "COPY"
-	case display.PutBitmap:
-		cmdHeader(w, cmdSet, o.X, o.Y, o.Img.W, o.Img.H)
-		w.Raw(o.Img.Pix)
+	case display.KindBlit:
+		x, y, img := t.BlitAt(i)
+		cmdHeader(w, cmdSet, x, y, img.W, img.H)
+		w.Raw(img.Pix)
 		return "SET"
-	case display.DrawText:
+	case display.KindText:
 		// Text renders as a two-color BITMAP: 1 bpp glyph coverage plus
 		// foreground color — SLIM's answer to fonts, far cheaper than SET.
-		// Walk the string directly (rune iteration yields the same U+FFFD
-		// replacements as a []rune conversion would) so the hot echo path
-		// does not materialize a rune slice per DrawText; the cap at 255
-		// matches the prior slice truncation.
-		n := 0
-		for range o.Text {
-			n++
-			if n == 255 {
-				break
-			}
-		}
+		// The UTF-8 byte walk yields the same U+FFFD replacements a range
+		// loop over the string would, glyph rows come from GlyphRowBits
+		// instead of a mask bitmap, and the 255-rune cap matches the byte
+		// count field as before.
+		x, y, text, color := t.TextAt(i)
+		n := display.CountRunes(text, 255)
 		width := n * display.GlyphW
 		height := display.GlyphH
-		cmdHeader(w, cmdBitmap, o.X, o.Y, width, height)
-		w.U8(o.Color)
+		cmdHeader(w, cmdBitmap, x, y, width, height)
+		w.U8(color)
 		w.U8(0) // transparent background flag
 		var cur byte
 		bit := 0
-		for y := 0; y < height; y++ {
-			i := 0
-			for _, r := range o.Text {
-				if i == n {
-					break
-				}
-				i++
-				g := display.GlyphMask(r)
-				for x := 0; x < display.GlyphW; x++ {
-					if g.At(x, y) != 0 {
+		for yy := 0; yy < height; yy++ {
+			ri := 0
+			for off := 0; off < len(text) && ri < n; ri++ {
+				r, size := utf8.DecodeRune(text[off:])
+				off += size
+				row := display.GlyphRowBits(r, yy)
+				for xx := 0; xx < display.GlyphW; xx++ {
+					if row>>uint(xx)&1 == 1 {
 						cur |= 1 << uint(bit)
 					}
 					bit++
@@ -175,7 +184,7 @@ func encodeCommand(w *proto.Writer, op display.Op) string {
 		}
 		return "BITMAP"
 	default:
-		panic(fmt.Sprintf("slim: unsupported op %T", op))
+		panic(fmt.Sprintf("slim: unknown tape kind %d", t.Kind(i)))
 	}
 }
 
@@ -356,6 +365,7 @@ var (
 	_ proto.Server         = (*Server)(nil)
 	_ proto.Client         = (*Client)(nil)
 	_ proto.ScratchServer  = (*Server)(nil)
+	_ proto.TapeServer     = (*Server)(nil)
 	_ proto.ScratchClient  = (*Client)(nil)
 	_ proto.InputValidator = (*Server)(nil)
 )

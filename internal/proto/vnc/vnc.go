@@ -60,10 +60,12 @@ type Server struct {
 
 	// Encoder scratch, reused across updates so the steady-state echo
 	// pipeline allocates nothing: the pending damage list, the RRE
-	// subrectangle analysis, and the RRE body buffer.
+	// subrectangle analysis, the RRE body buffer, and the tape
+	// UpdateScratch unboxes onto before delegating to UpdateTape.
 	pending []display.Rect
 	subs    []rreSub
 	rreBuf  []byte
+	enc     display.OpTape
 }
 
 // NewServer builds the application-side endpoint.
@@ -104,15 +106,28 @@ func (s *Server) Update(ops []display.Op) []proto.Message {
 	return s.UpdateScratch(ops, &proto.Scratch{})
 }
 
-// UpdateScratch implements proto.ScratchServer: Update encoded into
-// caller-owned scratch. Rectangles are written straight into one payload
-// buffer in flush order — the same byte stream the per-rect encoding
-// produced — with the rectangle count patched into the header afterward,
-// and the damage list and RRE analysis scratch reused across updates.
-//
-//thinlint:hotpath
+// UpdateScratch implements proto.ScratchServer by unboxing the op slice
+// onto the server's scratch tape and delegating to UpdateTape, so the two
+// entry points share one encoder and stay byte-identical by construction.
 func (s *Server) UpdateScratch(ops []display.Op, sc *proto.Scratch) []proto.Message {
 	if len(ops) == 0 {
+		return nil
+	}
+	s.enc.Reset()
+	s.enc.AppendOps(ops)
+	return s.UpdateTape(&s.enc, 0, s.enc.Len(), sc)
+}
+
+// UpdateTape implements proto.TapeServer: tape entries [from, to) render
+// into the server framebuffer through the concrete apply forms and encode
+// into caller-owned scratch. Rectangles are written straight into one
+// payload buffer in flush order with the rectangle count patched into the
+// header afterward, and the damage list and RRE analysis scratch are reused
+// across updates, so a warm encode allocates nothing.
+//
+//thinlint:hotpath
+func (s *Server) UpdateTape(t *display.OpTape, from, to int, sc *proto.Scratch) []proto.Message {
+	if to <= from {
 		return nil
 	}
 	w := proto.WriterOver(sc.Buf)
@@ -120,37 +135,40 @@ func (s *Server) UpdateScratch(ops []display.Op, sc *proto.Scratch) []proto.Mess
 	w.U8(0)  // pad
 	w.U16(0) // rectangle count, patched below
 	rects := 0
-	pending := s.pending[:0]
-	flushPending := func() { //thinlint:allow hotpath.closure non-escaping flush helper: called only below in this frame, stack-allocated in practice
-		for _, r := range pending {
-			s.encodeRect(&w, r)
-			rects++
-		}
-		pending = pending[:0]
-	}
-	for _, op := range ops {
-		if c, ok := op.(display.CopyArea); ok {
+	s.pending = s.pending[:0]
+	for i := from; i < to; i++ {
+		if t.Kind(i) == display.KindCopy {
 			// Encode prior damage from the pre-copy framebuffer state.
-			flushPending()
-			s.fb.Apply(op)
-			d := clipRect(c.Bounds(), s.cfg.ScreenW, s.cfg.ScreenH)
+			rects = s.flushPending(&w, rects)
+			src, dx, dy := t.CopyAt(i)
+			s.fb.ApplyCopy(src, dx, dy)
+			d := clipRect(display.Rect{X: dx, Y: dy, W: src.W, H: src.H}, s.cfg.ScreenW, s.cfg.ScreenH)
 			if !d.Empty() {
 				w.I16(int16(d.X)).I16(int16(d.Y))
 				w.U16(uint16(d.W)).U16(uint16(d.H))
 				w.U32(encCopyRect)
-				w.I16(int16(c.Src.X)).I16(int16(c.Src.Y))
+				w.I16(int16(src.X)).I16(int16(src.Y))
 				rects++
 			}
 			continue
 		}
-		s.fb.Apply(op)
-		d := clipRect(op.Bounds(), s.cfg.ScreenW, s.cfg.ScreenH)
+		switch t.Kind(i) {
+		case display.KindFill:
+			r, color := t.FillAt(i)
+			s.fb.ApplyFill(r, color)
+		case display.KindText:
+			x, y, text, color := t.TextAt(i)
+			s.fb.ApplyText(x, y, text, color)
+		case display.KindBlit:
+			x, y, img := t.BlitAt(i)
+			s.fb.ApplyBlit(x, y, img)
+		}
+		d := clipRect(t.BoundsAt(i), s.cfg.ScreenW, s.cfg.ScreenH)
 		if !d.Empty() {
-			pending = mergeRect(pending, d)
+			s.pending = mergeRect(s.pending, d)
 		}
 	}
-	flushPending()
-	s.pending = pending[:0]
+	rects = s.flushPending(&w, rects)
 	b := w.Bytes()
 	sc.Buf = b
 	if rects == 0 {
@@ -160,6 +178,20 @@ func (s *Server) UpdateScratch(ops []display.Op, sc *proto.Scratch) []proto.Mess
 	b[3] = byte(rects >> 8)
 	sc.Msgs = append(sc.Msgs[:0], proto.Message{Channel: proto.Display, Kind: "FramebufferUpdate", Payload: b})
 	return sc.Msgs
+}
+
+// flushPending encodes every pending damage rectangle from the current
+// framebuffer state and empties the list, returning the updated rectangle
+// count.
+//
+//thinlint:hotpath
+func (s *Server) flushPending(w *proto.Writer, rects int) int {
+	for _, r := range s.pending {
+		s.encodeRect(w, r)
+		rects++
+	}
+	s.pending = s.pending[:0]
+	return rects
 }
 
 // mergeRect adds r to the damage list, unioning it with any rectangle it
@@ -487,6 +519,7 @@ var (
 	_ proto.Server         = (*Server)(nil)
 	_ proto.Client         = (*Client)(nil)
 	_ proto.ScratchServer  = (*Server)(nil)
+	_ proto.TapeServer     = (*Server)(nil)
 	_ proto.ScratchClient  = (*Client)(nil)
 	_ proto.InputValidator = (*Server)(nil)
 )

@@ -56,15 +56,19 @@ func NewServer() *Server { return &Server{} }
 // Name implements proto.Server.
 func (s *Server) Name() string { return "x" }
 
-// SetupBytes implements proto.Server: the total connection establishment
-// cost. See SetupMessages for the breakdown.
-func (s *Server) SetupBytes() int {
+// setupBytesTotal sums SetupMessages once at package init so per-admission
+// SetupBytes calls don't rebuild the handshake exchange.
+var setupBytesTotal = func() int {
 	total := 0
 	for _, m := range SetupMessages() {
 		total += m.Size()
 	}
 	return total
-}
+}()
+
+// SetupBytes implements proto.Server: the total connection establishment
+// cost. See SetupMessages for the breakdown.
+func (s *Server) SetupBytes() int { return setupBytesTotal }
 
 // Update implements proto.Server: every drawing operation becomes its own
 // request message — X has no server-side batching of the kind RDP performs.

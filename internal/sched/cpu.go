@@ -115,9 +115,25 @@ func (c *CPU) Running() *Thread { return c.running }
 // NewThread creates a thread registered with this CPU. Threads begin
 // Blocked; submitting work wakes them.
 func (c *CPU) NewThread(name string, basePri int) *Thread {
-	t := &Thread{ID: c.nextThread, Name: name, Base: basePri, cur: basePri, state: Blocked}
+	// The queue starts with room for a typical interactive backlog so the
+	// append ladder (1, 2, 4, ...) doesn't charge every fresh thread a
+	// handful of growth allocations before it reaches steady state.
+	t := &Thread{ID: c.nextThread, Name: name, Base: basePri, cur: basePri, state: Blocked,
+		queue: make([]*WorkItem, 0, 8)}
 	c.nextThread++
 	return t
+}
+
+// ReuseThread returns a retired thread to service as if freshly created by
+// NewThread at the given base priority: every piece of scheduling state —
+// boost, quantum, absorbed-item count, accumulated CPU, flags — resets to
+// the pristine Blocked state, while the identity fields (which no
+// scheduling decision reads) and the queue's backing array survive. The
+// thread must be retired (not registered with any scheduler queue) when
+// reused. Session pools use it to recycle pipeline threads across logins
+// without reallocating them.
+func (c *CPU) ReuseThread(t *Thread, basePri int) {
+	*t = Thread{ID: t.ID, Name: t.Name, Base: basePri, cur: basePri, state: Blocked, queue: t.queue[:0]}
 }
 
 // Submit queues a work item on t at the current time, waking the thread if
@@ -343,7 +359,10 @@ func (c *CPU) Retire(t *Thread) {
 		c.sched.Remove(t)
 	}
 	t.state = Blocked
-	t.queue = nil
+	// Keep the queue's backing array (truncated) so a thread recycled via
+	// ReuseThread submits into warmed storage; the dropped items are
+	// unreachable either way.
+	t.queue = t.queue[:0]
 	t.qhead = 0
 	t.item = nil
 	t.remaining = 0

@@ -290,7 +290,8 @@ func (c timelineCDF) quantile(target float64) float64 {
 // from vacant to occupied as N grows is the only exception — profiles
 // with StartFrac 0 or 1 have the property exactly.
 func Compile(p Profile, seats int, span simclock.Duration, seed uint64) ([]Session, error) {
-	if err := p.Validate(); err != nil {
+	c, err := NewCompiled(p)
+	if err != nil {
 		return nil, err
 	}
 	if seats < 1 {
@@ -299,7 +300,7 @@ func Compile(p Profile, seats int, span simclock.Duration, seed uint64) ([]Sessi
 	out := make([]Session, 0, seats)
 	var later []Session
 	for seat := 0; seat < seats; seat++ {
-		ss := seatSessions(p, seat, seats, span, seed)
+		ss := c.SeatSessions(seat, seats, span, seed)
 		if len(ss) == 0 {
 			continue
 		}
@@ -307,6 +308,31 @@ func Compile(p Profile, seats int, span simclock.Duration, seed uint64) ([]Sessi
 		later = append(later, ss[1:]...)
 	}
 	return append(out, later...), nil
+}
+
+// Compiled is a validated profile whose arrival-time distribution has been
+// built once, for callers that expand many seats from one profile — the
+// per-seat draw sequence is identical to Compile's, only the repeated
+// timeline compilation is saved.
+type Compiled struct {
+	p   Profile
+	cdf timelineCDF
+}
+
+// NewCompiled validates the profile and compiles its timeline.
+func NewCompiled(p Profile) (*Compiled, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return &Compiled{p: p, cdf: newTimelineCDF(p.Timeline)}, nil
+}
+
+// SeatSessions is SeatSessions on the pre-compiled profile.
+func (c *Compiled) SeatSessions(seat, seats int, span simclock.Duration, seed uint64) []Session {
+	if seat < 0 || seat >= seats {
+		return nil
+	}
+	return seatSessions(c.p, c.cdf, seat, seats, span, seed)
 }
 
 // SeatSessions is one seat's slice of Compile's plan: every episode the
@@ -320,16 +346,15 @@ func SeatSessions(p Profile, seat, seats int, span simclock.Duration, seed uint6
 	if seat < 0 || seat >= seats {
 		return nil, nil
 	}
-	return seatSessions(p, seat, seats, span, seed), nil
+	return seatSessions(p, newTimelineCDF(p.Timeline), seat, seats, span, seed), nil
 }
 
 // seatSessions generates one validated seat's episodes. The draw sequence
 // is the compatibility surface: an occupied seat draws no arrival, each
 // episode draws exactly one stay, and a Replace handover draws nothing —
 // which makes a Flat seat's stream identical to the legacy churn seat's.
-func seatSessions(p Profile, seat, seats int, span simclock.Duration, seed uint64) []Session {
+func seatSessions(p Profile, cdf timelineCDF, seat, seats int, span simclock.Duration, seed uint64) []Session {
 	rng := simclock.NewRand(simclock.DeriveSeed(simclock.DeriveSeed(seed, Salt), uint64(seat)))
-	cdf := newTimelineCDF(p.Timeline)
 	spanF := float64(span)
 
 	var out []Session

@@ -54,7 +54,6 @@ import (
 	"thinbench/internal/session"
 	"thinbench/internal/simclock"
 	"thinbench/internal/vm"
-	"thinbench/internal/workload"
 )
 
 // Config describes one shared server and its user population.
@@ -327,16 +326,50 @@ type Server struct {
 	encodeDoneFn  func(*sched.WorkItem, simclock.Time, int)
 	modelInputFn  netsim.DeliverFunc
 	modelEchoFn   netsim.DeliverFunc
+	// Lifecycle callbacks, bound once like the echo-path ones: arrivals,
+	// departures, handshake retries, login page-ins, typing keystrokes,
+	// and the two background tickers all fire through engine/link payload
+	// events (AtArgs/SendArgs) carrying the seat index, so session churn
+	// schedules no per-event closures.
+	admitFn       func(simclock.Time, int, int)
+	departFn      func(simclock.Time, int, int)
+	sendSetupFn   func(simclock.Time, int, int)
+	finishLoginFn netsim.DeliverFunc
+	pagedInFn     func(simclock.Time, int, int)
+	loginDoneFn   func(*sched.WorkItem, simclock.Time, int)
+	keystrokeFn   func(simclock.Time, int, int)
+	bgTickFn      func(simclock.Time, int, int)
+	trafficTickFn func(simclock.Time, int, int)
 
 	// cur and peak track the concurrent logged-in population.
 	cur, peak            int
 	arrivals, departures int
 	loginMaxMs           float64
 
+	// sessionPool parks departed sessions' reusable records (LIFO) so a
+	// later arrival is admitted without reallocating its session wiring or
+	// codec pair. Reuse is seat-agnostic: every session's wiring is built
+	// from the same manifest, thread identity is invisible to the
+	// scheduler, and parked codecs are reset to pristine, so a recycled
+	// record is behavior-identical to a fresh one. See parkSession.
+	sessionPool []sessionRes
+
 	loginFaults int64
 	echo        *metrics.Dist
 	slices      []*metrics.Dist
 	err         error
+}
+
+// sessionRes is one departed session's recyclable wiring: the detached
+// session record (manifest processes and pipeline threads), the session's
+// background thread if it had one, and — when the protocol endpoints
+// implement proto.SessionReusable — the codec pair, reset to pristine at
+// park time so reuse cannot change wire bytes.
+type sessionRes struct {
+	user *session.User
+	bg   *sched.Thread
+	psrv proto.Server
+	pcli proto.Client
 }
 
 // userState is one session's private wiring on the shared substrates. The
@@ -347,20 +380,23 @@ type Server struct {
 // lifecycle and codec state.
 type userState struct {
 	*session.User
-	idx  int
-	lc   Lifecycle
-	rng  *simclock.Rand
-	psrv proto.Server // nil in model mode
-	pcli proto.Client
-	// psrvSc, pcliSc, and psrvVal cache the scratch-encoding and
+	idx int
+	lc  Lifecycle
+	rng simclock.Rand
+	// pooledUser is a predecessor's detached session record handed over by
+	// admit for attach to revive via ReattachUser.
+	pooledUser *session.User
+	psrv       proto.Server // nil in model mode
+	pcli       proto.Client
+	// psrvTape, pcliSc, and psrvVal cache the tape-encoding, scratch, and
 	// validate-only interfaces of psrv/pcli (nil when the protocol lacks
 	// one), so the per-keystroke path does a field load instead of a type
 	// assertion.
-	psrvSc  proto.ScratchServer
-	pcliSc  proto.ScratchClient
-	psrvVal proto.InputValidator
-	ws      *vm.Process
-	bg      *sched.Thread
+	psrvTape proto.TapeServer
+	pcliSc   proto.ScratchClient
+	psrvVal  proto.InputValidator
+	ws       *vm.Process
+	bg       *sched.Thread
 	// aborted marks a session whose logout fired before its login finished
 	// (a connection dying mid-handshake): the login never completes.
 	// loginDone marks that the arrival's whole admission — handshake,
@@ -371,19 +407,32 @@ type userState struct {
 	aborted   bool
 	loginDone bool
 	goneAt    simclock.Time
-	// stops cancels the session's recurring background work on logout.
-	stops []func()
 
-	echo   *metrics.Dist
+	echo   metrics.Dist
 	pageIn simclock.Duration
+	// keyEv is the session's one-event typing-probe batch, boxed once at
+	// start so the per-keystroke path hands the encoder a ready slice.
+	keyEv [1]display.InputEvent
 
-	// ops is the reused one-op display buffer for echo updates and
+	// tape is the reused pointer-free op stream for echo updates and
 	// echoText the session's precomputed caret glyph; together they keep
-	// sendEcho from allocating a fresh slice and string per interaction.
-	// Protocol encoders consume the ops synchronously, never retaining
-	// the slice, so reuse is safe.
+	// sendEcho from boxing or allocating anything per interaction. ops is
+	// the materialized fallback buffer for interface-only protocols
+	// (xwire, lbx) without a tape encoder. Protocol encoders consume the
+	// tape and slice synchronously, never retaining them, so reuse is
+	// safe.
+	tape     display.OpTape
 	ops      []display.Op
 	echoText string
+}
+
+// echoFallbackOps rebuilds the one-op echo slice for protocols without a
+// tape encoder. It lives outside the annotated hot path: the display.Op
+// boxing here is the interface cost those protocols' Update API demands,
+// paid only on the xwire/lbx fallback.
+func (u *userState) echoFallbackOps(x, y int) []display.Op {
+	u.ops = append(u.ops[:0], display.DrawText{X: x, Y: y, Text: u.echoText, Color: 0})
+	return u.ops
 }
 
 // echoOp is one in-flight interaction transfer: the encoded messages of a
@@ -453,6 +502,12 @@ func New(cfg Config) (*Server, error) {
 		s.mem.TouchAll(s.system)
 	}
 	initial := 0
+	// One backing array holds every session's record: plans compiled from
+	// a day-long schedule run to thousands of entries per machine, and a
+	// struct plus a latency collector per entry was a measurable slice of
+	// the simulator's total allocations.
+	states := make([]userState, len(s.plan))
+	s.users = make([]*userState, len(s.plan))
 	for i, lc := range s.plan {
 		// Seat numbers are 1-based so the zero value means "unset"; the
 		// stream they name is the 0-based seat, which makes a generated
@@ -464,13 +519,11 @@ func New(cfg Config) (*Server, error) {
 		if lc.Seat > 0 {
 			stream = uint64(lc.Seat - 1)
 		}
-		u := &userState{
-			idx:  i,
-			lc:   lc,
-			rng:  simclock.NewRand(simclock.DeriveSeed(cfg.Seed, stream)),
-			echo: &metrics.Dist{},
-		}
-		s.users = append(s.users, u)
+		u := &states[i]
+		u.idx = i
+		u.lc = lc
+		u.rng = simclock.SeededRand(simclock.DeriveSeed(cfg.Seed, stream))
+		s.users[i] = u
 	}
 	n := len(s.users)
 	s.active = make([]bool, n)
@@ -484,6 +537,15 @@ func New(cfg Config) (*Server, error) {
 	s.encodeDoneFn = s.encodeDone
 	s.modelInputFn = s.modelInput
 	s.modelEchoFn = s.modelEcho
+	s.admitFn = s.admitAt
+	s.departFn = s.departAt
+	s.sendSetupFn = s.sendSetupAt
+	s.finishLoginFn = s.finishLoginAt
+	s.pagedInFn = s.pagedIn
+	s.loginDoneFn = s.loginDone
+	s.keystrokeFn = s.keystrokeAt
+	s.bgTickFn = s.bgTick
+	s.trafficTickFn = s.trafficTick
 	for _, u := range s.users {
 		if u.lc.Login != 0 {
 			continue
@@ -515,7 +577,12 @@ func vmConfig(cfg Config) vm.Config {
 // resident (the login page-ins), pipeline threads registered, codec state
 // allocated. The caller pays any latency cost; attach only moves state.
 func (s *Server) attach(u *userState) error {
-	u.User = session.AttachUser(s.cpu, s.mem, s.man, u.idx, s.interactive)
+	if u.pooledUser != nil {
+		u.User = session.ReattachUser(s.cpu, s.mem, u.pooledUser, u.idx, s.interactive)
+		u.pooledUser = nil
+	} else {
+		u.User = session.AttachUser(s.cpu, s.mem, s.man, u.idx, s.interactive)
+	}
 	u.ws = u.WorkingSet()
 	if realProtocol(s.cfg.Protocol) && u.psrv == nil {
 		psrv, pcli, _, err := protos.New(s.cfg.Protocol)
@@ -525,7 +592,7 @@ func (s *Server) attach(u *userState) error {
 		u.psrv, u.pcli = psrv, pcli
 	}
 	if u.psrv != nil {
-		u.psrvSc, _ = u.psrv.(proto.ScratchServer)
+		u.psrvTape, _ = u.psrv.(proto.TapeServer)
 		u.pcliSc, _ = u.pcli.(proto.ScratchClient)
 		u.psrvVal, _ = u.psrv.(proto.InputValidator)
 	}
@@ -543,15 +610,14 @@ func (s *Server) attach(u *userState) error {
 func (s *Server) Run() (Result, error) {
 	cfg := s.cfg
 	for _, u := range s.users {
-		u := u
 		if u.lc.Login == 0 {
 			// Present from the start: no setup, exactly the static model.
 			s.start(u, 0)
 		} else {
-			s.eng.At(u.lc.Login, func(now simclock.Time) { s.admit(u, now) })
+			s.eng.AtArgs(u.lc.Login, s.admitFn, u.idx, 0)
 		}
 		if u.lc.Logout > 0 {
-			s.eng.At(u.lc.Logout, func(now simclock.Time) { s.depart(u, now) })
+			s.eng.AtArgs(u.lc.Logout, s.departFn, u.idx, 0)
 		}
 	}
 
@@ -621,7 +687,7 @@ func (s *Server) Run() (Result, error) {
 		res.Interactions += int64(len(s.submitted[u.idx]))
 		res.LostInputs += s.lost[u.idx]
 		res.PageInMs += u.pageIn.Milliseconds()
-		s.echo.Merge(u.echo)
+		s.echo.Merge(&u.echo)
 	}
 	res.LoginMaxMs = s.loginMaxMs
 	res.Paging = res.FaultsAfterLogin > 0
@@ -675,47 +741,84 @@ func (s *Server) start(u *userState, now simclock.Time) {
 			s.completed[u.idx] = done
 		}
 		u.echo.Grow(expected)
-		tr := workload.TypingTrace(workload.TypingConfig{
-			Rate: cfg.InteractionsPerSec,
-			Span: typingSpan,
-			Code: uint16(30 + u.idx%26),
-		})
-		tr.Shift(simclock.Duration(now) + phase)
-		// The probe is per-keystroke: no input coalescing, so every
-		// interaction yields one latency sample.
-		workload.DriveTrace(s.eng, tr, workload.ReplayOpts{},
-			func(at simclock.Time, events []display.InputEvent) { s.keystroke(u, at, events) },
-			nil)
+		// The probe is per-keystroke (no input coalescing, so every
+		// interaction yields one latency sample) and every keystroke is
+		// the same key-repeat event, so the whole typing trace reduces to
+		// one boxed event and a payload-carrying engine event per
+		// keystroke — the same times, in the same creation order, that
+		// TypingTrace+DriveTrace scheduled, without materializing either.
+		u.keyEv[0] = display.KeyEvent{Down: true, Code: uint16(30 + u.idx%26)}
+		shift := simclock.Duration(now) + phase
+		for at := simclock.Time(period); at <= simclock.Time(typingSpan); at = at.Add(period) {
+			s.eng.AtArgs(at.Add(shift), s.keystrokeFn, u.idx, 0)
+		}
 	}
 
 	if cfg.BackgroundCPUFrac > 0 {
-		u.bg = s.cpu.NewThread(fmt.Sprintf("u%d-bg", u.idx), 4)
-		slice := simclock.Duration(cfg.BackgroundCPUFrac * 100_000)
+		if u.bg != nil {
+			s.cpu.ReuseThread(u.bg, 4)
+		} else {
+			u.bg = s.cpu.NewThread(fmt.Sprintf("u%d-bg", u.idx), 4)
+		}
 		bgPhase := u.rng.UniformDuration(0, 100*simclock.Millisecond)
-		stop := s.eng.Every(now.Add(bgPhase), 100*simclock.Millisecond, func(simclock.Time) {
-			it := s.cpu.Acquire()
-			it.Tag = "background"
-			it.CPU = slice
-			s.cpu.Submit(u.bg, it)
-		})
-		u.stops = append(u.stops, stop)
+		s.eng.AtArgs(now.Add(bgPhase), s.bgTickFn, u.idx, 0)
 	}
 	if cfg.BackgroundBitsPerSec > 0 {
-		// Steady display traffic (animations, tickers) offered in
-		// 50 ms ticks, packetized at the MTU.
-		bytesPerTick := int(cfg.BackgroundBitsPerSec / 8 / 20)
 		trPhase := u.rng.UniformDuration(0, 50*simclock.Millisecond)
-		stop := s.eng.Every(now.Add(trPhase), 50*simclock.Millisecond, func(simclock.Time) {
-			for rem := bytesPerTick; rem > 0; rem -= netsim.EthernetMTU {
-				pkt := rem
-				if pkt > netsim.EthernetMTU {
-					pkt = netsim.EthernetMTU
-				}
-				s.link.Send(pkt+netsim.TCPIPHeaderBytes, nil)
-			}
-		})
-		u.stops = append(u.stops, stop)
+		s.eng.AtArgs(now.Add(trPhase), s.trafficTickFn, u.idx, 0)
 	}
+}
+
+// bgTick is one 100 ms slice of a session's background CPU load. The
+// ticker self-reschedules until the seat logs out: a departed seat's last
+// pending tick fires as a no-op and does not re-arm, exactly the event
+// sequence the cancelled Every ticker produced.
+func (s *Server) bgTick(now simclock.Time, a, _ int) {
+	if !s.active[a] {
+		return
+	}
+	it := s.cpu.Acquire()
+	it.Tag = "background"
+	it.CPU = simclock.Duration(s.cfg.BackgroundCPUFrac * 100_000)
+	s.cpu.Submit(s.users[a].bg, it)
+	s.eng.AtArgs(now.Add(100*simclock.Millisecond), s.bgTickFn, a, 0)
+}
+
+// trafficTick offers one 50 ms tick of steady display traffic
+// (animations, tickers), packetized at the MTU; like bgTick it self-arms
+// until the seat logs out.
+func (s *Server) trafficTick(now simclock.Time, a, _ int) {
+	if !s.active[a] {
+		return
+	}
+	for rem := int(s.cfg.BackgroundBitsPerSec / 8 / 20); rem > 0; rem -= netsim.EthernetMTU {
+		pkt := rem
+		if pkt > netsim.EthernetMTU {
+			pkt = netsim.EthernetMTU
+		}
+		s.link.Send(pkt+netsim.TCPIPHeaderBytes, nil)
+	}
+	s.eng.AtArgs(now.Add(50*simclock.Millisecond), s.trafficTickFn, a, 0)
+}
+
+// keystrokeAt is the typing probe's payload-carrying keystroke event.
+func (s *Server) keystrokeAt(now simclock.Time, a, _ int) {
+	u := s.users[a]
+	s.keystroke(u, now, u.keyEv[:])
+}
+
+// admitAt, departAt, and sendSetupAt adapt the lifecycle transitions to
+// payload-carrying engine events; finishLoginAt and pagedIn are the
+// link-delivery and page-in-complete forms, and loginDone chains the
+// login's CPU work into start. Each is bound once at construction.
+func (s *Server) admitAt(now simclock.Time, a, _ int)   { s.admit(s.users[a], now) }
+func (s *Server) departAt(now simclock.Time, a, _ int)  { s.depart(s.users[a], now) }
+func (s *Server) sendSetupAt(_ simclock.Time, a, b int) { s.sendSetup(s.users[a], b) }
+func (s *Server) finishLoginAt(now simclock.Time, a, _ int) {
+	s.finishLogin(s.users[a], now)
+}
+func (s *Server) loginDone(it *sched.WorkItem, at simclock.Time, _ int) {
+	s.start(s.users[it.A], at)
 }
 
 // admit begins a mid-run arrival: the session's protocol handshake
@@ -727,16 +830,29 @@ func (s *Server) admit(u *userState, now simclock.Time) {
 		return
 	}
 	setup := s.cfg.SetupBytes
+	if n := len(s.sessionPool); n > 0 {
+		// A predecessor's wiring: the session record and background thread
+		// always; the codec pair only when the protocol parked one (reset
+		// to pristine at park time, so wire bytes are identical to a fresh
+		// pair's).
+		r := s.sessionPool[n-1]
+		s.sessionPool[n-1] = sessionRes{}
+		s.sessionPool = s.sessionPool[:n-1]
+		u.pooledUser, u.bg = r.user, r.bg
+		u.psrv, u.pcli = r.psrv, r.pcli
+	}
 	if realProtocol(s.cfg.Protocol) {
-		psrv, pcli, _, err := protos.New(s.cfg.Protocol)
-		if err != nil {
-			if s.err == nil {
-				s.err = err
+		if u.psrv == nil {
+			psrv, pcli, _, err := protos.New(s.cfg.Protocol)
+			if err != nil {
+				if s.err == nil {
+					s.err = err
+				}
+				return
 			}
-			return
+			u.psrv, u.pcli = psrv, pcli
 		}
-		u.psrv, u.pcli = psrv, pcli
-		setup = psrv.SetupBytes()
+		setup = u.psrv.SetupBytes()
 	}
 	s.sendSetup(u, setup)
 }
@@ -758,16 +874,19 @@ func (s *Server) sendSetup(u *userState, rem int) {
 		if pkt > netsim.EthernetMTU {
 			pkt = netsim.EthernetMTU
 		}
-		var onDelivered func(simclock.Time)
+		var ok bool
 		if rem == pkt {
-			onDelivered = func(now simclock.Time) { s.finishLogin(u, now) }
+			// Last packet: its delivery completes the login, via the shared
+			// payload callback rather than a per-handshake closure.
+			ok = s.link.SendArgs(pkt+netsim.TCPIPHeaderBytes, s.finishLoginFn, u.idx, 0)
+		} else {
+			ok = s.link.Send(pkt+netsim.TCPIPHeaderBytes, nil)
 		}
-		if !s.link.Send(pkt+netsim.TCPIPHeaderBytes, onDelivered) {
+		if !ok {
 			// The drop shows in LinkDrops; the retransmit below means the
 			// handshake is delayed, not lost, so LostInputs stays a count
 			// of interactions that actually vanished.
-			left := rem
-			s.eng.After(setupRetry, func(simclock.Time) { s.sendSetup(u, left) })
+			s.eng.AtArgs(s.eng.Now().Add(setupRetry), s.sendSetupFn, u.idx, rem)
 			return
 		}
 		rem -= pkt
@@ -796,17 +915,24 @@ func (s *Server) finishLogin(u *userState, now simclock.Time) {
 	s.loginFaults += faults
 	s.arrivals++
 	u.pageIn += s.mem.FaultCost(int(faults))
-	s.eng.After(s.mem.FaultCost(int(faults)), func(simclock.Time) {
-		if !s.active[u.idx] {
-			return // logged out while paging in
-		}
-		// Process creation is compute, not I/O: the new session's spawn
-		// work queues on the shared CPU with everyone else's echoes.
-		s.cpu.Submit(u.App, &sched.WorkItem{
-			Tag: "login", CPU: s.cfg.LoginCPU,
-			OnDone: func(_ *sched.WorkItem, at simclock.Time, _ int) { s.start(u, at) },
-		})
-	})
+	s.eng.AtArgs(s.eng.Now().Add(s.mem.FaultCost(int(faults))), s.pagedInFn, u.idx, 0)
+}
+
+// pagedIn fires when an arrival's login page-ins complete and queues its
+// process-creation compute. Process creation is compute, not I/O: the new
+// session's spawn work queues on the shared CPU with everyone else's
+// echoes.
+func (s *Server) pagedIn(_ simclock.Time, a, _ int) {
+	u := s.users[a]
+	if !s.active[u.idx] {
+		return // logged out while paging in
+	}
+	it := s.cpu.Acquire()
+	it.Tag = "login"
+	it.CPU = s.cfg.LoginCPU
+	it.A = u.idx
+	it.OnDone = s.loginDoneFn
+	s.cpu.Submit(u.App, it)
 }
 
 // depart logs a session out: recurring work stops, both pipeline threads
@@ -828,14 +954,28 @@ func (s *Server) depart(u *userState, now simclock.Time) {
 	s.active[u.idx] = false
 	s.departures++
 	s.cur--
-	for _, stop := range u.stops {
-		stop()
-	}
-	u.stops = nil
 	if u.bg != nil {
 		s.cpu.Retire(u.bg)
 	}
 	session.DetachUser(s.cpu, s.mem, u.User)
+	s.parkSession(u)
+}
+
+// parkSession saves a departed session's reusable wiring for a later
+// arrival: the detached session record and background thread always; the
+// codec pair only when both endpoints implement proto.SessionReusable, in
+// which case they are reset to pristine here so a reused pair's wire bytes
+// cannot differ from a fresh one's.
+func (s *Server) parkSession(u *userState) {
+	r := sessionRes{user: u.User, bg: u.bg}
+	if ps, ok := u.psrv.(proto.SessionReusable); ok {
+		if pc, ok := u.pcli.(proto.SessionReusable); ok {
+			ps.ResetSession()
+			pc.ResetSession()
+			r.psrv, r.pcli = u.psrv, u.pcli
+		}
+	}
+	s.sessionPool = append(s.sessionPool, r)
 }
 
 // EchoHistogram buckets every echo-latency sample Run collected
@@ -1093,16 +1233,15 @@ func (s *Server) sendEcho(u *userState, idx int) {
 		u.echoText = string(rune('a' + u.idx%26))
 	}
 	col := s.col[u.idx]
-	u.ops = append(u.ops[:0], display.DrawText{ //thinlint:allow hotpath.box the known remaining allocs/event driver (see ROADMAP): DrawText escaping into []display.Op awaits a concrete-op redesign
-		X: 56 + (col%70)*display.GlyphW, Y: 80 + (col/70%24)*16,
-		Text: u.echoText, Color: 0,
-	})
+	x, y := 56+(col%70)*display.GlyphW, 80+(col/70%24)*16
 	s.col[u.idx] = col + 1
 	op, id := s.acquireOp(u.idx, idx, false)
-	if u.psrvSc != nil {
-		op.msgs = u.psrvSc.UpdateScratch(u.ops, &op.sc)
+	if u.psrvTape != nil {
+		u.tape.Reset()
+		u.tape.Text(x, y, u.echoText, 0)
+		op.msgs = u.psrvTape.UpdateTape(&u.tape, 0, u.tape.Len(), &op.sc)
 	} else {
-		op.msgs = u.psrv.Update(u.ops)
+		op.msgs = u.psrv.Update(u.echoFallbackOps(x, y))
 	}
 	for i, m := range op.msgs {
 		op.sends++

@@ -44,6 +44,27 @@ func AttachUser(cpu *sched.CPU, m *vm.Manager, man Manifest, index int, interact
 	return u
 }
 
+// ReattachUser logs a session back in reusing a detached User record from
+// the same seat: each manifest process becomes resident again (the same
+// compulsory page-in sequence Login performs, since Logout left the
+// processes registered with zero resident pages) and both pipeline threads
+// return to service via ReuseThread. Fault order, memory pressure, and
+// scheduling behavior are identical to AttachUser with the same manifest;
+// only the allocations are saved. The record must have been through
+// DetachUser first.
+func ReattachUser(cpu *sched.CPU, m *vm.Manager, u *User, index int, interactive bool) *User {
+	u.Index = index
+	for _, p := range u.Procs {
+		m.TouchAll(p)
+	}
+	cpu.ReuseThread(u.App, 9)
+	cpu.ReuseThread(u.Encoder, 8)
+	u.App.GUIBoost = true
+	u.App.Interactive = interactive
+	u.Encoder.Interactive = interactive
+	return u
+}
+
 // DetachUser logs a session out of a shared server: both pipeline threads
 // retire (pending work dropped, never scheduled again) and every manifest
 // process releases its memory, so the survivors' eviction pressure relaxes

@@ -185,12 +185,13 @@ func buildPlans(cfg Config) ([][]server.Lifecycle, []int, error) {
 		// static placement deals them), then queue each later episode as
 		// an arrival to be placed live when its time comes.
 		sseed := simclock.DeriveSeed(cfg.Seed, fleetScheduleSalt)
+		compiled, err := schedule.NewCompiled(*cfg.Schedule)
+		if err != nil {
+			return nil, nil, err
+		}
 		for u := 0; u < cfg.Users; u++ {
 			st := newSeat()
-			st.episodes, err = schedule.SeatSessions(*cfg.Schedule, u, cfg.Users, cfg.Base.Span, sseed)
-			if err != nil {
-				return nil, nil, err
-			}
+			st.episodes = compiled.SeatSessions(u, cfg.Users, cfg.Base.Span, sseed)
 		}
 		for _, st := range seats {
 			if len(st.episodes) == 0 || st.episodes[0].Login != 0 {

@@ -13,7 +13,14 @@ type Rand struct {
 // NewRand returns a generator seeded with seed. Distinct seeds give
 // independent-looking streams.
 func NewRand(seed uint64) *Rand {
-	return &Rand{state: seed + 0x9e3779b97f4a7c15}
+	r := SeededRand(seed)
+	return &r
+}
+
+// SeededRand is the value form of NewRand, for embedding a generator in a
+// pre-allocated record instead of pointing at a separate allocation.
+func SeededRand(seed uint64) Rand {
+	return Rand{state: seed + 0x9e3779b97f4a7c15}
 }
 
 // DeriveSeed deterministically derives an independent child seed from a

@@ -63,7 +63,11 @@ type Event struct {
 	when Time
 	seq  uint64
 	fn   func(now Time)
-	idx  int // queue position marker, -1 when not queued
+	// fnArgs with (a, b) is the payload-carrying callback form (see
+	// AtArgs); exactly one of fn and fnArgs is set.
+	fnArgs func(now Time, a, b int)
+	a, b   int
+	idx    int // queue position marker, -1 when not queued
 }
 
 // When reports the time at which the event is scheduled to fire.
@@ -260,6 +264,7 @@ func (e *Engine) alloc(when Time, fn func(now Time)) *Event {
 // event.
 func (e *Engine) recycle(ev *Event) {
 	ev.fn = nil
+	ev.fnArgs = nil
 	e.free = append(e.free, ev)
 }
 
@@ -270,6 +275,23 @@ func (e *Engine) At(when Time, fn func(now Time)) *Event {
 		panic(fmt.Sprintf("simclock: scheduling event at %v before now %v", when, e.now))
 	}
 	ev := e.alloc(when, fn)
+	e.queue.push(ev)
+	return ev
+}
+
+// AtArgs schedules a shared payload-carrying callback at the absolute
+// virtual time when: fn fires with the integer payload (a, b) it was
+// scheduled with. It is At for callers that would otherwise allocate a
+// closure per scheduling — one bound method value plus the two-int payload
+// replaces the per-event closure, exactly as netsim's SendArgs does for
+// link deliveries. Firing order is identical to At for the same times.
+func (e *Engine) AtArgs(when Time, fn func(now Time, a, b int), a, b int) *Event {
+	if when < e.now {
+		panic(fmt.Sprintf("simclock: scheduling event at %v before now %v", when, e.now))
+	}
+	ev := e.alloc(when, nil)
+	ev.fnArgs = fn
+	ev.a, ev.b = a, b
 	e.queue.push(ev)
 	return ev
 }
@@ -326,7 +348,11 @@ func (e *Engine) Step() bool {
 func (e *Engine) fire(ev *Event) {
 	e.now = ev.when
 	e.fired++
-	ev.fn(e.now)
+	if ev.fnArgs != nil {
+		ev.fnArgs(e.now, ev.a, ev.b)
+	} else {
+		ev.fn(e.now)
+	}
 	e.recycle(ev)
 }
 

@@ -62,12 +62,12 @@ func AnimationTrace(cfg AnimationConfig) Trace {
 	for i := range frames {
 		frames[i] = gen(cfg.Seed, i, cfg.W, cfg.H)
 	}
+	tape := new(display.OpTape)
 	for at := simclock.Time(0); at < simclock.Time(cfg.Span); at = at.Add(period) {
 		i := int(int64(at)/int64(period)) % cfg.Frames
-		t.Display = append(t.Display, DisplayBatch{
-			At:  at,
-			Ops: []display.Op{display.PutBitmap{X: cfg.X, Y: cfg.Y, Img: frames[i]}},
-		})
+		from := tape.Len()
+		tape.Blit(cfg.X, cfg.Y, frames[i])
+		t.Display = append(t.Display, DisplayBatch{At: at, Tape: tape, From: from, To: tape.Len()})
 	}
 	return t
 }
@@ -127,28 +127,25 @@ func DefaultWebPageConfig() WebPageConfig {
 // WebPageTrace generates the page's display traffic.
 func WebPageTrace(cfg WebPageConfig) Trace {
 	t := Trace{Name: "webpage"}
+	tape := new(display.OpTape)
 	if cfg.Banner {
 		period := simclock.Duration(1e6 / cfg.BannerFPS)
 		for at := simclock.Time(0); at < simclock.Time(cfg.Span); at = at.Add(period) {
 			i := int(int64(at)/int64(period)) % cfg.BannerFrames
-			t.Display = append(t.Display, DisplayBatch{
-				At:  at,
-				Ops: []display.Op{display.PutBitmap{X: 160, Y: 40, Img: display.BannerFrame(i)}},
-			})
+			from := tape.Len()
+			tape.Blit(160, 40, display.BannerFrame(i))
+			t.Display = append(t.Display, DisplayBatch{At: at, Tape: tape, From: from, To: tape.Len()})
 		}
 	}
 	if cfg.PageChrome {
 		// Browser chrome: status text and a throbber strip, once a second.
 		for at := simclock.Time(500 * simclock.Millisecond); at < simclock.Time(cfg.Span); at = at.Add(simclock.Second) {
 			i := int(int64(at) / int64(simclock.Second))
-			t.Display = append(t.Display, DisplayBatch{
-				At: at,
-				Ops: []display.Op{
-					display.FillRect{Rect: display.Rect{X: 0, Y: 580, W: 800, H: 20}, Color: 7},
-					display.DrawText{X: 8, Y: 582, Text: fmt.Sprintf("Loading... %d items remaining", i%9), Color: 0},
-					display.PutBitmap{X: 766, Y: 2, Img: display.SyntheticPhoto(0x7b0b, i, 32, 32)},
-				},
-			})
+			from := tape.Len()
+			tape.Fill(display.Rect{X: 0, Y: 580, W: 800, H: 20}, 7)
+			tape.Text(8, 582, fmt.Sprintf("Loading... %d items remaining", i%9), 0)
+			tape.Blit(766, 2, display.SyntheticPhoto(0x7b0b, i, 32, 32))
+			t.Display = append(t.Display, DisplayBatch{At: at, Tape: tape, From: from, To: tape.Len()})
 		}
 	}
 	if cfg.Marquee {
@@ -164,10 +161,9 @@ func WebPageTrace(cfg WebPageConfig) Trace {
 				if p < cfg.FreshStripsPerCycle {
 					strip = display.SyntheticFrame(0xfeed0+uint64(tick/cfg.MarqueePositions), p, display.MarqueeW, display.MarqueeH)
 				}
-				t.Display = append(t.Display, DisplayBatch{
-					At:  at,
-					Ops: []display.Op{display.PutBitmap{X: 100, Y: 520, Img: strip}},
-				})
+				from := tape.Len()
+				tape.Blit(100, 520, strip)
+				t.Display = append(t.Display, DisplayBatch{At: at, Tape: tape, From: from, To: tape.Len()})
 				at = at.Add(period)
 				tick++
 			}

@@ -50,7 +50,7 @@ func TypingTrace(cfg TypingConfig) Trace {
 // per-batch closures.
 func DriveTrace(eng *simclock.Engine, tr Trace, opts ReplayOpts,
 	onInput func(now simclock.Time, events []display.InputEvent),
-	onDisplay func(now simclock.Time, ops []display.Op)) {
+	onDisplay func(now simclock.Time, t *display.OpTape, from, to int)) {
 	if onInput != nil {
 		batches := coalesceInput(tr.Input, opts.InputCoalesce)
 		if sortedInput(batches) {
@@ -76,8 +76,8 @@ func DriveTrace(eng *simclock.Engine, tr Trace, opts ReplayOpts,
 			}
 		} else {
 			for _, b := range batches {
-				ops := b.Ops
-				eng.At(clampAt(eng, b.At), func(now simclock.Time) { onDisplay(now, ops) })
+				b := b
+				eng.At(clampAt(eng, b.At), func(now simclock.Time) { onDisplay(now, b.Tape, b.From, b.To) })
 			}
 		}
 	}
@@ -101,13 +101,13 @@ func (d *inputDriver) fire(now simclock.Time) {
 type displayDriver struct {
 	batches   []DisplayBatch
 	next      int
-	onDisplay func(now simclock.Time, ops []display.Op)
+	onDisplay func(now simclock.Time, t *display.OpTape, from, to int)
 }
 
 func (d *displayDriver) fire(now simclock.Time) {
 	b := d.batches[d.next]
 	d.next++
-	d.onDisplay(now, b.Ops)
+	d.onDisplay(now, b.Tape, b.From, b.To)
 }
 
 func sortedInput(batches []InputBatch) bool {

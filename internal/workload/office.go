@@ -58,16 +58,16 @@ func uiIcon(n int) *display.Bitmap {
 
 // windowChrome draws a window frame: title bar, borders, toolbar icons.
 func windowChrome(b *builder, x, y, w, h int, title string) {
-	b.draw(
-		display.FillRect{Rect: display.Rect{X: x, Y: y, W: w, H: h}, Color: 7},
-		display.FillRect{Rect: display.Rect{X: x, Y: y, W: w, H: 18}, Color: 4},
-		display.DrawText{X: x + 4, Y: y + 2, Text: title, Color: 15},
-	)
-	icons := make([]display.Op, 0, 8)
+	from := b.open()
+	b.tape.Fill(display.Rect{X: x, Y: y, W: w, H: h}, 7)
+	b.tape.Fill(display.Rect{X: x, Y: y, W: w, H: 18}, 4)
+	b.tape.Text(x+4, y+2, title, 15)
+	b.commit(from)
+	from = b.open()
 	for i := 0; i < 8; i++ {
-		icons = append(icons, display.PutBitmap{X: x + 4 + i*28, Y: y + 22, Img: uiIcon(i)})
+		b.tape.Blit(x+4+i*28, y+22, uiIcon(i))
 	}
-	b.draw(icons...)
+	b.commit(from)
 }
 
 // wordProcessor models document editing: typing with character echo,
@@ -82,16 +82,18 @@ func wordProcessor(b *builder, cfg OfficeConfig) {
 		b.advance(30 * simclock.Millisecond)
 		b.input(display.KeyEvent{Down: false, Code: code})
 		ch := string(rune('a' + int(code-30)))
-		b.draw(display.DrawText{X: 56 + col*display.GlyphW, Y: 80 + line*16, Text: ch, Color: 0})
+		from := b.open()
+		b.tape.Text(56+col*display.GlyphW, 80+line*16, ch, 0)
+		b.commit(from)
 		col++
 		if col >= 70 { // word wrap
 			col, line = 0, line+1
 			if line >= 24 { // scroll the document up one line
 				line = 23
-				b.draw(
-					display.CopyArea{Src: display.Rect{X: 56, Y: 96, W: 560, H: 368}, DstX: 56, DstY: 80},
-					display.FillRect{Rect: display.Rect{X: 56, Y: 448, W: 560, H: 16}, Color: 7},
-				)
+				from = b.open()
+				b.tape.Copy(display.Rect{X: 56, Y: 96, W: 560, H: 368}, 56, 80)
+				b.tape.Fill(display.Rect{X: 56, Y: 448, W: 560, H: 16}, 7)
+				b.commit(from)
 			}
 		}
 		// Typing cadence with jitter around ~7 chars/sec.
@@ -99,17 +101,19 @@ func wordProcessor(b *builder, cfg OfficeConfig) {
 		// Occasionally open a menu: mouse travel + a menu panel with icons.
 		if i%400 == 399 {
 			mouseTravel(b, 56+col*8, 80+line*16, 120, 36, 14)
-			b.draw(
-				display.FillRect{Rect: display.Rect{X: 100, Y: 50, W: 180, H: 220}, Color: 7},
-				display.DrawText{X: 104, Y: 54, Text: "File Edit View Insert", Color: 0},
-				display.PutBitmap{X: 104, Y: 70, Img: uiIcon(9)},
-				display.PutBitmap{X: 104, Y: 98, Img: uiIcon(10)},
-			)
+			from = b.open()
+			b.tape.Fill(display.Rect{X: 100, Y: 50, W: 180, H: 220}, 7)
+			b.tape.Text(104, 54, "File Edit View Insert", 0)
+			b.tape.Blit(104, 70, uiIcon(9))
+			b.tape.Blit(104, 98, uiIcon(10))
+			b.commit(from)
 			b.input(display.MouseButton{Down: true, Button: 1})
 			b.advance(100 * simclock.Millisecond)
 			b.input(display.MouseButton{Down: false, Button: 1})
 			// Menu closes: the document region repaints.
-			b.draw(display.FillRect{Rect: display.Rect{X: 100, Y: 50, W: 180, H: 220}, Color: 7})
+			from = b.open()
+			b.tape.Fill(display.Rect{X: 100, Y: 50, W: 180, H: 220}, 7)
+			b.commit(from)
 			mouseTravel(b, 120, 36, 56+col*8, 80+line*16, 10)
 		}
 	}
@@ -131,11 +135,11 @@ func brushStamp(stroke int) *display.Bitmap {
 func bitmapEditor(b *builder, cfg OfficeConfig) {
 	windowChrome(b, 100, 80, 560, 420, "The GIMP - untitled.xcf")
 	// Tool palette with repeated icons.
-	pal := make([]display.Op, 0, 12)
+	from := b.open()
 	for i := 0; i < 12; i++ {
-		pal = append(pal, display.PutBitmap{X: 110, Y: 130 + i*28, Img: uiIcon(i)})
+		b.tape.Blit(110, 130+i*28, uiIcon(i))
 	}
-	b.draw(pal...)
+	b.commit(from)
 	for s := 0; s < cfg.PaintStrokes; s++ {
 		// Move to the stroke start.
 		x0, y0 := 180+b.rng.Intn(380), 150+b.rng.Intn(300)
@@ -152,14 +156,17 @@ func bitmapEditor(b *builder, cfg OfficeConfig) {
 			b.input(display.MouseMove{X: x, Y: y})
 			b.advance(12 * simclock.Millisecond)
 			if i%3 == 0 {
-				b.draw(display.PutBitmap{X: x - 16, Y: y - 16, Img: stamp})
+				from = b.open()
+				b.tape.Blit(x-16, y-16, stamp)
+				b.commit(from)
 			}
 		}
 		b.input(display.MouseButton{Down: false, Button: 1})
 		// Filter/blend preview after each stroke: a unique photographic
 		// region no cache or codec can shrink.
-		blend := display.SyntheticPhoto(0xb1e4d, s, 64, 64)
-		b.draw(display.PutBitmap{X: x - 32, Y: y - 32, Img: blend})
+		from = b.open()
+		b.tape.Blit(x-32, y-32, display.SyntheticPhoto(0xb1e4d, s, 64, 64))
+		b.commit(from)
 		b.advance(b.rng.UniformDuration(200*simclock.Millisecond, 900*simclock.Millisecond))
 	}
 }
@@ -182,11 +189,11 @@ func documentReview(b *builder, cfg OfficeConfig) {
 		// Scroll one line.
 		b.input(display.MouseButton{Down: true, Button: 4})
 		b.input(display.MouseButton{Down: false, Button: 4})
-		b.draw(
-			display.CopyArea{Src: display.Rect{X: 56, Y: 96, W: 560, H: 368}, DstX: 56, DstY: 80},
-			display.FillRect{Rect: display.Rect{X: 56, Y: 448, W: 560, H: 16}, Color: 7},
-			display.DrawText{X: 56, Y: 448, Text: "the quick brown fox jumps over the lazy dog", Color: 0},
-		)
+		from := b.open()
+		b.tape.Copy(display.Rect{X: 56, Y: 96, W: 560, H: 368}, 56, 80)
+		b.tape.Fill(display.Rect{X: 56, Y: 448, W: 560, H: 16}, 7)
+		b.tape.Text(56, 448, "the quick brown fox jumps over the lazy dog", 0)
+		b.commit(from)
 		b.advance(b.rng.UniformDuration(100*simclock.Millisecond, 400*simclock.Millisecond))
 	}
 }
@@ -202,23 +209,24 @@ func controlPanel(b *builder, cfg OfficeConfig) {
 		b.advance(90 * simclock.Millisecond)
 		b.input(display.MouseButton{Down: false, Button: 1})
 		// The tab body repaints: panel fill, labels, repeated widgets.
-		ops := []display.Op{
-			display.FillRect{Rect: display.Rect{X: 208, Y: 160, W: 404, H: 290}, Color: 7},
-			display.DrawText{X: 216, Y: 170, Text: "IP Address:", Color: 0},
-			display.DrawText{X: 216, Y: 200, Text: "Subnet Mask:", Color: 0},
-			display.DrawText{X: 216, Y: 230, Text: "Default Gateway:", Color: 0},
-		}
+		from := b.open()
+		b.tape.Fill(display.Rect{X: 208, Y: 160, W: 404, H: 290}, 7)
+		b.tape.Text(216, 170, "IP Address:", 0)
+		b.tape.Text(216, 200, "Subnet Mask:", 0)
+		b.tape.Text(216, 230, "Default Gateway:", 0)
 		for i := 0; i < 5; i++ {
-			ops = append(ops, display.PutBitmap{X: 560, Y: 166 + i*30, Img: uiIcon(i + 4)})
+			b.tape.Blit(560, 166+i*30, uiIcon(i+4))
 		}
-		b.draw(ops...)
+		b.commit(from)
 		// Type a short value into a field.
 		for i := 0; i < 11; i++ {
 			code := uint16(2 + b.rng.Intn(10))
 			b.input(display.KeyEvent{Down: true, Code: code})
 			b.advance(40 * simclock.Millisecond)
 			b.input(display.KeyEvent{Down: false, Code: code})
-			b.draw(display.DrawText{X: 320 + i*display.GlyphW, Y: 170 + (a%3)*30, Text: "0", Color: 0})
+			from = b.open()
+			b.tape.Text(320+i*display.GlyphW, 170+(a%3)*30, "0", 0)
+			b.commit(from)
 			b.advance(80 * simclock.Millisecond)
 		}
 		b.advance(b.rng.UniformDuration(300*simclock.Millisecond, 1200*simclock.Millisecond))

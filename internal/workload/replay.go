@@ -3,6 +3,7 @@ package workload
 import (
 	"fmt"
 
+	"thinbench/internal/display"
 	"thinbench/internal/proto"
 	"thinbench/internal/simclock"
 	"thinbench/internal/trace"
@@ -24,9 +25,18 @@ type ReplayOpts struct {
 // recording all traffic. Display batches are encoded by the server and
 // applied by the client (so decoding is verified as a side effect); input
 // batches are encoded by the client and decoded by the server.
+//
+// Servers implementing proto.TapeServer encode straight from the trace's op
+// tape into reused scratch — no op is boxed and no payload buffer is
+// allocated per batch (every protocol client copies what it keeps out of a
+// payload before Apply returns, so reusing the scratch across batches is
+// safe). Other servers get the batch materialized as boxed ops.
 func Replay(tr Trace, srv proto.Server, cli proto.Client, rec *trace.Recorder, opts ReplayOpts) error {
 	inputs := coalesceInput(tr.Input, opts.InputCoalesce)
 	displays := coalesceDisplay(tr.Display, opts.DisplayCoalesce)
+	ts, _ := srv.(proto.TapeServer)
+	var sc proto.Scratch
+	var opsBuf []display.Op
 	di, ii := 0, 0
 	for di < len(displays) || ii < len(inputs) {
 		nextDisplay := di < len(displays) &&
@@ -34,7 +44,14 @@ func Replay(tr Trace, srv proto.Server, cli proto.Client, rec *trace.Recorder, o
 		if nextDisplay {
 			b := displays[di]
 			di++
-			for _, m := range srv.Update(b.Ops) {
+			var msgs []proto.Message
+			if ts != nil {
+				msgs = ts.UpdateTape(b.Tape, b.From, b.To, &sc)
+			} else {
+				opsBuf = b.Tape.AppendTo(opsBuf[:0], b.From, b.To)
+				msgs = srv.Update(opsBuf)
+			}
+			for _, m := range msgs {
 				if rec != nil {
 					rec.Record(b.At, m)
 				}
@@ -89,25 +106,57 @@ func coalesceInput(in []InputBatch, window simclock.Duration) []InputBatch {
 }
 
 // coalesceDisplay merges display batches arriving within the window,
-// preserving operation order.
+// preserving operation order. Batches that are adjacent spans of the same
+// tape (the common case: one trace, one tape, appended in order) merge by
+// widening the span; interleaved tapes fall back to copying the spans onto
+// one shared merge tape.
 func coalesceDisplay(in []DisplayBatch, window simclock.Duration) []DisplayBatch {
 	if window <= 0 || len(in) == 0 {
 		return in
 	}
 	out := make([]DisplayBatch, 0, len(in))
+	var merged *display.OpTape
 	acc := DisplayBatch{At: in[0].At}
 	windowStart := in[0].At
 	for _, b := range in {
-		if b.At.Sub(windowStart) >= window && len(acc.Ops) > 0 {
+		if b.At.Sub(windowStart) >= window && acc.Len() > 0 {
 			out = append(out, acc)
 			acc = DisplayBatch{}
 			windowStart = b.At
 		}
 		acc.At = b.At
-		acc.Ops = append(acc.Ops, b.Ops...)
+		acc = extendBatch(acc, b, &merged)
 	}
-	if len(acc.Ops) > 0 {
+	if acc.Len() > 0 {
 		out = append(out, acc)
 	}
 	return out
+}
+
+// extendBatch appends b's span onto acc. An empty acc adopts b's span; a
+// contiguous same-tape continuation widens it; anything else moves acc onto
+// the shared merge tape (created on first use) and appends b there. Spans
+// already flushed from the merge tape are never rewritten — it only grows.
+func extendBatch(acc, b DisplayBatch, merged **display.OpTape) DisplayBatch {
+	switch {
+	case b.Len() == 0:
+		return acc
+	case acc.Len() == 0:
+		acc.Tape, acc.From, acc.To = b.Tape, b.From, b.To
+		return acc
+	case acc.Tape == b.Tape && acc.To == b.From:
+		acc.To = b.To
+		return acc
+	}
+	if *merged == nil {
+		*merged = new(display.OpTape)
+	}
+	if acc.Tape != *merged || acc.To != (*merged).Len() {
+		from := (*merged).Len()
+		(*merged).AppendTape(acc.Tape, acc.From, acc.To)
+		acc.Tape, acc.From, acc.To = *merged, from, (*merged).Len()
+	}
+	(*merged).AppendTape(b.Tape, b.From, b.To)
+	acc.To = (*merged).Len()
+	return acc
 }

@@ -20,10 +20,26 @@ import (
 )
 
 // DisplayBatch is one application flush: the drawing operations generated
-// together (one damage pass, one animation frame, one character echo).
+// together (one damage pass, one animation frame, one character echo). The
+// operations live as entries [From, To) of a shared pointer-free op tape —
+// a whole trace's drawing typically shares one tape — so storing, replaying,
+// and encoding a trace never boxes an op into the display.Op interface.
 type DisplayBatch struct {
-	At  simclock.Time
-	Ops []display.Op
+	At       simclock.Time
+	Tape     *display.OpTape
+	From, To int
+}
+
+// Len reports the batch's operation count.
+func (b DisplayBatch) Len() int { return b.To - b.From }
+
+// Ops materializes the batch's span as boxed display.Op values, for tests
+// and diagnostics; replay paths encode straight from the tape instead.
+func (b DisplayBatch) Ops() []display.Op {
+	if b.Tape == nil {
+		return nil
+	}
+	return b.Tape.AppendTo(nil, b.From, b.To)
 }
 
 // InputBatch is the input events gathered in one client flush interval.
@@ -80,7 +96,7 @@ func (t *Trace) Merge(o Trace) {
 func (t *Trace) Ops() int {
 	n := 0
 	for _, b := range t.Display {
-		n += len(b.Ops)
+		n += b.Len()
 	}
 	return n
 }
@@ -94,11 +110,14 @@ func (t *Trace) Events() int {
 	return n
 }
 
-// builder accumulates batches with a moving clock.
+// builder accumulates batches with a moving clock. All display batches
+// append into one owned op tape; hot generation loops write the tape
+// directly (open/commit) while compound flushes go through draw.
 type builder struct {
-	t   Trace
-	now simclock.Time
-	rng *simclock.Rand
+	t    Trace
+	now  simclock.Time
+	rng  *simclock.Rand
+	tape *display.OpTape
 
 	pendingInput []display.InputEvent
 	inputFlush   simclock.Duration
@@ -109,6 +128,7 @@ func newBuilder(name string, seed uint64, inputFlush simclock.Duration) *builder
 	return &builder{
 		t:          Trace{Name: name},
 		rng:        simclock.NewRand(seed),
+		tape:       new(display.OpTape),
 		inputFlush: inputFlush,
 	}
 }
@@ -138,7 +158,23 @@ func (b *builder) draw(ops ...display.Op) {
 	if len(ops) == 0 {
 		return
 	}
-	b.t.Display = append(b.t.Display, DisplayBatch{At: b.now, Ops: ops})
+	from := b.open()
+	b.tape.AppendOps(ops)
+	b.commit(from)
+}
+
+// open starts a display batch at the current instant: append operations to
+// b.tape, then commit the returned mark. Between open and commit the clock
+// must not advance.
+func (b *builder) open() int { return b.tape.Len() }
+
+// commit flushes the operations appended since the matching open as one
+// batch; an empty span is dropped.
+func (b *builder) commit(from int) {
+	if b.tape.Len() == from {
+		return
+	}
+	b.t.Display = append(b.t.Display, DisplayBatch{At: b.now, Tape: b.tape, From: from, To: b.tape.Len()})
 }
 
 func (b *builder) finish() Trace {

@@ -72,7 +72,7 @@ func TestOfficeTraceComposition(t *testing.T) {
 	// It must contain all op types.
 	kinds := map[string]bool{}
 	for _, b := range tr.Display {
-		for _, op := range b.Ops {
+		for _, op := range b.Ops() {
 			switch op.(type) {
 			case display.FillRect:
 				kinds["fill"] = true
@@ -106,12 +106,12 @@ func TestAnimationLoopReusesFrames(t *testing.T) {
 		t.Fatalf("20Hz for 1s = %d frames, want 20", len(tr.Display))
 	}
 	// Frame 0 and frame 4 are the same loop position: identical bitmaps.
-	img0 := tr.Display[0].Ops[0].(display.PutBitmap).Img
-	img4 := tr.Display[4].Ops[0].(display.PutBitmap).Img
+	img0 := tr.Display[0].Ops()[0].(display.PutBitmap).Img
+	img4 := tr.Display[4].Ops()[0].(display.PutBitmap).Img
 	if !img0.Equal(img4) {
 		t.Fatal("loop frames not identical")
 	}
-	img1 := tr.Display[1].Ops[0].(display.PutBitmap).Img
+	img1 := tr.Display[1].Ops()[0].(display.PutBitmap).Img
 	if img0.Equal(img1) {
 		t.Fatal("consecutive frames identical; animation is static")
 	}
