@@ -45,6 +45,16 @@
 //	thinbench -run schedule -profile officeday,flat -users 15 -kill 2 -killat 2
 //	thinbench -run schedule -profile @myday.profile -policy lataware -json BENCH_schedule.json
 //
+// Control mode prices the online control plane against the offline
+// sizing oracle: ScheduleCapacity sizes one machine for each arrival
+// profile's worst slice, then the same overcommitted demand runs open,
+// admission-gated, gated-plus-shedding, and autoscaled from standby
+// spares — the overprovisioning-versus-queueing trade in one document:
+//
+//	thinbench -run control
+//	thinbench -run control -shards 2 -profile officeday,shiftchange
+//	thinbench -run control -users 36 -json BENCH_control.json
+//
 // Speed mode benchmarks the simulator itself: canonical workloads timed
 // for sim-events/sec, wall-clock per simulated user-hour, and allocations
 // per event. Event and allocation counts are deterministic (at -parallel
@@ -72,7 +82,7 @@ import (
 
 func main() {
 	var (
-		runID    = flag.String("run", "", "experiment ID to run (fig1..fig9, tab1..tab6, abl1..abl5, cap1, cont1, shard1, 'contention', 'shard', 'churn', 'schedule', 'speed', or 'all')")
+		runID    = flag.String("run", "", "experiment ID to run (fig1..fig9, tab1..tab6, abl1..abl5, cap1, cont1, shard1, 'contention', 'shard', 'churn', 'schedule', 'control', 'speed', or 'all')")
 		list     = flag.Bool("list", false, "list registered experiments")
 		quick    = flag.Bool("quick", false, "shorten measurement windows (same shapes, more noise)")
 		seed     = flag.Uint64("seed", 1999, "random seed; identical seeds reproduce identical results")
@@ -133,6 +143,8 @@ func main() {
 		fmt.Println("        fleet p95 vs session turnover rate plus a machine-kill failover, per placement policy; see -churn, -kill, -killat")
 		fmt.Println("  schedule")
 		fmt.Println("        fleet driven by a time-varying arrival profile (login storm, lunch dip) plus a mid-ramp machine kill; see -profile, -kill, -killat")
+		fmt.Println("  control")
+		fmt.Println("        online admission/shedding/autoscaling versus the offline sizing oracle, per arrival profile; see -shards, -profile, -users")
 		fmt.Println("  speed")
 		fmt.Println("        benchmark the simulator itself: events/sec, wall per user-hour, allocs/event on canonical workloads; see -eventq, -cpuprofile, -memprofile")
 		if *runID == "" && !*list {
@@ -189,6 +201,33 @@ func main() {
 			*quick, *seed, *parallel)
 		exitOn(err)
 		printSchedule(doc)
+		writeDoc(*jsonPath, doc)
+		return
+	case "control":
+		// Control mode's -users is the offered demand; 0 (the default
+		// here) derives 1.5x each profile's oracle fleet seats, and the
+		// fleet defaults to two live machines so the oracle's
+		// overprovisioning answer has something to beat.
+		demand := 0
+		if flagWasSet("users") {
+			counts, err := benchdoc.ParseCounts(*users)
+			exitOn(err)
+			if len(counts) != 1 {
+				exitOn(fmt.Errorf("control mode offers one demand; give a single -users count, not %v", counts))
+			}
+			demand = counts[0]
+		}
+		ctrlShards := *shards
+		if !flagWasSet("shards") {
+			ctrlShards = 2
+		}
+		ctrlProfiles := *profiles
+		if !flagWasSet("profile") {
+			ctrlProfiles = "officeday,shiftchange"
+		}
+		doc, err := benchdoc.Control(ctrlProfiles, ctrlShards, demand, *quick, *seed, *parallel)
+		exitOn(err)
+		printControl(doc)
 		writeDoc(*jsonPath, doc)
 		return
 	case "speed":
@@ -318,6 +357,27 @@ func printSchedule(doc benchdoc.ScheduleDoc) {
 		printFailover(pf.Profile+"/"+pf.Policy, pf.Result)
 	}
 	fmt.Println()
+}
+
+func printControl(doc benchdoc.ControlDoc) {
+	for _, cp := range doc.Profiles {
+		fmt.Printf("== control: %s profile, %d offered over %d machines (oracle: %d seats/machine, %s-limited, %d fleet-wide; all %d need %d machines) ==\n",
+			cp.Profile, cp.Demand, doc.Machines, cp.OracleSeats, cp.OracleLimit,
+			cp.FleetSeats, cp.Demand, cp.MachinesNeeded)
+		fmt.Printf("  %-10s %12s %6s %9s %9s %16s %7s %9s %7s\n",
+			"run", "fleet p95", "peak", "deferred", "rejected", "queue mean/max", "tiers", "shed", "power")
+		rows := []struct {
+			label string
+			fr    shard.FleetResult
+		}{{"open", cp.Open}, {"admission", cp.Admission}, {"controlled", cp.Controlled}, {"autoscale", cp.Autoscale}}
+		for _, r := range rows {
+			fmt.Printf("  %-10s %10.0f ms %6d %9d %9d %7.0f/%5.0f ms %7d %9d %4d/%-2d\n",
+				r.label, r.fr.EchoP95Ms, r.fr.PeakUsers, r.fr.DeferredLogins, r.fr.RejectedLogins,
+				r.fr.QueueWaitMeanMs, r.fr.QueueWaitMaxMs, r.fr.TierChanges, r.fr.SheddedFrames,
+				r.fr.Activations, r.fr.Drains)
+		}
+		fmt.Println()
+	}
 }
 
 func printFailover(label string, fr shard.FleetResult) {

@@ -79,6 +79,12 @@ func baselines() []baseline {
 			},
 		},
 		{
+			path: "BENCH_control.json",
+			build: func() (any, error) {
+				return benchdoc.Control("officeday,shiftchange", 2, 0, false, 1999, 0)
+			},
+		},
+		{
 			path: "BENCH_speed.json",
 			build: func() (any, error) {
 				return benchdoc.Speed(false, 1999, 1, "")

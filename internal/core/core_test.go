@@ -6,6 +6,7 @@ import (
 	"strings"
 	"testing"
 
+	"thinbench/internal/schedule"
 	"thinbench/internal/simclock"
 )
 
@@ -41,7 +42,7 @@ func seriesByLabel(t *testing.T, r *Result, label string) Series {
 func TestRegistryComplete(t *testing.T) {
 	want := []string{
 		"abl1", "abl2", "abl3", "abl4", "abl5",
-		"cap1", "churn1", "cont1", "day1", "fail1",
+		"cap1", "churn1", "cont1", "ctrl1", "day1", "fail1",
 		"fig1", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9",
 		"shard1", "storm1",
 		"tab1", "tab2", "tab3", "tab4", "tab5", "tab6",
@@ -515,6 +516,35 @@ func stormRecoveries(t *testing.T, r *Result) (storm, flat float64) {
 	}
 	t.Fatalf("storm1 notes carry no recovery comparison: %v", r.Notes)
 	return 0, 0
+}
+
+// TestCtrl1GateTracksOracle pins ctrl1's acceptance claims on both
+// arrival profiles: the gate actually gates (some logins deferred or
+// rejected), it never makes the admitted population worse than the open
+// fleet, and the gated peak lands within the stated margin of the
+// offline oracle's fleet seats in either direction.
+func TestCtrl1GateTracksOracle(t *testing.T) {
+	for _, prof := range []schedule.Profile{schedule.OfficeDay(), schedule.ShiftChange()} {
+		r, err := ctrl1Profile(quickCfg, prof)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.oracleSeats < 1 {
+			t.Fatalf("%s: oracle fits no seats at all", prof.Name)
+		}
+		if r.gated.DeferredLogins+r.gated.RejectedLogins == 0 {
+			t.Fatalf("%s: 1.5x the oracle's seats arrived and the gate held nobody", prof.Name)
+		}
+		if r.gated.EchoP95Ms > r.open.EchoP95Ms {
+			t.Fatalf("%s: gated p95 %.0f ms above open %.0f ms — admission made the admitted worse",
+				prof.Name, r.gated.EchoP95Ms, r.open.EchoP95Ms)
+		}
+		ratio := float64(r.gated.PeakUsers) / float64(r.fleetSeats)
+		if ratio < 1/ctrl1Margin || ratio > ctrl1Margin {
+			t.Fatalf("%s: gated peak %d is %.2fx the oracle's %d fleet seats, outside the stated %.1fx margin",
+				prof.Name, r.gated.PeakUsers, ratio, r.fleetSeats, ctrl1Margin)
+		}
+	}
 }
 
 // TestCont1LatencyDegradesMonotonically: every protocol x scheduler series

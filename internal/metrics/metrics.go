@@ -99,15 +99,26 @@ func MergeSummaries(shards []*Summary) *Summary {
 
 // Dist collects raw samples for exact percentile queries. Intended for
 // experiment-sized sample sets (thousands), not unbounded streams.
+//
+// Concurrency contract: mutation (Add, Grow, Merge) is single-threaded,
+// like every collector in the reproduction. Queries are split from
+// mutation through a read-only sorted view: once Sort has run (explicitly,
+// or lazily by the first single-threaded query), Percentile/Min/Max are
+// pure reads, so a settled distribution — a merged fleet Dist handed to
+// reporting code — can be queried from many goroutines at once. Querying
+// an unsorted Dist concurrently is a data race exactly like mutating it.
 type Dist struct {
+	// samples is the append-only raw sample log, in insertion order.
 	samples []float64
-	sorted  bool
+	// view is the sorted snapshot queries read. It is current when its
+	// length matches samples (mutation only ever appends, so a length
+	// match means no sample arrived since the snapshot was taken).
+	view []float64
 }
 
 // Add appends a sample.
 func (d *Dist) Add(v float64) {
 	d.samples = append(d.samples, v)
-	d.sorted = false
 }
 
 // Grow reserves capacity for n further samples, so a collector that knows
@@ -125,27 +136,40 @@ func (d *Dist) Grow(n int) {
 // N reports the number of samples.
 func (d *Dist) N() int { return len(d.samples) }
 
+// Sort establishes the read-only sorted view queries read. Samples are
+// sorted in place (no copy, so a Sort adds no allocations to a measured
+// run) and the view aliases them; a later Add leaves the view intact —
+// it either appends beyond the view's length or relocates the backing
+// array, never rewrites the sorted prefix — and the next Sort refreshes
+// it. Sorting an already-current Dist is a no-op pure read, which is what
+// makes queries after Sort safe to run concurrently.
+func (d *Dist) Sort() {
+	if len(d.view) == len(d.samples) {
+		return
+	}
+	sort.Float64s(d.samples)
+	d.view = d.samples
+}
+
 // Percentile returns the p-th percentile (0..100) using nearest-rank.
-// It returns 0 when empty.
+// It returns 0 when empty. The first query after a mutation sorts (see
+// Sort); on a sorted Dist it is a pure read.
 func (d *Dist) Percentile(p float64) float64 {
 	if len(d.samples) == 0 {
 		return 0
 	}
-	if !d.sorted {
-		sort.Float64s(d.samples)
-		d.sorted = true
-	}
+	d.Sort()
 	if p <= 0 {
-		return d.samples[0]
+		return d.view[0]
 	}
 	if p >= 100 {
-		return d.samples[len(d.samples)-1]
+		return d.view[len(d.view)-1]
 	}
-	rank := int(math.Ceil(p/100*float64(len(d.samples)))) - 1
+	rank := int(math.Ceil(p/100*float64(len(d.view)))) - 1
 	if rank < 0 {
 		rank = 0
 	}
-	return d.samples[rank]
+	return d.view[rank]
 }
 
 // Mean reports the arithmetic mean of collected samples.
@@ -184,7 +208,6 @@ func (d *Dist) Merge(o *Dist) {
 		return
 	}
 	d.samples = append(d.samples, o.samples...)
-	d.sorted = false
 }
 
 // Histogram counts samples into fixed-width buckets over [0, width*len).

@@ -3,6 +3,7 @@ package metrics
 import (
 	"math"
 	"strings"
+	"sync"
 	"testing"
 	"testing/quick"
 
@@ -458,5 +459,71 @@ func TestMergeSummaries(t *testing.T) {
 	}
 	if d := m.Variance() - whole.Variance(); d > 1e-9 || d < -1e-9 {
 		t.Fatalf("merged variance %v, want %v", m.Variance(), whole.Variance())
+	}
+}
+
+// TestDistConcurrentQueriesAfterSort is the regression test for the old
+// lazy in-place sort on the query path: a merged fleet Dist queried from
+// several goroutines at once raced on sort.Float64s. After Sort, every
+// query must be a pure read — the race detector (go test -race) is the
+// assertion that matters here; the value checks just keep the test honest
+// without it.
+func TestDistConcurrentQueriesAfterSort(t *testing.T) {
+	var d Dist
+	shards := make([]*Dist, 4)
+	for i := range shards {
+		shards[i] = &Dist{}
+		for k := 0; k < 500; k++ {
+			shards[i].Add(float64((k*31 + i*7) % 997))
+		}
+		d.Merge(shards[i])
+	}
+	d.Sort()
+	want50, want95, wantMax := d.Percentile(50), d.Percentile(95), d.Max()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				if v := d.Percentile(50); v != want50 {
+					t.Errorf("concurrent p50 = %v, want %v", v, want50)
+					return
+				}
+				if v := d.Percentile(95); v != want95 {
+					t.Errorf("concurrent p95 = %v, want %v", v, want95)
+					return
+				}
+				if v := d.Max(); v != wantMax {
+					t.Errorf("concurrent max = %v, want %v", v, wantMax)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// TestDistSortSurvivesMutation pins the view semantics: a mutation after
+// Sort leaves earlier query results intact, and the next query folds the
+// new samples in.
+func TestDistSortSurvivesMutation(t *testing.T) {
+	var d Dist
+	for _, v := range []float64{5, 1, 9} {
+		d.Add(v)
+	}
+	d.Sort()
+	if got := d.Max(); got != 9 {
+		t.Fatalf("max = %v, want 9", got)
+	}
+	d.Add(20)
+	if got := d.Max(); got != 20 {
+		t.Fatalf("max after append = %v, want 20", got)
+	}
+	var o Dist
+	o.Add(0.5)
+	d.Merge(&o)
+	if got := d.Min(); got != 0.5 {
+		t.Fatalf("min after merge = %v, want 0.5", got)
 	}
 }

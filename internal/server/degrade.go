@@ -1,0 +1,84 @@
+package server
+
+import (
+	"fmt"
+
+	"thinbench/internal/simclock"
+)
+
+// Degradation tiers are the load shedder's quality ladder (§"degrade
+// gracefully": when a machine cannot serve every frame at full quality,
+// serving fewer frames at lower quality beats serving nobody). A tier
+// trades the probe's perceived smoothness for machine headroom along the
+// three per-interaction costs: echo frames (KeepEvery keeps every k-th
+// keystroke's round trip and sheds the rest client-side), ambient display
+// traffic (TrafficFrac scales the background ticker's bytes), and encode
+// compute (EncodeFrac scales the display encoder's per-frame CPU, the
+// cheaper-codec knob).
+type DegradeTier struct {
+	Name string
+	// KeepEvery keeps one keystroke in every KeepEvery; the rest are shed
+	// before entering the pipeline (the client coalesces key repeats, so a
+	// shed keystroke costs nothing anywhere).
+	KeepEvery int
+	// TrafficFrac scales BackgroundBitsPerSec; EncodeFrac scales EncodeCPU.
+	TrafficFrac float64
+	EncodeFrac  float64
+}
+
+// DegradeTiers is the ladder, mildest first. Tier 0 is full quality — by
+// definition a no-op, so a fleet that never degrades runs the exact event
+// sequence an un-degradable one does.
+var DegradeTiers = []DegradeTier{
+	{Name: "full", KeepEvery: 1, TrafficFrac: 1, EncodeFrac: 1},
+	{Name: "reduced", KeepEvery: 2, TrafficFrac: 0.5, EncodeFrac: 0.75},
+	{Name: "minimal", KeepEvery: 4, TrafficFrac: 0.25, EncodeFrac: 0.5},
+}
+
+// TierChange schedules the machine onto a degradation tier at an instant:
+// every session on it, current and future, runs at that tier until the
+// next change. The shard layer's control walk emits these in time order.
+type TierChange struct {
+	At   simclock.Time `json:"at"`
+	Tier int           `json:"tier"`
+}
+
+// validateTierPlan rejects a plan the run couldn't execute faithfully:
+// tiers outside the ladder or changes out of time order (the plan is a
+// schedule, not a set).
+func validateTierPlan(plan []TierChange) error {
+	var last simclock.Time
+	for i, tc := range plan {
+		if tc.Tier < 0 || tc.Tier >= len(DegradeTiers) {
+			return fmt.Errorf("server: tier plan entry %d: tier %d outside ladder [0,%d]",
+				i, tc.Tier, len(DegradeTiers)-1)
+		}
+		if tc.At < last {
+			return fmt.Errorf("server: tier plan entry %d: time %v before predecessor's %v",
+				i, tc.At, last)
+		}
+		last = tc.At
+	}
+	return nil
+}
+
+// setTierAt is the scheduled tier-change event (a carries the new tier).
+func (s *Server) setTierAt(_ simclock.Time, a, _ int) { s.tier = a }
+
+// shedKeystroke decides whether the probe keystroke arriving at seat a is
+// shed under the current tier. The per-seat counter advances only while
+// degraded, so tier 0 — the only tier uncontrolled runs ever see — takes
+// the zero-cost branch and the event sequence matches a build without
+// shedding entirely.
+func (s *Server) shedKeystroke(a int) bool {
+	if s.tier == 0 {
+		return false
+	}
+	n := s.keyCount[a]
+	s.keyCount[a] = n + 1
+	if n%DegradeTiers[s.tier].KeepEvery == 0 {
+		return false
+	}
+	s.shedFrames++
+	return true
+}

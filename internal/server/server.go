@@ -127,6 +127,13 @@ type Config struct {
 	// present from time zero never pay it.
 	LoginCPU simclock.Duration
 
+	// TierPlan, when non-empty, schedules machine-wide degradation-tier
+	// changes (see DegradeTiers): the load shedder's decisions, compiled
+	// by the fleet control walk. Entries must be in time order with tiers
+	// on the ladder. Empty means full quality throughout — the exact
+	// behavior of a build without degradation.
+	TierPlan []TierChange
+
 	// Span is the measurement window; Seed roots all randomness.
 	Span simclock.Duration
 	Seed uint64
@@ -285,6 +292,11 @@ type Result struct {
 	// simulator's own work metric, and the denominator of the speed
 	// layer's events-per-second and allocations-per-event numbers.
 	SimEvents uint64 `json:"sim_events"`
+
+	// SheddedFrames counts probe keystrokes the load shedder dropped
+	// before they entered the pipeline (see DegradeTiers). Zero — and
+	// omitted from JSON — unless the run carried a TierPlan.
+	SheddedFrames int64 `json:"shedded_frames,omitempty"`
 }
 
 // Server is one composed shared machine ready to run.
@@ -340,6 +352,14 @@ type Server struct {
 	keystrokeFn   func(simclock.Time, int, int)
 	bgTickFn      func(simclock.Time, int, int)
 	trafficTickFn func(simclock.Time, int, int)
+	setTierFn     func(simclock.Time, int, int)
+
+	// tier is the machine's current degradation tier (see DegradeTiers);
+	// keyCount is the per-seat shed counter, allocated only when the run
+	// carries a TierPlan, and shedFrames counts the keystrokes dropped.
+	tier       int
+	keyCount   []int
+	shedFrames int64
 
 	// cur and peak track the concurrent logged-in population.
 	cur, peak            int
@@ -546,6 +566,13 @@ func New(cfg Config) (*Server, error) {
 	s.keystrokeFn = s.keystrokeAt
 	s.bgTickFn = s.bgTick
 	s.trafficTickFn = s.trafficTick
+	s.setTierFn = s.setTierAt
+	if len(cfg.TierPlan) > 0 {
+		if err := validateTierPlan(cfg.TierPlan); err != nil {
+			return nil, err
+		}
+		s.keyCount = make([]int, n)
+	}
 	for _, u := range s.users {
 		if u.lc.Login != 0 {
 			continue
@@ -620,6 +647,11 @@ func (s *Server) Run() (Result, error) {
 			s.eng.AtArgs(u.lc.Logout, s.departFn, u.idx, 0)
 		}
 	}
+	// The shedder's tier changes, scheduled after every lifecycle event so
+	// a tier change at an arrival's instant sequences after the arrival.
+	for _, tc := range cfg.TierPlan {
+		s.eng.AtArgs(tc.At, s.setTierFn, tc.Tier, 0)
+	}
 
 	// Capture utilization at exactly the span boundary, then let
 	// in-flight echoes land during a short drain tail.
@@ -690,6 +722,7 @@ func (s *Server) Run() (Result, error) {
 		s.echo.Merge(&u.echo)
 	}
 	res.LoginMaxMs = s.loginMaxMs
+	res.SheddedFrames = s.shedFrames
 	res.Paging = res.FaultsAfterLogin > 0
 	res.EchoSamples = int64(s.echo.N())
 	res.EchoMeanMs = s.echo.Mean()
@@ -791,7 +824,11 @@ func (s *Server) trafficTick(now simclock.Time, a, _ int) {
 	if !s.active[a] {
 		return
 	}
-	for rem := int(s.cfg.BackgroundBitsPerSec / 8 / 20); rem > 0; rem -= netsim.EthernetMTU {
+	bits := s.cfg.BackgroundBitsPerSec
+	if s.tier > 0 {
+		bits *= DegradeTiers[s.tier].TrafficFrac
+	}
+	for rem := int(bits / 8 / 20); rem > 0; rem -= netsim.EthernetMTU {
 		pkt := rem
 		if pkt > netsim.EthernetMTU {
 			pkt = netsim.EthernetMTU
@@ -802,7 +839,13 @@ func (s *Server) trafficTick(now simclock.Time, a, _ int) {
 }
 
 // keystrokeAt is the typing probe's payload-carrying keystroke event.
+// Keystrokes are pre-scheduled at start, so the shedder drops them here —
+// at fire time, against the tier in force now — rather than rescheduling
+// anything, keeping event creation order identical at every tier.
 func (s *Server) keystrokeAt(now simclock.Time, a, _ int) {
+	if s.shedKeystroke(a) {
+		return
+	}
 	u := s.users[a]
 	s.keystroke(u, now, u.keyEv[:])
 }
@@ -1203,6 +1246,9 @@ func (s *Server) echoDone(it *sched.WorkItem, _ simclock.Time, _ int) {
 	enc := s.cpu.Acquire()
 	enc.Tag = "encode"
 	enc.CPU = s.cfg.EncodeCPU
+	if s.tier > 0 {
+		enc.CPU = simclock.Duration(float64(enc.CPU) * DegradeTiers[s.tier].EncodeFrac)
+	}
 	enc.A, enc.B = it.A, it.B
 	enc.OnDone = s.encodeDoneFn
 	s.cpu.Submit(s.users[it.A].Encoder, enc)

@@ -31,10 +31,14 @@ type fleetEvent struct {
 	at   simclock.Time
 	seq  int
 	kind int
-	seat int // evDepart, and evArrive under a schedule
+	seat int // evDepart, and evArrive under a schedule or when deferred
 	// gen is the stale-generation guard on evDepart; on a schedule's
 	// evArrive it is the seat's episode index instead.
 	gen int
+	// planned is an evArrive's originally scheduled instant: equal to at
+	// for a fresh arrival, earlier when an admission controller has
+	// queued it — the difference is the user's login-queue wait.
+	planned simclock.Time
 }
 
 type eventHeap []*fleetEvent
@@ -93,30 +97,38 @@ func (c Config) SchedulePlan() ([]schedule.Session, error) {
 		simclock.DeriveSeed(c.Seed, fleetScheduleSalt))
 }
 
+// fleetPlan is buildPlans' output: the per-shard lifecycle plans, the
+// time-zero placement, each shard's scheduled degradation-tier changes
+// (nil on an uncontrolled run), and the controllers' statistics.
+type fleetPlan struct {
+	plans  [][]server.Lifecycle
+	counts []int
+	tiers  [][]server.TierChange
+	stats  ControlStats
+}
+
 // buildPlans walks the fleet's population dynamics in time order —
 // initial placement, churn departures and their replacements, growth and
 // schedule arrivals, the machine kill and its re-login storm — routing
-// every arrival through the live picker, and emits one explicit lifecycle
-// plan per shard for the server layer to execute. The walk is
-// bookkeeping, not simulation: placement decisions depend only on
-// occupancy counts (plus the lataware probe cache), so the plans are
-// deterministic and each shard's simulation still fans out independently
-// across the farm.
+// every arrival through the live picker (and, when Control is set, the
+// admission gate), and emits one explicit lifecycle plan per shard for
+// the server layer to execute. The walk is bookkeeping, not simulation:
+// placement and control decisions depend only on occupancy counts (plus
+// the probe cache), so the plans are deterministic and each shard's
+// simulation still fans out independently across the farm.
 //
 // Under a schedule, every seat's episodes are compiled up front (their
 // times are the profile's business), but each episode's arrival is placed
 // live at its instant — so a 9 AM storm floods the picker exactly as it
 // floods the machines, and a kill during the ramp forces the displaced
 // users to re-login into the middle of the surge.
-//
-// It returns the per-shard plans and the time-zero placement.
-func buildPlans(cfg Config) ([][]server.Lifecycle, []int, error) {
+func buildPlans(cfg Config) (fleetPlan, error) {
 	if err := cfg.validate(); err != nil {
-		return nil, nil, err
+		return fleetPlan{}, err
 	}
 	pk, err := newPicker(&cfg)
 	if err != nil {
-		return nil, nil, err
+		return fleetPlan{}, err
 	}
 	span := simclock.Time(cfg.Base.Span)
 	plans := make([][]server.Lifecycle, len(cfg.Machines))
@@ -124,9 +136,48 @@ func buildPlans(cfg Config) ([][]server.Lifecycle, []int, error) {
 
 	var events eventHeap
 	seq := 0
-	push := func(at simclock.Time, kind, seatID, gen int) {
-		heap.Push(&events, &fleetEvent{at: at, seq: seq, kind: kind, seat: seatID, gen: gen})
+	push := func(at simclock.Time, kind, seatID, gen int, planned simclock.Time) {
+		heap.Push(&events, &fleetEvent{at: at, seq: seq, kind: kind, seat: seatID, gen: gen, planned: planned})
 		seq++
+	}
+
+	// The control surface: hooks see and steer the walk through the view.
+	// A nil Control leaves every decision exactly as the uncontrolled
+	// fleet makes it.
+	hooks := cfg.Control
+	var view *FleetView
+	if hooks != nil {
+		view = newFleetView(&cfg, pk)
+	}
+	// admitNow consults the admission hook for one arrival: true means
+	// place it at now. A deferred arrival re-enters the heap and decides
+	// afresh when its retry fires; a deferral past the span — or past
+	// cutoff, the arrival's own episode logout — is a rejection (the
+	// user's shift would end before they got in).
+	admitNow := func(now, planned simclock.Time, seatID, epi int, cutoff simclock.Time) bool {
+		if hooks == nil || hooks.Admit == nil {
+			return true
+		}
+		d := hooks.Admit(now, planned, view)
+		if d.Reject {
+			view.stats.RejectedLogins++
+			return false
+		}
+		if d.Defer <= 0 {
+			view.recordAdmit(now, planned)
+			return true
+		}
+		at := now.Add(d.Defer)
+		if at >= span || (cutoff > 0 && at >= cutoff) {
+			view.stats.RejectedLogins++
+			return false
+		}
+		if now == planned {
+			// Count each queued arrival once, at its first deferral.
+			view.stats.DeferredLogins++
+		}
+		push(at, evArrive, seatID, epi, planned)
+		return false
 	}
 
 	var meanStay simclock.Duration
@@ -165,19 +216,34 @@ func buildPlans(cfg Config) ([][]server.Lifecycle, []int, error) {
 		// static baseline by effect size, not common random numbers.)
 		plans[j] = append(plans[j], server.Lifecycle{Login: at, Seat: st.id + 1})
 		if end > 0 {
-			push(end, evDepart, st.id, st.gen)
+			push(end, evDepart, st.id, st.gen, 0)
+		}
+		if view != nil {
+			view.curUsers++
+			if view.curUsers > view.stats.PeakUsers {
+				view.stats.PeakUsers = view.curUsers
+			}
+			if hooks.Placed != nil {
+				hooks.Placed(at, view, j)
+			}
 		}
 	}
 	logout := func(st *seat, at simclock.Time) {
 		plans[st.shard][st.idx].Logout = at
 		st.alive = false
 		pk.release(st.shard)
+		if view != nil {
+			view.curUsers--
+			if hooks.Released != nil {
+				hooks.Released(at, view, st.shard)
+			}
+		}
 	}
 
 	// The kill is pushed first so that, at its exact instant, the machine
 	// fails before any same-instant departure or arrival is handled.
 	if cfg.KillAt > 0 {
-		push(simclock.Time(cfg.KillAt), evKill, -1, 0)
+		push(simclock.Time(cfg.KillAt), evKill, -1, 0, 0)
 	}
 	if cfg.Schedule != nil {
 		// Compile every seat's episodes from the fleet's schedule stream,
@@ -187,7 +253,7 @@ func buildPlans(cfg Config) ([][]server.Lifecycle, []int, error) {
 		sseed := simclock.DeriveSeed(cfg.Seed, fleetScheduleSalt)
 		compiled, err := schedule.NewCompiled(*cfg.Schedule)
 		if err != nil {
-			return nil, nil, err
+			return fleetPlan{}, err
 		}
 		for u := 0; u < cfg.Users; u++ {
 			st := newSeat()
@@ -197,26 +263,33 @@ func buildPlans(cfg Config) ([][]server.Lifecycle, []int, error) {
 			if len(st.episodes) == 0 || st.episodes[0].Login != 0 {
 				continue
 			}
-			j, err := pk.pick()
+			// The overnight population is admission-controlled too: a
+			// deferred time-zero occupant queues at the morning login
+			// screen like any 9 AM arrival.
+			if !admitNow(0, 0, st.id, 0, st.episodes[0].Logout) {
+				continue
+			}
+			j, err := pk.pick(0)
 			if err != nil {
-				return nil, nil, err
+				return fleetPlan{}, err
 			}
 			login(st, j, 0, st.episodes[0].Logout)
 		}
 		for _, st := range seats {
 			for k, ep := range st.episodes {
 				if ep.Login > 0 {
-					push(ep.Login, evArrive, st.id, k)
+					push(ep.Login, evArrive, st.id, k, ep.Login)
 				}
 			}
 		}
 	} else {
 		// Time-zero population, placed by the live policy one user at a
-		// time.
+		// time. It predates the walk (these sessions were never
+		// "arrivals"), so admission control does not apply.
 		for u := 0; u < cfg.Users; u++ {
-			j, err := pk.pick()
+			j, err := pk.pick(0)
 			if err != nil {
-				return nil, nil, err
+				return fleetPlan{}, err
 			}
 			st := newSeat()
 			login(st, j, 0, churnEnd(st, 0))
@@ -230,7 +303,7 @@ func buildPlans(cfg Config) ([][]server.Lifecycle, []int, error) {
 		grng := simclock.NewRand(simclock.DeriveSeed(cfg.Seed, fleetGrowthSalt))
 		gap := simclock.Duration(1e6 / cfg.GrowthPerSec)
 		for at := simclock.Time(0).Add(grng.ExpDuration(gap)); at < span; at = at.Add(grng.ExpDuration(gap)) {
-			push(at, evArrive, -1, 0)
+			push(at, evArrive, -1, 0, at)
 		}
 	}
 
@@ -247,15 +320,26 @@ func buildPlans(cfg Config) ([][]server.Lifecycle, []int, error) {
 				continue // the seat re-arrives on the profile's clock, or not at all
 			}
 			// The next shift's user takes the seat immediately, routed by
-			// the policy against the fleet as it stands now.
-			j, err := pk.pick()
+			// the policy against the fleet as it stands now — unless the
+			// admission controller queues or turns them away.
+			if !admitNow(e.at, e.at, st.id, 0, 0) {
+				continue
+			}
+			j, err := pk.pick(e.at)
 			if err != nil {
-				return nil, nil, err
+				return fleetPlan{}, err
 			}
 			login(st, j, e.at, churnEnd(st, e.at))
 		case evArrive:
 			if cfg.Schedule != nil {
 				st := seats[e.seat]
+				ep := st.episodes[e.gen]
+				// Admission decides before any handover bookkeeping: a
+				// queued or rejected arrival leaves the seat's pending
+				// departure (still at its own gen) to fire normally.
+				if !admitNow(e.at, e.planned, st.id, e.gen, ep.Logout) {
+					continue
+				}
 				if st.alive {
 					// A zero-gap handover: the seat's previous episode ends
 					// at this very instant, and its departure event (pushed
@@ -263,16 +347,33 @@ func buildPlans(cfg Config) ([][]server.Lifecycle, []int, error) {
 					// yet.
 					logout(st, e.at)
 				}
-				j, err := pk.pick()
+				j, err := pk.pick(e.at)
 				if err != nil {
-					return nil, nil, err
+					return fleetPlan{}, err
 				}
-				login(st, j, e.at, st.episodes[e.gen].Logout)
+				login(st, j, e.at, ep.Logout)
 				continue
 			}
-			j, err := pk.pick()
+			if e.seat >= 0 {
+				// A queued churn replacement's retry: decide afresh, then
+				// take the seat back up with a fresh stay draw.
+				st := seats[e.seat]
+				if !admitNow(e.at, e.planned, st.id, 0, 0) {
+					continue
+				}
+				j, err := pk.pick(e.at)
+				if err != nil {
+					return fleetPlan{}, err
+				}
+				login(st, j, e.at, churnEnd(st, e.at))
+				continue
+			}
+			if !admitNow(e.at, e.planned, -1, 0, 0) {
+				continue
+			}
+			j, err := pk.pick(e.at)
 			if err != nil {
-				return nil, nil, err
+				return fleetPlan{}, err
 			}
 			st := newSeat()
 			login(st, j, e.at, churnEnd(st, e.at))
@@ -283,16 +384,17 @@ func buildPlans(cfg Config) ([][]server.Lifecycle, []int, error) {
 			// the same instant: a reconnect storm of full session setups
 			// against the survivors, in seat order. Under a schedule the
 			// displaced session keeps its episode's logout; under churn the
-			// seat draws a fresh stay, as it always has.
+			// seat draws a fresh stay, as it always has. Re-logins bypass
+			// admission control — a reconnect is not a new admission.
 			for _, st := range seats {
 				if !st.alive || st.shard != cfg.KillShard {
 					continue
 				}
 				end := st.end
 				logout(st, e.at)
-				j, err := pk.pick()
+				j, err := pk.pick(e.at)
 				if err != nil {
-					return nil, nil, err
+					return fleetPlan{}, err
 				}
 				if cfg.Schedule != nil {
 					login(st, j, e.at, end)
@@ -302,5 +404,10 @@ func buildPlans(cfg Config) ([][]server.Lifecycle, []int, error) {
 			}
 		}
 	}
-	return plans, counts, nil
+	out := fleetPlan{plans: plans, counts: counts}
+	if view != nil {
+		out.tiers = view.tiers
+		out.stats = view.finalize()
+	}
+	return out, nil
 }

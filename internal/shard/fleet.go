@@ -95,6 +95,19 @@ type FleetResult struct {
 	PeakKillP95Ms float64 `json:"peak_kill_p95_ms"`
 	RecoveryMs    float64 `json:"recovery_ms"`
 
+	// Control-plane outcomes, populated only for controlled runs
+	// (cfg.Control != nil) so uncontrolled baselines serialize
+	// byte-identically to before the control plane existed.
+	PeakUsers       int     `json:"peak_users,omitempty"`
+	DeferredLogins  int     `json:"deferred_logins,omitempty"`
+	RejectedLogins  int     `json:"rejected_logins,omitempty"`
+	QueueWaitMeanMs float64 `json:"queue_wait_mean_ms,omitempty"`
+	QueueWaitMaxMs  float64 `json:"queue_wait_max_ms,omitempty"`
+	TierChanges     int     `json:"tier_changes,omitempty"`
+	SheddedFrames   int64   `json:"shedded_frames,omitempty"`
+	Activations     int     `json:"activations,omitempty"`
+	Drains          int     `json:"drains,omitempty"`
+
 	Interactions int64 `json:"interactions"`
 	Censored     int64 `json:"censored"`
 	LostInputs   int64 `json:"lost_inputs"`
@@ -122,11 +135,13 @@ func policyName(p string) string {
 // The same configuration always produces a deeply identical FleetResult
 // at any worker count.
 func Run(cfg Config) (FleetResult, error) {
+	var fp fleetPlan
 	var counts []int
 	var plans [][]server.Lifecycle
 	var err error
 	if cfg.dynamic() {
-		plans, counts, err = buildPlans(cfg)
+		fp, err = buildPlans(cfg)
+		plans, counts = fp.plans, fp.counts
 	} else {
 		counts, err = Place(cfg)
 	}
@@ -156,6 +171,9 @@ func Run(cfg Config) (FleetResult, error) {
 					return emptyOut(), nil
 				}
 				sc.Sessions = plans[s.Index]
+				if fp.tiers != nil {
+					sc.TierPlan = fp.tiers[s.Index]
+				}
 			} else if counts[s.Index] == 0 {
 				return emptyOut(), nil
 			}
@@ -206,6 +224,7 @@ func Run(cfg Config) (FleetResult, error) {
 		fleet.Interactions += o.res.Interactions
 		fleet.Censored += o.res.Censored
 		fleet.LostInputs += o.res.LostInputs
+		fleet.SheddedFrames += o.res.SheddedFrames
 		fleet.SimEvents += o.res.SimEvents
 		if o.res.EchoP95Ms > fleet.MaxShardP95Ms {
 			fleet.MaxShardP95Ms = o.res.EchoP95Ms
@@ -227,6 +246,16 @@ func Run(cfg Config) (FleetResult, error) {
 		fleet.KilledShard = cfg.KillShard
 		fleet.PreKillP95Ms, fleet.PeakKillP95Ms, fleet.RecoveryMs =
 			failoverMetrics(cfg.KillAt, sliceMerged, fleet.P95TimelineMs)
+	}
+	if cfg.Control != nil {
+		fleet.PeakUsers = fp.stats.PeakUsers
+		fleet.DeferredLogins = fp.stats.DeferredLogins
+		fleet.RejectedLogins = fp.stats.RejectedLogins
+		fleet.QueueWaitMeanMs = fp.stats.QueueWaitMeanMs
+		fleet.QueueWaitMaxMs = fp.stats.QueueWaitMaxMs
+		fleet.TierChanges = fp.stats.TierChanges
+		fleet.Activations = fp.stats.Activations
+		fleet.Drains = fp.stats.Drains
 	}
 	return fleet, nil
 }

@@ -1,0 +1,128 @@
+package shard
+
+import (
+	"testing"
+
+	"thinbench/internal/server"
+	"thinbench/internal/simclock"
+)
+
+// pickerConfig is a small memaware fleet for white-box picker tests.
+func pickerConfig(machines []Machine) *Config {
+	cfg := &Config{
+		Base:     server.DefaultConfig(),
+		Machines: machines,
+		Users:    1,
+		Policy:   PolicyMemAware,
+	}
+	cfg.Base.Span = simclock.Second
+	return cfg
+}
+
+// TestPickerReleaseAfterFailover is the occupancy-underflow regression:
+// a departure whose event was scheduled before a failover relocated its
+// seat reaches release with the dead shard's index after that shard's
+// seats were already freed. The unguarded decrement drove occ negative —
+// phantom free capacity that pulled every later memaware placement toward
+// the dead machine's slot accounting.
+func TestPickerReleaseAfterFailover(t *testing.T) {
+	pk, err := newPicker(pickerConfig(DefaultFleet(3)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A populated fleet: two sessions land somewhere, one on shard 1.
+	for i := 0; i < 3; i++ {
+		if _, err := pk.pick(0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	occ1 := pk.occ[1]
+
+	// The failover path: shard 1 dies, its sessions log out (releasing
+	// their seats) and relocate. The seats are now free.
+	pk.kill(1)
+	for i := 0; i < occ1; i++ {
+		pk.release(1)
+	}
+	if pk.occ[1] != 0 {
+		t.Fatalf("occ[1] = %d after failover logout, want 0", pk.occ[1])
+	}
+
+	// The stale departure: a logout event scheduled pre-kill fires for a
+	// seat the failover already released. It must be a no-op.
+	pk.release(1)
+	if pk.occ[1] != 0 {
+		t.Fatalf("occ[1] = %d after stale release, want 0 (underflow regression)", pk.occ[1])
+	}
+
+	// With occ clamped at zero, later placements rank the dead shard by
+	// its true (zero) population — and never pick it at all.
+	for i := 0; i < 4; i++ {
+		j, err := pk.pick(0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if j == 1 {
+			t.Fatalf("pick %d landed on dead shard 1", i)
+		}
+	}
+}
+
+// TestPickerReleaseBounds exercises the out-of-range guards directly.
+func TestPickerReleaseBounds(t *testing.T) {
+	pk, err := newPicker(pickerConfig(DefaultFleet(2)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pk.release(-1) // must not panic
+	pk.release(2)  // must not panic
+	pk.release(0)  // empty shard: must stay at zero
+	if pk.occ[0] != 0 || pk.occ[1] != 0 {
+		t.Fatalf("occ = %v after no-op releases, want zeros", pk.occ)
+	}
+}
+
+// TestPickerStandbyAndDrain covers the control-plane placement states:
+// a standby machine takes no arrivals until powered on, and a draining
+// machine is closed to new placements while its sessions remain.
+func TestPickerStandbyAndDrain(t *testing.T) {
+	machines := DefaultFleet(3)
+	machines[2].Standby = true
+	pk, err := newPicker(pickerConfig(machines))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 6; i++ {
+		j, err := pk.pick(0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if j == 2 {
+			t.Fatal("placed a session on a standby machine")
+		}
+	}
+	// Powered on at t=5s: placeable only from that instant.
+	on := simclock.Time(5 * simclock.Second)
+	pk.availAt[2] = on
+	if pk.placeable(2, on.Add(-1)) {
+		t.Fatal("standby machine placeable before its power-on instant")
+	}
+	if !pk.placeable(2, on) {
+		t.Fatal("standby machine not placeable at its power-on instant")
+	}
+	// Draining closes a machine without touching its occupancy.
+	pk.draining[0] = true
+	occ0 := pk.occ[0]
+	for i := 0; i < 4; i++ {
+		j, err := pk.pick(on)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if j == 0 {
+			t.Fatal("placed a session on a draining machine")
+		}
+	}
+	if pk.occ[0] != occ0 {
+		t.Fatalf("draining changed occ[0]: %d -> %d", occ0, pk.occ[0])
+	}
+}

@@ -72,6 +72,11 @@ type Machine struct {
 	// 2.0 is a machine twice as fast and 0.5 one half as fast. 0 means
 	// 1.0.
 	CPUSpeed float64 `json:"cpu_speed"`
+	// Standby marks a machine that starts powered off: it takes no
+	// arrivals until a controller powers it on mid-run (see
+	// FleetView.PowerOn). A standby machine nobody activates is a spare
+	// in the rack — present in every result, hosting no sessions.
+	Standby bool `json:"standby,omitempty"`
 }
 
 func (m Machine) speed() float64 {
@@ -148,8 +153,19 @@ type Config struct {
 	KillAt    simclock.Duration
 	KillShard int
 
+	// Control, when non-nil, installs live controller hooks in the
+	// population walk: every mid-run arrival consults Control.Admit
+	// before it is placed (admission queueing and rejection), and every
+	// occupancy change notifies Control.Placed/Released so a shedder or
+	// autoscaler can steer the fleet through its FleetView. The hooks run
+	// inside the deterministic single-threaded plan walk, so a controlled
+	// run stays bit-identical at any worker count. internal/control
+	// builds these; a nil Control is exactly the uncontrolled fleet.
+	Control *ControlHooks
+
 	// ProbeSpan is the lataware placement probe window; 0 means 2 s.
 	// Probes only rank shards, so they run far shorter than Base.Span.
+	// Control hooks estimating marginal p95 share the same window.
 	ProbeSpan simclock.Duration
 	// Workers bounds the farm pool shards (and placement probes) run on;
 	// like everywhere else in the reproduction it never affects results.
@@ -171,10 +187,20 @@ func (c Config) validate() error {
 	if c.Users < 1 {
 		return fmt.Errorf("shard: fleet population %d, need at least one user", c.Users)
 	}
+	live := 0
 	for j, m := range c.Machines {
 		if m.MemoryMB < 0 || m.CPUSpeed < 0 {
 			return fmt.Errorf("shard: machine %d has negative hardware override %+v", j, m)
 		}
+		if !m.Standby {
+			live++
+		}
+	}
+	if live == 0 {
+		return fmt.Errorf("shard: every machine is standby; nothing can take the first arrival")
+	}
+	if c.Control != nil && !c.dynamic() {
+		return fmt.Errorf("shard: control hooks steer the population walk; a static fleet has no walk to steer")
 	}
 	if c.ChurnRatePerSec < 0 || c.GrowthPerSec < 0 {
 		return fmt.Errorf("shard: negative churn or growth rate")
@@ -250,26 +276,121 @@ func (c Config) memoryCapacity(j int) int {
 	return session.Capacity(sc.PhysicalKB, sc.SystemKB, sc.SessionManifest())
 }
 
+// farFuture marks a standby machine's availability: never, unless a
+// controller powers it on.
+const farFuture = simclock.Time(math.MaxInt64)
+
+// probeKey addresses the marginal-p95 cache: one estimate per
+// (shard, population) pair.
+type probeKey struct{ shard, users int }
+
+// prober is the marginal-p95 estimator behind lataware placement and the
+// control plane's admission/shedding decisions: short
+// sizing.EvaluateConfig runs of the real shard configuration (same
+// protocol, same hardware overrides, same index-derived seed as the final
+// run, only the span shortened), cached per (shard, population). Probes
+// are deterministic pure functions of the configuration, so a cache
+// filled in any order holds the same values — which is what lets the
+// lataware prefetch fan out across the farm while control hooks fill the
+// same cache single-threaded.
+type prober struct {
+	cfg   *Config
+	span  simclock.Duration
+	cache map[probeKey]float64
+}
+
+func newProber(cfg *Config) *prober {
+	span := cfg.ProbeSpan
+	if span <= 0 {
+		span = 2 * simclock.Second
+	}
+	return &prober{cfg: cfg, span: span, cache: map[probeKey]float64{}}
+}
+
+func (pr *prober) raw(j, users int) (float64, error) {
+	sc := pr.cfg.shardConfig(j, users)
+	sc.Span = pr.span
+	est, err := sizing.EvaluateConfig(sc)
+	if err != nil {
+		return 0, err
+	}
+	if est.Censored >= est.Interactions {
+		// Nothing completed: worse than any measured latency.
+		return math.Inf(1), nil
+	}
+	return est.P95EchoMs, nil
+}
+
+// p95 estimates shard j's p95 echo latency at the given population,
+// filling the cache on a miss.
+func (pr *prober) p95(j, users int) (float64, error) {
+	if v, ok := pr.cache[probeKey{j, users}]; ok {
+		return v, nil
+	}
+	v, err := pr.raw(j, users)
+	if err != nil {
+		return 0, err
+	}
+	pr.cache[probeKey{j, users}] = v
+	return v, nil
+}
+
+// prefetchFirsts fills the population-1 estimate for every shard, fanned
+// out across the farm — the first lataware placement round needs all M of
+// them anyway, and a full placement costs about M+N probes (placing a
+// user invalidates exactly one shard's marginal).
+func (pr *prober) prefetchFirsts(workers int) error {
+	m := len(pr.cfg.Machines)
+	firsts, err := farm.Run(farm.Config{Sessions: m, Workers: workers, Seed: pr.cfg.Seed},
+		func(s *farm.Session) (float64, error) { return pr.raw(s.Index, 1) })
+	if err != nil {
+		return err
+	}
+	for j, v := range firsts {
+		pr.cache[probeKey{j, 1}] = v
+	}
+	return nil
+}
+
 // picker routes arrivals onto the fleet one at a time under the live
 // placement policy. Unlike the one-shot placement loop it replaced, a
-// picker carries the fleet's running state — current occupancy per shard
-// and which machines are alive — so the same instance places the initial
-// population, churn replacements, growth arrivals, and failover
-// re-logins, each against the fleet as it is at that moment.
+// picker carries the fleet's running state — current occupancy per shard,
+// which machines are alive, which are powered on, and which a controller
+// is draining — so the same instance places the initial population, churn
+// replacements, growth arrivals, and failover re-logins, each against the
+// fleet as it is at that moment.
 type picker struct {
 	cfg  *Config
 	occ  []int
 	dead []bool
-	rr   int   // roundrobin cursor
-	caps []int // memaware §5.1.1 divisions
-	// probe is the lataware marginal-p95 estimator, cached per
-	// (shard, population).
-	probe func(j, users int) (float64, error)
+	// availAt is when each machine becomes placeable: 0 for machines on
+	// from the start, farFuture for standby spares until a controller
+	// powers them on.
+	availAt []simclock.Time
+	// draining marks machines a controller has closed to new arrivals;
+	// existing sessions stay until they depart.
+	draining []bool
+	rr       int   // roundrobin cursor
+	caps     []int // memaware §5.1.1 divisions
+	// pr is the marginal-p95 estimator, built eagerly for lataware
+	// placement (with a farm prefetch) and lazily for control hooks.
+	pr *prober
 }
 
 func newPicker(cfg *Config) (*picker, error) {
 	m := len(cfg.Machines)
-	p := &picker{cfg: cfg, occ: make([]int, m), dead: make([]bool, m)}
+	p := &picker{
+		cfg:      cfg,
+		occ:      make([]int, m),
+		dead:     make([]bool, m),
+		availAt:  make([]simclock.Time, m),
+		draining: make([]bool, m),
+	}
+	for j, mc := range cfg.Machines {
+		if mc.Standby {
+			p.availAt[j] = farFuture
+		}
+	}
 	switch cfg.Policy {
 	case PolicyRoundRobin, "":
 	case PolicyMemAware:
@@ -278,7 +399,8 @@ func newPicker(cfg *Config) (*picker, error) {
 			p.caps[j] = cfg.memoryCapacity(j)
 		}
 	case PolicyLatAware:
-		if err := p.initProbes(); err != nil {
+		p.pr = newProber(cfg)
+		if err := p.pr.prefetchFirsts(cfg.Workers); err != nil {
 			return nil, err
 		}
 	default:
@@ -287,69 +409,32 @@ func newPicker(cfg *Config) (*picker, error) {
 	return p, nil
 }
 
-// initProbes builds the lataware marginal estimator: short
-// sizing.EvaluateConfig runs of the real shard configuration (same
-// protocol, same hardware overrides, same index-derived seed as the final
-// run, only the span shortened), cached per (shard, population) — placing
-// a user invalidates exactly one shard's marginal, so a full placement
-// costs about M+N probes. The M first-round probes fan out across the
-// farm; the cache is filled single-threaded from the ordered results.
-func (p *picker) initProbes() error {
-	cfg := p.cfg
-	probeSpan := cfg.ProbeSpan
-	if probeSpan <= 0 {
-		probeSpan = 2 * simclock.Second
+// prober returns the picker's marginal estimator, building it on first
+// use for policies that do not probe on their own.
+func (p *picker) prober() *prober {
+	if p.pr == nil {
+		p.pr = newProber(p.cfg)
 	}
-	raw := func(j, users int) (float64, error) {
-		sc := cfg.shardConfig(j, users)
-		sc.Span = probeSpan
-		est, err := sizing.EvaluateConfig(sc)
-		if err != nil {
-			return 0, err
-		}
-		if est.Censored >= est.Interactions {
-			// Nothing completed: worse than any measured latency.
-			return math.Inf(1), nil
-		}
-		return est.P95EchoMs, nil
-	}
-
-	type key struct{ shard, users int }
-	cache := map[key]float64{}
-	m := len(cfg.Machines)
-	firsts, err := farm.Run(farm.Config{Sessions: m, Workers: cfg.Workers, Seed: cfg.Seed},
-		func(s *farm.Session) (float64, error) { return raw(s.Index, 1) })
-	if err != nil {
-		return err
-	}
-	for j, v := range firsts {
-		cache[key{j, 1}] = v
-	}
-	p.probe = func(j, users int) (float64, error) {
-		if v, ok := cache[key{j, users}]; ok {
-			return v, nil
-		}
-		v, err := raw(j, users)
-		if err != nil {
-			return 0, err
-		}
-		cache[key{j, users}] = v
-		return v, nil
-	}
-	return nil
+	return p.pr
 }
 
-// pick places one arrival on the fleet as it currently stands and returns
+// placeable reports whether shard j can take an arrival at now: alive,
+// powered on, and not draining.
+func (p *picker) placeable(j int, now simclock.Time) bool {
+	return !p.dead[j] && !p.draining[j] && p.availAt[j] <= now
+}
+
+// pick places one arrival on the fleet as it stands at now and returns
 // its shard. Ties break to the lowest index, so placement is
 // deterministic.
-func (p *picker) pick() (int, error) {
+func (p *picker) pick(now simclock.Time) (int, error) {
 	m := len(p.cfg.Machines)
 	best := -1
 	switch p.cfg.Policy {
 	case PolicyRoundRobin, "":
 		for t := 0; t < m; t++ {
 			j := (p.rr + t) % m
-			if !p.dead[j] {
+			if p.placeable(j, now) {
 				best = j
 				p.rr = (j + 1) % m
 				break
@@ -361,7 +446,7 @@ func (p *picker) pick() (int, error) {
 		// slots; an overcommitted fleet keeps filling the least
 		// overcommitted machine.
 		for j := 0; j < m; j++ {
-			if p.dead[j] {
+			if !p.placeable(j, now) {
 				continue
 			}
 			if best < 0 || p.caps[j]-p.occ[j] > p.caps[best]-p.occ[best] {
@@ -371,10 +456,10 @@ func (p *picker) pick() (int, error) {
 	case PolicyLatAware:
 		bestP95 := 0.0
 		for j := 0; j < m; j++ {
-			if p.dead[j] {
+			if !p.placeable(j, now) {
 				continue
 			}
-			v, err := p.probe(j, p.occ[j]+1)
+			v, err := p.pr.p95(j, p.occ[j]+1)
 			if err != nil {
 				return -1, err
 			}
@@ -390,8 +475,20 @@ func (p *picker) pick() (int, error) {
 	return best, nil
 }
 
-// release returns a departed session's seat on shard j.
-func (p *picker) release(j int) { p.occ[j]-- }
+// release returns a departed session's seat on shard j. It is guarded:
+// a departure that races a failover — its event scheduled before
+// KillShard logged everyone out and relocated the seat — can reach a
+// shard whose seat was already released, and an unguarded decrement
+// would drive occ[j] negative: phantom free capacity that skews every
+// later memaware placement toward a machine (possibly a dead one) that
+// does not have the room. Out-of-range and already-empty shards are
+// therefore no-ops.
+func (p *picker) release(j int) {
+	if j < 0 || j >= len(p.occ) || p.occ[j] <= 0 {
+		return
+	}
+	p.occ[j]--
+}
 
 // kill marks machine j dead: it takes no further arrivals.
 func (p *picker) kill(j int) { p.dead[j] = true }
@@ -411,7 +508,7 @@ func Place(cfg Config) ([]int, error) {
 		return nil, err
 	}
 	for u := 0; u < cfg.Users; u++ {
-		if _, err := p.pick(); err != nil {
+		if _, err := p.pick(0); err != nil {
 			return nil, err
 		}
 	}

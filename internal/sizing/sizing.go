@@ -168,6 +168,16 @@ func probeConfig(srv Server, p Profile, users int, span simclock.Duration, seed 
 	}
 }
 
+// ProbeConfig exposes the capacity probes' server composition: the exact
+// machine-and-workload model Capacity, ChurnCapacity, and ScheduleCapacity
+// judge populations on. A fleet experiment comparing an online controller
+// against one of those offline oracles builds its Base from this, so the
+// two answers describe the same machine rather than coincidentally
+// similar ones.
+func ProbeConfig(srv Server, p Profile, users int, span simclock.Duration, seed uint64) server.Config {
+	return probeConfig(srv, p, users, span, seed)
+}
+
 // Estimate is the impact of a given population on one shared server.
 type Estimate struct {
 	Users int
@@ -445,8 +455,24 @@ func violation(srv Server, e Estimate) Limit {
 
 // scheduleViolation is violation with the latency constraint tightened to
 // the worst timeline slice: a machine sized for a schedule must survive
-// its storm minute, not just its whole-run percentile.
+// its storm minute, not just its whole-run percentile. One carve-out from
+// the shared rule: a probe that never submitted an interaction at all is
+// "no data", not overload — a lone seat can draw a login-dominated
+// evening stint from the profile, and reading its empty episode as a
+// blown budget would floor every schedule capacity at zero. Paging, link
+// saturation, and login starvation still disqualify such a probe.
 func scheduleViolation(srv Server, e Estimate) Limit {
+	if e.Interactions == 0 {
+		switch {
+		case e.Paging:
+			return LimitMemory
+		case e.LinkUtilization > 0.8:
+			return LimitNetwork
+		case e.LoginMaxMs > LoginBudget.Milliseconds():
+			return LimitCPU
+		}
+		return LimitNone
+	}
 	if v := violation(srv, e); v != LimitNone {
 		return v
 	}

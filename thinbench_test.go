@@ -10,8 +10,8 @@ import (
 
 func TestPublicRegistry(t *testing.T) {
 	exps := thinbench.Experiments()
-	if len(exps) != 27 {
-		t.Fatalf("%d experiments registered, want 27 (9 figures, 6 tables, 5 ablations, capacity, contention, sharding, churn, failover, office day, login storm)", len(exps))
+	if len(exps) != 28 {
+		t.Fatalf("%d experiments registered, want 28 (9 figures, 6 tables, 5 ablations, capacity, contention, sharding, churn, failover, office day, login storm, admission control)", len(exps))
 	}
 	if _, ok := thinbench.Lookup("fig3"); !ok {
 		t.Fatal("fig3 not found via facade")
